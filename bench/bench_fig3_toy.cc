@@ -1,0 +1,42 @@
+// Figure 3 — the BN construction toy example: five users sharing one
+// behavior value; the inner four co-occur within a 1-hour epoch (each
+// pair gets 1/4), all five within the 2-hour epoch (each pair gets 1/5).
+#include <cstdio>
+
+#include "bn/builder.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+using namespace turbo;
+
+int main() {
+  std::printf("== Figure 3: BN construction toy example ==\n\n");
+  BehaviorLogList logs = {
+      {0, BehaviorType::kIpv4, 42, 30 * kMinute},
+      {1, BehaviorType::kIpv4, 42, 32 * kMinute},
+      {2, BehaviorType::kIpv4, 42, 40 * kMinute},
+      {3, BehaviorType::kIpv4, 42, 55 * kMinute},
+      {4, BehaviorType::kIpv4, 42, 85 * kMinute},
+  };
+  bn::BnConfig cfg;
+  cfg.windows = {kHour, 2 * kHour};
+  storage::EdgeStore edges;
+  bn::BnBuilder(cfg, &edges).BuildFromLogs(logs);
+
+  TablePrinter table({"edge", "weight", "expected", "windows"});
+  const int ip = EdgeTypeIndex(BehaviorType::kIpv4);
+  for (UserId u = 0; u < 5; ++u) {
+    for (UserId v = u + 1; v < 5; ++v) {
+      const float w = edges.Weight(ip, u, v);
+      const bool outer = (v == 4);
+      table.AddRow({StrFormat("u%u-u%u", u, v), StrFormat("%.3f", w),
+                    outer ? "0.200" : "0.450",
+                    outer ? "2h (1/5)" : "1h (1/4) + 2h (1/5)"});
+    }
+  }
+  table.Print();
+  std::printf("\nAll %zu pairs form a clique; shorter co-occurrence "
+              "intervals accumulate larger weights.\n",
+              static_cast<size_t>(edges.NumEdges(ip)));
+  return 0;
+}

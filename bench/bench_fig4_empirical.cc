@@ -1,0 +1,122 @@
+// Figure 4 — the empirical study of fraud behaviors on BN (Section
+// III-B), printed as the numeric series behind each subfigure:
+//   4a-b  behavior-over-time burst statistics
+//   4c    temporal-aggregation interval distributions (violin data)
+//   4d    n-hop neighbor fraud ratio (all types)
+//   4e-g  n-hop fraud ratio per edge type
+//   4h-i  n-hop mean degree / weighted degree
+#include <cstdio>
+
+#include "analysis/empirical.h"
+#include "bench/bench_common.h"
+#include "bn/builder.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+using namespace turbo;
+
+int main(int argc, char** argv) {
+  benchx::Flags flags(argc, argv);
+  const int users = flags.GetInt("users", 6000);
+  std::printf("== Figure 4: observational study of fraud behaviors "
+              "(users=%d) ==\n\n", users);
+
+  auto ds = datagen::GenerateScenario(datagen::ScenarioConfig::D1Like(users));
+  storage::EdgeStore edges;
+  bn::BnBuilder(bn::BnConfig{}, &edges).BuildFromLogs(ds.logs);
+  auto net = bn::BehaviorNetwork::FromEdgeStore(
+      edges, static_cast<int>(ds.users.size()));
+  auto labels = ds.Labels();
+
+  // --- 4a-b ---
+  auto burst = analysis::TimeBurst(ds);
+  std::printf("[Fig 4a-b] behavior-over-time burst\n");
+  TablePrinter t1({"group", "users", "mean span (d)", "median span (d)",
+                   "logs within ±1d of app", "within ±3d"});
+  t1.AddRow({"normal", std::to_string(burst.normal.num_users),
+             StrFormat("%.1f", burst.normal.mean_span_days),
+             StrFormat("%.1f", burst.normal.median_span_days),
+             StrFormat("%.1f%%", 100 * burst.normal.frac_logs_within_1d),
+             StrFormat("%.1f%%", 100 * burst.normal.frac_logs_within_3d)});
+  t1.AddRow({"fraud", std::to_string(burst.fraud.num_users),
+             StrFormat("%.1f", burst.fraud.mean_span_days),
+             StrFormat("%.1f", burst.fraud.median_span_days),
+             StrFormat("%.1f%%", 100 * burst.fraud.frac_logs_within_1d),
+             StrFormat("%.1f%%", 100 * burst.fraud.frac_logs_within_3d)});
+  t1.Print();
+  std::printf("shape check: fraud logs burst around the application; "
+              "normal logs scatter over the lease.\n\n");
+
+  // --- 4c ---
+  std::printf("[Fig 4c] pairwise same-(type,value) time-interval "
+              "distribution (row-normalized %%)\n");
+  std::vector<std::string> header = {"type", "group"};
+  for (const char* b : analysis::kIntervalBucketNames) header.push_back(b);
+  TablePrinter t2(header);
+  for (BehaviorType type :
+       {BehaviorType::kDeviceId, BehaviorType::kImei, BehaviorType::kIpv4,
+        BehaviorType::kWifiMac, BehaviorType::kGps100,
+        BehaviorType::kGpsDev100, BehaviorType::kWorkplace}) {
+    auto dist = analysis::TemporalAggregation(ds, type);
+    for (int grp = 0; grp < 2; ++grp) {
+      std::vector<std::string> row = {std::string(BehaviorTypeName(type)),
+                                      grp ? "fraud" : "normal"};
+      const auto& h = grp ? dist.fraud : dist.normal;
+      for (double v : h) row.push_back(StrFormat("%.1f", 100 * v));
+      t2.AddRow(std::move(row));
+    }
+  }
+  t2.Print();
+  std::printf("shape check: fraud mass spikes at short intervals and "
+              "decays; normal mass is spread out.\n\n");
+
+  // --- 4d ---
+  const int hops = 4;
+  auto ratio = analysis::HopFraudRatio(net, labels, hops);
+  std::printf("[Fig 4d] fraud ratio of exactly-n-hop neighbors (all edge "
+              "types)\n");
+  TablePrinter t3({"seed group", "1-hop", "2-hop", "3-hop", "4-hop"});
+  t3.AddRow("fraud seeds", {100 * ratio.fraud_seed[0],
+                            100 * ratio.fraud_seed[1],
+                            100 * ratio.fraud_seed[2],
+                            100 * ratio.fraud_seed[3]});
+  t3.AddRow("normal seeds", {100 * ratio.normal_seed[0],
+                             100 * ratio.normal_seed[1],
+                             100 * ratio.normal_seed[2],
+                             100 * ratio.normal_seed[3]});
+  t3.Print();
+  std::printf("shape check: fraud-seed ratio high and decaying with hops; "
+              "normal-seed ratio low and flat.\n\n");
+
+  // --- 4e-g ---
+  std::printf("[Fig 4e-g] 1-hop fraud ratio around fraud seeds, per edge "
+              "type\n");
+  TablePrinter t4({"edge type", "fraud-seed 1-hop ratio",
+                   "normal-seed 1-hop ratio"});
+  for (int et = 0; et < kNumEdgeTypes; ++et) {
+    auto r = analysis::HopFraudRatio(net, labels, 1, et);
+    t4.AddRow({std::string(BehaviorTypeName(kEdgeTypes[et])),
+               StrFormat("%.1f%%", 100 * r.fraud_seed[0]),
+               StrFormat("%.1f%%", 100 * r.normal_seed[0])});
+  }
+  t4.Print();
+  std::printf("shape check: deterministic types (DeviceId/IMEI/IMSI) carry "
+              "the strongest homophily.\n\n");
+
+  // --- 4h-i ---
+  auto deg = analysis::HopMeanDegree(net, labels, 3, /*weighted=*/false);
+  auto wdeg = analysis::HopMeanDegree(net, labels, 3, /*weighted=*/true);
+  std::printf("[Fig 4h-i] mean (weighted) degree of n-hop neighbors\n");
+  TablePrinter t5({"seed group", "deg 1-hop", "deg 2-hop", "deg 3-hop",
+                   "wdeg 1-hop", "wdeg 2-hop", "wdeg 3-hop"});
+  t5.AddRow("fraud seeds",
+            {deg.fraud_seed[0], deg.fraud_seed[1], deg.fraud_seed[2],
+             wdeg.fraud_seed[0], wdeg.fraud_seed[1], wdeg.fraud_seed[2]});
+  t5.AddRow("normal seeds",
+            {deg.normal_seed[0], deg.normal_seed[1], deg.normal_seed[2],
+             wdeg.normal_seed[0], wdeg.normal_seed[1], wdeg.normal_seed[2]});
+  t5.Print();
+  std::printf("shape check: fraud neighborhoods are larger and more "
+              "tightly connected, amplified under weighting.\n");
+  return 0;
+}

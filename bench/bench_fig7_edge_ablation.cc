@@ -1,0 +1,58 @@
+// Figure 7 — percentage AUC drop when each edge type is masked out of BN
+// and HAG is retrained. Expected shape: deterministic types (Device Id,
+// IMEI, IMSI) contribute most; probabilistic types least.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+using namespace turbo;
+
+int main(int argc, char** argv) {
+  benchx::Flags flags(argc, argv);
+  auto scale = benchx::BenchScale::FromFlags(flags);
+  scale.users = flags.GetInt("users", 3000);
+  scale.rounds = flags.GetInt("rounds", 1);
+
+  std::printf("== Figure 7: AUC drop per masked edge type (users=%d, "
+              "rounds=%d) ==\n\n", scale.users, scale.rounds);
+
+  auto scenario = datagen::ScenarioConfig::D1Like(scale.users);
+
+  auto run = [&](int mask) {
+    core::PipelineConfig pipeline;
+    pipeline.mask_edge_type = mask;
+    std::vector<std::unique_ptr<core::PreparedData>> rounds;
+    for (int r = 0; r < scale.rounds; ++r) {
+      pipeline.split_seed = 7 + 13 * r;
+      rounds.push_back(core::PrepareData(
+          datagen::GenerateScenario(scenario), pipeline));
+    }
+    return benchx::EvaluateMethod("HAG", rounds, scale).mean.auc_pct;
+  };
+
+  const double full_auc = run(-1);
+  std::printf("full BN: HAG AUC %.2f%%\n\n", full_auc);
+
+  TablePrinter table({"masked type", "kind", "AUC", "AUC drop (pp)"});
+  for (int et = 0; et < kNumEdgeTypes; ++et) {
+    const double auc = run(et);
+    const bool deterministic =
+        kEdgeTypes[et] == BehaviorType::kDeviceId ||
+        kEdgeTypes[et] == BehaviorType::kImei ||
+        kEdgeTypes[et] == BehaviorType::kImsi;
+    table.AddRow({std::string(BehaviorTypeName(kEdgeTypes[et])),
+                  deterministic ? "deterministic" : "probabilistic",
+                  StrFormat("%.2f", auc),
+                  StrFormat("%.2f", full_auc - auc)});
+    std::printf("masked %-10s AUC %.2f\n",
+                std::string(BehaviorTypeName(kEdgeTypes[et])).c_str(), auc);
+  }
+  std::printf("\n");
+  table.Print();
+  std::printf("\npaper: Device Id drops AUC the most (6.24pp); "
+              "deterministic types contribute more than probabilistic "
+              "ones.\n");
+  return 0;
+}

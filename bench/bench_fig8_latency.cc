@@ -1,0 +1,122 @@
+// Figure 8 — time-efficiency study.
+//   8a: response time of the three online modules (BN-server sampling,
+//       feature management, HAG prediction) over a stream of audit
+//       requests.
+//   8b: scalability — offline training time on the whole BN, and
+//       per-request sampling/prediction latency, as BN size grows.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "server/prediction_server.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+using namespace turbo;
+
+namespace {
+
+struct ServingStack {
+  std::unique_ptr<core::PreparedData> data;
+  std::unique_ptr<core::Hag> model;
+  std::unique_ptr<server::BnServer> bn;
+  std::unique_ptr<features::FeatureStore> features;
+  std::unique_ptr<server::PredictionServer> prediction;
+  double train_seconds = 0.0;
+};
+
+ServingStack BuildStack(int users, const benchx::BenchScale& scale) {
+  ServingStack s;
+  core::PipelineConfig pipeline;
+  pipeline.bn.windows = {kHour, 6 * kHour, kDay};
+  s.data = core::PrepareData(
+      datagen::GenerateScenario(datagen::ScenarioConfig::D1Like(users)),
+      pipeline);
+  s.model = std::make_unique<core::Hag>(benchx::MakeHagConfig(scale, 42));
+  Stopwatch sw;
+  core::TrainAndScoreGnn(s.model.get(), *s.data, bn::SamplerConfig{},
+                         benchx::MakeTrainConfig(scale, 42));
+  s.train_seconds = sw.ElapsedSeconds();
+
+  server::BnServerConfig bcfg;
+  bcfg.bn = pipeline.bn;
+  bcfg.num_users = users;
+  s.bn = std::make_unique<server::BnServer>(bcfg);
+  s.bn->IngestBatch(s.data->dataset.logs);
+  s.features = std::make_unique<features::FeatureStore>(
+      features::FeatureStoreConfig{}, &s.bn->logs());
+  for (UserId u = 0; u < static_cast<UserId>(users); ++u) {
+    const float* row = s.data->dataset.profile_features.row(u);
+    s.features->PutProfile(
+        u, std::vector<float>(
+               row, row + s.data->dataset.profile_features.cols()));
+  }
+  s.prediction = std::make_unique<server::PredictionServer>(
+      server::PredictionConfig{}, s.bn.get(), s.features.get(),
+      s.model.get(), &s.data->scaler);
+  return s;
+}
+
+/// Streams `n` audit requests in application-time order.
+void Replay(ServingStack* s, size_t n) {
+  std::vector<UserId> order = s->data->test_uids;
+  std::sort(order.begin(), order.end(), [&](UserId a, UserId b) {
+    return s->data->dataset.users[a].application_time <
+           s->data->dataset.users[b].application_time;
+  });
+  if (order.size() > n) order.resize(n);
+  for (UserId u : order) {
+    s->bn->AdvanceTo(s->data->dataset.users[u].application_time + kDay);
+    s->prediction->Handle(u);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchx::Flags flags(argc, argv);
+  auto scale = benchx::BenchScale::FromFlags(flags);
+  const int users = flags.GetInt("users", 2000);
+  const int requests = flags.GetInt("requests", 1000);
+
+  std::printf("== Figure 8a: response time of the online modules ==\n");
+  std::printf("users=%d, %d audit requests (paper: 1,000 applications)\n\n",
+              users, requests);
+  auto stack = BuildStack(users, scale);
+  Replay(&stack, static_cast<size_t>(requests));
+  std::printf("%s\n", stack.prediction->sampling_latency()
+                          .Summary("BN server (sampling)").c_str());
+  std::printf("%s\n", stack.prediction->feature_latency()
+                          .Summary("feature management").c_str());
+  std::printf("%s\n", stack.prediction->inference_latency()
+                          .Summary("prediction (HAG)").c_str());
+  std::printf("%s\n",
+              stack.prediction->total_latency().Summary("total").c_str());
+  std::printf("\npaper: feature engineering ~500ms dominates; sampling "
+              "~87ms; prediction ~230ms; total < 1s.\n"
+              "(our feature stage is also the dominant modeled cost; "
+              "absolute values reflect the virtual cost model in "
+              "storage/sim_clock.h)\n");
+
+  std::printf("\n== Figure 8b: scalability with BN size ==\n\n");
+  TablePrinter table({"users", "BN edges", "train (s)",
+                      "sample+feat p50 (ms)", "predict p50 (ms)"});
+  for (int n : {users / 4, users / 2, users}) {
+    auto s = BuildStack(n, scale);
+    Replay(&s, 200);
+    table.AddRow({std::to_string(n),
+                  std::to_string(s.data->network.TotalEdges()),
+                  StrFormat("%.1f", s.train_seconds),
+                  StrFormat("%.2f", s.prediction->sampling_latency()
+                                            .Percentile(0.5) +
+                                        s.prediction->feature_latency()
+                                            .Percentile(0.5)),
+                  StrFormat("%.2f",
+                            s.prediction->inference_latency()
+                                .Percentile(0.5))});
+  }
+  table.Print();
+  std::printf("\nshape check: training cost grows ~linearly with BN size; "
+              "per-request latency grows slowly (paper Fig. 8b).\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Figure 9 — case study: the influence distribution (Definition 1) of a
+// fraud ring's computation subgraph under a trained HAG. The paper's
+// observation: influence values inside the fraud block of the heat map
+// exceed those outside — fraud nodes shape each other's embeddings.
+#include <cstdio>
+#include <unordered_map>
+
+#include "bench/bench_common.h"
+#include "core/influence.h"
+#include "util/string_util.h"
+
+using namespace turbo;
+
+int main(int argc, char** argv) {
+  benchx::Flags flags(argc, argv);
+  auto scale = benchx::BenchScale::FromFlags(flags);
+  scale.users = flags.GetInt("users", 3000);
+
+  std::printf("== Figure 9: influence distribution on a fraud-ring "
+              "subgraph (users=%d) ==\n\n", scale.users);
+
+  auto data = core::PrepareData(
+      datagen::GenerateScenario(datagen::ScenarioConfig::D1Like(scale.users)),
+      core::PipelineConfig{});
+
+  auto hag_cfg = benchx::MakeHagConfig(scale, 42);
+  hag_cfg.dropout = 0.0f;
+  core::Hag hag(hag_cfg);
+  core::TrainAndScoreGnn(&hag, *data, bn::SamplerConfig{},
+                         benchx::MakeTrainConfig(scale, 42));
+
+  // Largest fraud ring + its neighborhood, like the paper's 4-fraud-node
+  // case.
+  std::unordered_map<int, std::vector<UserId>> rings;
+  for (const auto& u : data->dataset.users) {
+    if (u.ring_id >= 0) rings[u.ring_id].push_back(u.uid);
+  }
+  std::vector<UserId> ring;
+  for (const auto& [id, members] : rings) {
+    if (members.size() > ring.size()) ring = members;
+  }
+  bn::SamplerConfig scfg;
+  scfg.num_hops = 1;
+  scfg.fanout = 3;
+  bn::SubgraphSampler sampler(&data->network, scfg);
+  auto sg = sampler.Sample(ring);
+  auto batch = gnn::MakeGraphBatch(sg, data->features);
+  const size_t show = std::min<size_t>(batch.num_nodes(), 14);
+  std::printf("ring of %zu fraudsters; subgraph %zu nodes (showing %zu)\n\n",
+              ring.size(), batch.num_nodes(), show);
+
+  std::vector<int> targets;
+  for (size_t i = 0; i < show; ++i) targets.push_back(static_cast<int>(i));
+  auto dist = core::InfluenceDistribution(&hag, batch, targets);
+
+  std::printf("influence heat map D_i(j) x100 (columns j = source node, "
+              "rows i = influenced node; F = fraud)\n\n      ");
+  for (size_t j = 0; j < show; ++j) {
+    std::printf("%4zu%c", j,
+                data->labels[batch.global_ids[j]] ? 'F' : ' ');
+  }
+  std::printf("\n");
+  double in_block = 0, out_block = 0;
+  int n_in = 0, n_out = 0;
+  for (size_t i = 0; i < show; ++i) {
+    std::printf("%4zu%c ", i, data->labels[batch.global_ids[i]] ? 'F' : ' ');
+    for (size_t j = 0; j < show; ++j) {
+      std::printf("%4.1f ", 100 * dist(i, j));
+      if (i == j) continue;
+      const bool fi = data->labels[batch.global_ids[i]];
+      const bool fj = data->labels[batch.global_ids[j]];
+      if (fi && fj) {
+        in_block += dist(i, j);
+        ++n_in;
+      } else {
+        out_block += dist(i, j);
+        ++n_out;
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("\nmean pairwise influence: fraud->fraud %.4f vs other pairs "
+              "%.4f (ratio %.1fx)\n",
+              in_block / std::max(1, n_in), out_block / std::max(1, n_out),
+              (in_block / std::max(1, n_in)) /
+                  std::max(1e-9, out_block / std::max(1, n_out)));
+  std::printf("shape check (paper): values inside the fraud block exceed "
+              "those outside — fraud nodes influence each other during "
+              "embedding generation.\n");
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Google-benchmark microbenchmarks for the kernels the system is built
+// on: dense/sparse linear algebra, BN construction throughput, subgraph
+// sampling, statistical-feature computation, HAG forward pass, and GBDT
+// training.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "bn/builder.h"
+#include "features/stat_features.h"
+
+using namespace turbo;
+
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  auto a = la::Matrix::Randn(n, n, &rng);
+  auto b = la::Matrix::Randn(n, n, &rng);
+  for (auto _ : state) {
+    auto c = la::MatMul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(256);
+
+void BM_SpMM(benchmark::State& state) {
+  const size_t n = 20000, nnz = 200000, d = 32;
+  Rng rng(2);
+  std::vector<la::Triplet> trips;
+  trips.reserve(nnz);
+  for (size_t i = 0; i < nnz; ++i) {
+    trips.push_back({static_cast<uint32_t>(rng.NextUint(n)),
+                     static_cast<uint32_t>(rng.NextUint(n)), 1.0f});
+  }
+  auto adj = la::SparseMatrix::FromTriplets(n, n, trips);
+  auto x = la::Matrix::Randn(n, d, &rng);
+  for (auto _ : state) {
+    auto y = adj.Multiply(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * adj.nnz() * d);
+}
+BENCHMARK(BM_SpMM);
+
+// Shared dataset fixture (generated once).
+const datagen::Dataset& SharedDataset() {
+  static const datagen::Dataset ds =
+      datagen::GenerateScenario(datagen::ScenarioConfig::D1Like(2000));
+  return ds;
+}
+
+void BM_ScenarioGeneration(benchmark::State& state) {
+  auto cfg = datagen::ScenarioConfig::D1Like(
+      static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto ds = datagen::GenerateScenario(cfg);
+    benchmark::DoNotOptimize(ds.logs.data());
+    state.counters["logs"] = static_cast<double>(ds.logs.size());
+  }
+}
+BENCHMARK(BM_ScenarioGeneration)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_BnConstruction(benchmark::State& state) {
+  const auto& ds = SharedDataset();
+  for (auto _ : state) {
+    storage::EdgeStore edges;
+    bn::BnBuilder builder(bn::BnConfig{}, &edges);
+    builder.BuildFromLogs(ds.logs);
+    benchmark::DoNotOptimize(edges.TotalEdges());
+  }
+  state.SetItemsProcessed(state.iterations() * ds.logs.size());
+}
+BENCHMARK(BM_BnConstruction)->Unit(benchmark::kMillisecond);
+
+void BM_SubgraphSampling(benchmark::State& state) {
+  const auto& ds = SharedDataset();
+  static storage::EdgeStore edges;
+  static bool built = false;
+  if (!built) {
+    bn::BnBuilder(bn::BnConfig{}, &edges).BuildFromLogs(ds.logs);
+    built = true;
+  }
+  auto net = bn::BehaviorNetwork::FromEdgeStore(
+                 edges, static_cast<int>(ds.users.size()))
+                 .Normalized();
+  bn::SubgraphSampler sampler(&net, bn::SamplerConfig{});
+  UserId uid = 0;
+  for (auto _ : state) {
+    auto sg = sampler.SampleOne(uid);
+    benchmark::DoNotOptimize(sg.nodes.data());
+    uid = (uid + 17) % ds.users.size();
+  }
+}
+BENCHMARK(BM_SubgraphSampling);
+
+void BM_StatFeatures(benchmark::State& state) {
+  const auto& ds = SharedDataset();
+  static storage::LogStore store;
+  if (store.size() == 0) store.AppendBatch(ds.logs);
+  UserId uid = 0;
+  for (auto _ : state) {
+    auto f = features::ComputeStatFeatures(
+        store, uid, ds.users[uid].application_time + kDay);
+    benchmark::DoNotOptimize(f.data());
+    uid = (uid + 13) % ds.users.size();
+  }
+}
+BENCHMARK(BM_StatFeatures);
+
+void BM_HagForward(benchmark::State& state) {
+  const auto& ds = SharedDataset();
+  static std::unique_ptr<core::PreparedData> data;
+  if (!data) {
+    datagen::Dataset copy = ds;
+    data = core::PrepareData(std::move(copy), core::PipelineConfig{});
+  }
+  benchx::BenchScale scale;
+  core::Hag model(benchx::MakeHagConfig(scale, 1));
+  model.Init(static_cast<int>(data->features.cols()));
+  auto batch = core::MakeBatch(*data, data->test_uids, bn::SamplerConfig{});
+  for (auto _ : state) {
+    auto logits = model.Logits(batch, /*training=*/false, nullptr);
+    benchmark::DoNotOptimize(logits->value.data());
+  }
+  state.counters["batch_nodes"] = static_cast<double>(batch.num_nodes());
+}
+BENCHMARK(BM_HagForward)->Unit(benchmark::kMillisecond);
+
+void BM_GbdtFit(benchmark::State& state) {
+  Rng rng(3);
+  const int n = 4000, d = 30;
+  la::Matrix x = la::Matrix::Randn(n, d, &rng);
+  std::vector<int> y(n);
+  for (int i = 0; i < n; ++i) y[i] = x(i, 0) + x(i, 1) > 0.5f;
+  ml::GbdtConfig cfg;
+  cfg.num_trees = 30;
+  for (auto _ : state) {
+    ml::Gbdt model(cfg);
+    model.Fit(x, y);
+    benchmark::DoNotOptimize(model.num_trees());
+  }
+  state.SetItemsProcessed(state.iterations() * n * d * cfg.num_trees);
+}
+BENCHMARK(BM_GbdtFit)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

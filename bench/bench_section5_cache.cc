@@ -1,0 +1,107 @@
+// Section V — the caching optimization study: serving latency with the
+// statistical features recomputed from the relational log store on every
+// request (pre-optimization) versus served through the Redis-style LRU
+// cache (post-optimization).
+//
+// The paper reports mean 6.8s -> 0.8s, p50 6.73 -> 0.8, p99 11.3 -> 0.99,
+// p999 12.66 -> 1.33 (-88% overall). Storage costs here are modeled by
+// the virtual cost model (storage/sim_clock.h); the *ratios* are the
+// reproduction target.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "server/prediction_server.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+using namespace turbo;
+
+namespace {
+
+struct RunResult {
+  double mean, p50, p99, p999;
+};
+
+RunResult RunServing(const core::PreparedData& data, core::Hag* model,
+                     const bn::BnConfig& bn_cfg, bool use_cache,
+                     int requests) {
+  server::BnServerConfig bcfg;
+  bcfg.bn = bn_cfg;
+  bcfg.num_users = static_cast<int>(data.dataset.users.size());
+  server::BnServer bn(bcfg);
+  bn.IngestBatch(data.dataset.logs);
+
+  features::FeatureStoreConfig fcfg;
+  fcfg.use_cache = use_cache;
+  features::FeatureStore features(fcfg, &bn.logs());
+  for (UserId u = 0; u < static_cast<UserId>(data.dataset.users.size());
+       ++u) {
+    const float* row = data.dataset.profile_features.row(u);
+    features.PutProfile(
+        u, std::vector<float>(row,
+                              row + data.dataset.profile_features.cols()));
+  }
+  server::PredictionServer prediction(server::PredictionConfig{}, &bn,
+                                      &features, model, &data.scaler);
+  std::vector<UserId> order = data.test_uids;
+  std::sort(order.begin(), order.end(), [&](UserId a, UserId b) {
+    return data.dataset.users[a].application_time <
+           data.dataset.users[b].application_time;
+  });
+  if (static_cast<int>(order.size()) > requests) order.resize(requests);
+  for (UserId u : order) {
+    bn.AdvanceTo(data.dataset.users[u].application_time + kDay);
+    // Each request is served once; the cache pays its miss on first
+    // touch like production. Sampled *neighbors* recur across requests,
+    // which is where the cache earns its keep.
+    prediction.Handle(u);
+  }
+  const auto& t = prediction.total_latency();
+  return RunResult{t.Mean(), t.Percentile(0.5), t.Percentile(0.99),
+                   t.Percentile(0.999)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchx::Flags flags(argc, argv);
+  auto scale = benchx::BenchScale::FromFlags(flags);
+  scale.users = flags.GetInt("users", 2000);
+  const int requests = flags.GetInt("requests", 300);
+
+  std::printf("== Section V: serving latency, uncached vs cached "
+              "(users=%d, %d requests) ==\n\n", scale.users, requests);
+
+  // One window config shared by the offline pipeline and the online BN
+  // server, so trained edge-weight scales match the serving graph.
+  core::PipelineConfig pipeline;
+  pipeline.bn.windows = {kHour, 6 * kHour, kDay};
+  auto data = core::PrepareData(
+      datagen::GenerateScenario(datagen::ScenarioConfig::D1Like(scale.users)),
+      pipeline);
+  core::Hag model(benchx::MakeHagConfig(scale, 42));
+  core::TrainAndScoreGnn(&model, *data, bn::SamplerConfig{},
+                         benchx::MakeTrainConfig(scale, 42));
+
+  auto uncached =
+      RunServing(*data, &model, pipeline.bn, /*use_cache=*/false, requests);
+  auto cached =
+      RunServing(*data, &model, pipeline.bn, /*use_cache=*/true, requests);
+
+  TablePrinter table({"configuration", "mean (ms)", "p50", "p99", "p999"});
+  table.AddRow("no cache (MySQL only)",
+               {uncached.mean, uncached.p50, uncached.p99, uncached.p999});
+  table.AddRow("Redis cache in front",
+               {cached.mean, cached.p50, cached.p99, cached.p999});
+  table.Print();
+  std::printf("\nimprovement: mean %.0f%%, p50 %.0f%%, p99 %.0f%%, p999 "
+              "%.0f%%\n",
+              100 * (1 - cached.mean / uncached.mean),
+              100 * (1 - cached.p50 / uncached.p50),
+              100 * (1 - cached.p99 / uncached.p99),
+              100 * (1 - cached.p999 / uncached.p999));
+  std::printf("paper: mean 6.8s -> 0.8s, p50 6.73 -> 0.8, p99 11.3 -> "
+              "0.99, p999 12.66 -> 1.33 (online time -88%%)\n");
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Fraud-ring case study (paper Figures 5, 6 and 9):
+//   * locates a fraud ring in a synthetic scenario,
+//   * exports its BN neighborhood as Graphviz DOT (clique visualization),
+//   * trains HAG and prints the influence-distribution heat map of the
+//     ring's computation subgraph — fraud nodes should influence each
+//     other more than the surrounding normal nodes.
+//
+// Run:  ./build/examples/fraud_ring_study [out.dot]
+#include <cstdio>
+#include <fstream>
+
+#include "core/influence.h"
+#include "util/string_util.h"
+#include "core/turbo.h"
+
+using namespace turbo;
+
+namespace {
+
+const char* TypeColor(int edge_type) {
+  // Mirrors the paper's Fig. 6 legend where applicable.
+  static const char* kColors[] = {"orange", "green",  "red",   "brown",
+                                  "gray",   "purple", "gray4", "blue"};
+  return kColors[edge_type % 8];
+}
+
+void WriteDot(const char* path, const bn::Subgraph& sg,
+              const std::vector<int>& labels) {
+  std::ofstream out(path);
+  out << "graph bn_ring {\n  overlap=false;\n";
+  for (size_t i = 0; i < sg.nodes.size(); ++i) {
+    out << "  n" << sg.nodes[i] << " [style=filled, fillcolor="
+        << (labels[sg.nodes[i]] ? "tomato" : "palegreen") << "];\n";
+  }
+  for (int t = 0; t < kNumEdgeTypes; ++t) {
+    for (const auto& e : sg.edges[t]) {
+      if (e.row < e.col) {
+        out << "  n" << sg.nodes[e.row] << " -- n" << sg.nodes[e.col]
+            << " [color=" << TypeColor(t) << ", penwidth="
+            << std::min(4.0f, 0.5f + 8.0f * e.value) << "];\n";
+      }
+    }
+  }
+  out << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* dot_path = argc > 1 ? argv[1] : "fraud_ring.dot";
+
+  auto dataset =
+      datagen::GenerateScenario(datagen::ScenarioConfig::D1Like(2000));
+  // Pick the largest ring.
+  std::unordered_map<int, std::vector<UserId>> rings;
+  for (const auto& u : dataset.users) {
+    if (u.ring_id >= 0) rings[u.ring_id].push_back(u.uid);
+  }
+  std::vector<UserId> ring;
+  for (const auto& [id, members] : rings) {
+    if (members.size() > ring.size()) ring = members;
+  }
+  std::printf("largest fraud ring: %zu members\n", ring.size());
+
+  auto data = core::PrepareData(std::move(dataset), core::PipelineConfig{});
+
+  // Visualization subgraph around the ring (Fig. 5/6).
+  bn::SamplerConfig viz_cfg;
+  viz_cfg.num_hops = 1;
+  viz_cfg.fanout = 8;
+  bn::SubgraphSampler viz_sampler(&data->network, viz_cfg);
+  auto viz = viz_sampler.Sample(ring);
+  WriteDot(dot_path, viz, data->labels);
+  std::printf("wrote %s (%zu nodes, %zu edges) — render with neato\n",
+              dot_path, viz.nodes.size(), viz.NumEdges());
+
+  // Train HAG, then influence analysis (Definition 1 / Fig. 9).
+  core::HagConfig hcfg;
+  hcfg.hidden = {24, 12};
+  hcfg.attention_dim = 12;
+  hcfg.mlp_hidden = 12;
+  hcfg.dropout = 0.0f;
+  core::Hag hag(hcfg);
+  gnn::TrainConfig tcfg;
+  tcfg.epochs = 40;
+  tcfg.lr = 2e-3f;
+  core::TrainAndScoreGnn(&hag, *data, bn::SamplerConfig{}, tcfg);
+
+  bn::SamplerConfig case_cfg;
+  case_cfg.num_hops = 2;
+  case_cfg.fanout = 4;
+  bn::SubgraphSampler case_sampler(&data->network, case_cfg);
+  auto sg = case_sampler.Sample(ring);
+  auto batch = gnn::MakeGraphBatch(sg, data->features);
+
+  std::vector<int> targets;
+  const size_t show = std::min<size_t>(batch.num_nodes(), 12);
+  for (size_t i = 0; i < show; ++i) targets.push_back(static_cast<int>(i));
+  auto dist = core::InfluenceDistribution(&hag, batch, targets);
+
+  std::printf("\nInfluence distribution heat map (rows/cols = nodes; F = "
+              "fraud)\n        ");
+  for (size_t j = 0; j < show; ++j) {
+    std::printf("%5s%c", StrFormat("n%zu", j).c_str(),
+                data->labels[batch.global_ids[j]] ? 'F' : ' ');
+  }
+  std::printf("\n");
+  double fraud_block = 0.0, cross_block = 0.0;
+  int nf = 0, nc = 0;
+  for (size_t i = 0; i < show; ++i) {
+    std::printf("%5s%c  ", StrFormat("n%zu", i).c_str(),
+                data->labels[batch.global_ids[i]] ? 'F' : ' ');
+    for (size_t j = 0; j < show; ++j) {
+      std::printf("%5.3f ", dist(i, j));
+      const bool fi = data->labels[batch.global_ids[i]];
+      const bool fj = data->labels[batch.global_ids[j]];
+      if (i != j) {
+        if (fi && fj) {
+          fraud_block += dist(i, j);
+          ++nf;
+        } else if (fi != fj) {
+          cross_block += dist(i, j);
+          ++nc;
+        }
+      }
+    }
+    std::printf("\n");
+  }
+  if (nf && nc) {
+    std::printf(
+        "\nmean fraud->fraud influence %.4f vs fraud<->normal %.4f "
+        "(paper: values inside the fraud block are larger)\n",
+        fraud_block / nf, cross_block / nc);
+  }
+  return 0;
+}

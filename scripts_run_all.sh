@@ -1,0 +1,6 @@
+#!/bin/sh
+# Final recording run: full test suite + every bench, teeing to the
+# repository-root logs referenced by EXPERIMENTS.md.
+set -x
+ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt
+for b in build/bench/*; do $b; done 2>&1 | tee /root/repo/bench_output.txt

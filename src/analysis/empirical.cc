@@ -1,0 +1,219 @@
+#include "analysis/empirical.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/rng.h"
+
+namespace turbo::analysis {
+
+const std::array<const char*, kNumIntervalBuckets> kIntervalBucketNames = {
+    "<1h", "<6h", "<1d", "<3d", "<7d", "<30d", ">=30d"};
+
+BurstComparison TimeBurst(const datagen::Dataset& ds) {
+  struct Acc {
+    std::vector<double> spans;
+    int64_t logs = 0, within_1d = 0, within_3d = 0;
+  };
+  Acc acc[2];
+
+  std::unordered_map<UserId, std::pair<SimTime, SimTime>> ranges;
+  for (const auto& l : ds.logs) {
+    auto [it, inserted] = ranges.try_emplace(l.uid, l.time, l.time);
+    if (!inserted) {
+      it->second.first = std::min(it->second.first, l.time);
+      it->second.second = std::max(it->second.second, l.time);
+    }
+    const auto& u = ds.users[l.uid];
+    Acc& a = acc[u.is_fraud];
+    ++a.logs;
+    const SimTime d = std::abs(l.time - u.application_time);
+    a.within_1d += (d <= kDay);
+    a.within_3d += (d <= 3 * kDay);
+  }
+  for (const auto& [uid, mm] : ranges) {
+    acc[ds.users[uid].is_fraud].spans.push_back(
+        static_cast<double>(mm.second - mm.first) / kDay);
+  }
+
+  auto stats = [](Acc& a) {
+    BurstStats s{};
+    s.num_users = static_cast<int>(a.spans.size());
+    if (!a.spans.empty()) {
+      double sum = 0.0;
+      for (double v : a.spans) sum += v;
+      s.mean_span_days = sum / a.spans.size();
+      std::sort(a.spans.begin(), a.spans.end());
+      s.median_span_days = a.spans[a.spans.size() / 2];
+    }
+    if (a.logs > 0) {
+      s.frac_logs_within_1d = static_cast<double>(a.within_1d) / a.logs;
+      s.frac_logs_within_3d = static_cast<double>(a.within_3d) / a.logs;
+    }
+    return s;
+  };
+  return BurstComparison{stats(acc[0]), stats(acc[1])};
+}
+
+namespace {
+
+int IntervalBucket(SimTime d) {
+  if (d < kHour) return 0;
+  if (d < 6 * kHour) return 1;
+  if (d < kDay) return 2;
+  if (d < 3 * kDay) return 3;
+  if (d < 7 * kDay) return 4;
+  if (d < 30 * kDay) return 5;
+  return 6;
+}
+
+}  // namespace
+
+IntervalDistribution TemporalAggregation(const datagen::Dataset& ds,
+                                         BehaviorType type,
+                                         int max_pairs_per_value) {
+  std::unordered_map<ValueId, std::vector<std::pair<UserId, SimTime>>>
+      by_value;
+  for (const auto& l : ds.logs) {
+    if (l.type == type) by_value[l.value].push_back({l.uid, l.time});
+  }
+  std::array<int64_t, kNumIntervalBuckets> counts[2] = {{}, {}};
+  int64_t totals[2] = {0, 0};
+  for (const auto& [v, obs] : by_value) {
+    if (obs.size() < 2) continue;
+    int pairs = 0;
+    for (size_t i = 0; i < obs.size() && pairs < max_pairs_per_value; ++i) {
+      for (size_t j = i + 1;
+           j < obs.size() && pairs < max_pairs_per_value; ++j) {
+        if (obs[i].first == obs[j].first) continue;  // same user
+        const bool fi = ds.users[obs[i].first].is_fraud;
+        const bool fj = ds.users[obs[j].first].is_fraud;
+        if (fi != fj) continue;  // mixed pair: attributed to neither group
+        const SimTime d = std::abs(obs[i].second - obs[j].second);
+        ++counts[fi][IntervalBucket(d)];
+        ++totals[fi];
+        ++pairs;
+      }
+    }
+  }
+  IntervalDistribution out;
+  out.normal_pairs = totals[0];
+  out.fraud_pairs = totals[1];
+  for (int b = 0; b < kNumIntervalBuckets; ++b) {
+    if (totals[0] > 0) {
+      out.normal[b] = static_cast<double>(counts[0][b]) / totals[0];
+    }
+    if (totals[1] > 0) {
+      out.fraud[b] = static_cast<double>(counts[1][b]) / totals[1];
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<UserId>> HopFrontiers(
+    const bn::BehaviorNetwork& net, UserId seed_node, int hops,
+    int edge_type) {
+  std::vector<std::vector<UserId>> frontiers;
+  std::unordered_map<UserId, bool> visited;
+  visited[seed_node] = true;
+  std::vector<UserId> current = {seed_node};
+  for (int h = 0; h < hops; ++h) {
+    std::vector<UserId> next;
+    for (UserId u : current) {
+      auto expand = [&](const std::vector<bn::NeighborEntry>& nbrs) {
+        for (const auto& e : nbrs) {
+          if (visited.emplace(e.id, true).second) next.push_back(e.id);
+        }
+      };
+      if (edge_type < 0) {
+        expand(net.UnionNeighbors(u));
+      } else {
+        expand(net.Neighbors(edge_type, u));
+      }
+    }
+    frontiers.push_back(next);
+    current = std::move(next);
+    if (current.empty()) {
+      // Remaining hops are empty frontiers.
+      while (static_cast<int>(frontiers.size()) < hops) {
+        frontiers.emplace_back();
+      }
+      break;
+    }
+  }
+  while (static_cast<int>(frontiers.size()) < hops) frontiers.emplace_back();
+  return frontiers;
+}
+
+namespace {
+
+std::vector<UserId> SampleSeeds(const std::vector<int>& labels, int label,
+                                int max_seeds, uint64_t seed) {
+  std::vector<UserId> ids;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == label) ids.push_back(static_cast<UserId>(i));
+  }
+  Rng rng(seed);
+  rng.Shuffle(&ids);
+  if (static_cast<int>(ids.size()) > max_seeds) ids.resize(max_seeds);
+  return ids;
+}
+
+}  // namespace
+
+HopSeries HopFraudRatio(const bn::BehaviorNetwork& net,
+                        const std::vector<int>& labels, int hops,
+                        int edge_type, int max_seeds, uint64_t seed) {
+  HopSeries out;
+  for (int cls : {1, 0}) {
+    auto seeds = SampleSeeds(labels, cls, max_seeds, seed + cls);
+    std::vector<double> ratio_sum(hops, 0.0);
+    std::vector<int> ratio_cnt(hops, 0);
+    for (UserId s : seeds) {
+      auto frontiers = HopFrontiers(net, s, hops, edge_type);
+      for (int h = 0; h < hops; ++h) {
+        if (frontiers[h].empty()) continue;
+        int fraud = 0;
+        for (UserId u : frontiers[h]) fraud += (labels[u] != 0);
+        ratio_sum[h] += static_cast<double>(fraud) / frontiers[h].size();
+        ++ratio_cnt[h];
+      }
+    }
+    std::vector<double> series(hops, 0.0);
+    for (int h = 0; h < hops; ++h) {
+      if (ratio_cnt[h] > 0) series[h] = ratio_sum[h] / ratio_cnt[h];
+    }
+    (cls == 1 ? out.fraud_seed : out.normal_seed) = std::move(series);
+  }
+  return out;
+}
+
+HopSeries HopMeanDegree(const bn::BehaviorNetwork& net,
+                        const std::vector<int>& labels, int hops,
+                        bool weighted, int max_seeds, uint64_t seed) {
+  HopSeries out;
+  for (int cls : {1, 0}) {
+    auto seeds = SampleSeeds(labels, cls, max_seeds, seed + cls);
+    std::vector<double> sum(hops, 0.0);
+    std::vector<int64_t> cnt(hops, 0);
+    for (UserId s : seeds) {
+      auto frontiers = HopFrontiers(net, s, hops, /*edge_type=*/-1);
+      for (int h = 0; h < hops; ++h) {
+        for (UserId u : frontiers[h]) {
+          sum[h] += weighted ? net.UnionWeightedDegree(u)
+                             : static_cast<double>(net.UnionDegree(u));
+          ++cnt[h];
+        }
+      }
+    }
+    std::vector<double> series(hops, 0.0);
+    for (int h = 0; h < hops; ++h) {
+      if (cnt[h] > 0) series[h] = sum[h] / cnt[h];
+    }
+    (cls == 1 ? out.fraud_seed : out.normal_seed) = std::move(series);
+  }
+  return out;
+}
+
+}  // namespace turbo::analysis

@@ -1,0 +1,78 @@
+// Empirical-study computations behind Figure 4 (Section III-B): the four
+// observations that motivate BN's hierarchical windows and HAG's design.
+//
+// Each function returns the numeric series a plot of the corresponding
+// subfigure would be drawn from; bench_fig4_empirical prints them.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "bn/network.h"
+#include "datagen/scenario.h"
+
+namespace turbo::analysis {
+
+// ---- Fig. 4a-b: time burst ----
+struct BurstStats {
+  double mean_span_days;        // per-user activity span
+  double median_span_days;
+  double frac_logs_within_1d;   // fraction of logs within ±1d of the
+                                // user's application time
+  double frac_logs_within_3d;
+  int num_users;
+};
+struct BurstComparison {
+  BurstStats normal;
+  BurstStats fraud;
+};
+BurstComparison TimeBurst(const datagen::Dataset& ds);
+
+// ---- Fig. 4c: temporal aggregation ----
+/// Interval histogram buckets: <1h, <6h, <1d, <3d, <7d, <30d, >=30d.
+inline constexpr int kNumIntervalBuckets = 7;
+extern const std::array<const char*, kNumIntervalBuckets>
+    kIntervalBucketNames;
+
+struct IntervalDistribution {
+  // Normalized histogram (sums to 1 unless empty) per group.
+  std::array<double, kNumIntervalBuckets> normal{};
+  std::array<double, kNumIntervalBuckets> fraud{};
+  int64_t normal_pairs = 0;
+  int64_t fraud_pairs = 0;
+};
+/// Pairwise |t_i - t_j| of same-(type, value) logs; a pair is fraud if
+/// both users are fraudsters, normal if both are normal. `max_pairs_per
+/// _value` bounds the quadratic blow-up on hub values.
+IntervalDistribution TemporalAggregation(const datagen::Dataset& ds,
+                                         BehaviorType type,
+                                         int max_pairs_per_value = 200);
+
+// ---- Fig. 4d-g: homophily ----
+struct HopSeries {
+  std::vector<double> fraud_seed;   // indexed by hop-1
+  std::vector<double> normal_seed;
+};
+/// Fraud ratio among exactly-n-hop neighbors (union graph), n = 1..hops.
+/// `edge_type` < 0 uses the union of all types (Fig. 4d); otherwise a
+/// single type (Fig. 4e-g). `max_seeds` nodes per class are sampled.
+HopSeries HopFraudRatio(const bn::BehaviorNetwork& net,
+                        const std::vector<int>& labels, int hops,
+                        int edge_type = -1, int max_seeds = 400,
+                        uint64_t seed = 5);
+
+// ---- Fig. 4h-i: structural difference ----
+/// Mean (weighted) degree of exactly-n-hop neighbors for fraud/normal
+/// seeds. `weighted` selects Fig. 4i (weighted degree) vs 4h.
+HopSeries HopMeanDegree(const bn::BehaviorNetwork& net,
+                        const std::vector<int>& labels, int hops,
+                        bool weighted, int max_seeds = 400,
+                        uint64_t seed = 6);
+
+/// Exactly-n-hop frontiers around `seed_node` on the union graph
+/// (shared BFS helper; frontier[0] = 1-hop).
+std::vector<std::vector<UserId>> HopFrontiers(
+    const bn::BehaviorNetwork& net, UserId seed_node, int hops,
+    int edge_type = -1);
+
+}  // namespace turbo::analysis

@@ -1,0 +1,53 @@
+#include "autograd/gradcheck.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace turbo::ag {
+
+GradCheckResult CheckGradients(const std::vector<Tensor>& params,
+                               const std::function<Tensor()>& loss_fn,
+                               double eps, double atol, double rtol) {
+  // Analytic pass.
+  for (const auto& p : params) p->ClearGrad();
+  Tensor loss = loss_fn();
+  Backward(loss);
+  std::vector<la::Matrix> analytic;
+  analytic.reserve(params.size());
+  for (const auto& p : params) {
+    analytic.push_back(p->has_grad()
+                           ? p->grad
+                           : la::Matrix(p->value.rows(), p->value.cols()));
+  }
+
+  GradCheckResult res;
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    auto& p = params[pi];
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      const float orig = p->value.data()[i];
+      p->value.data()[i] = orig + static_cast<float>(eps);
+      double lp = loss_fn()->value(0, 0);
+      p->value.data()[i] = orig - static_cast<float>(eps);
+      double lm = loss_fn()->value(0, 0);
+      p->value.data()[i] = orig;
+      double numeric = (lp - lm) / (2.0 * eps);
+      double a = analytic[pi].data()[i];
+      double abs_err = std::abs(a - numeric);
+      double rel_err = abs_err / std::max(1e-8, std::abs(numeric));
+      res.max_abs_err = std::max(res.max_abs_err, abs_err);
+      if (abs_err > atol && rel_err > rtol) {
+        res.max_rel_err = std::max(res.max_rel_err, rel_err);
+        if (res.ok) {
+          res.detail = StrFormat(
+              "param %zu ('%s') entry %zu: analytic=%.6f numeric=%.6f",
+              pi, p->op_name.c_str(), i, a, numeric);
+        }
+        res.ok = false;
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace turbo::ag

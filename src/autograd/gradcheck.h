@@ -1,0 +1,28 @@
+// Numerical gradient verification used by the autograd test suite and by
+// any new fused operator's tests.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "autograd/tensor.h"
+
+namespace turbo::ag {
+
+struct GradCheckResult {
+  bool ok = true;
+  double max_abs_err = 0.0;
+  double max_rel_err = 0.0;
+  std::string detail;  // first offending entry, if any
+};
+
+/// Compares analytic gradients of `loss_fn` (a scalar-valued function of
+/// the given leaf parameters, rebuilt on every call) against central
+/// finite differences. `loss_fn` must be deterministic.
+GradCheckResult CheckGradients(
+    const std::vector<Tensor>& params,
+    const std::function<Tensor()>& loss_fn, double eps = 1e-3,
+    double atol = 2e-2, double rtol = 5e-2);
+
+}  // namespace turbo::ag

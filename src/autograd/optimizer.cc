@@ -1,0 +1,102 @@
+#include "autograd/optimizer.h"
+
+#include <cmath>
+
+namespace turbo::ag {
+
+Optimizer::Optimizer(std::vector<Tensor> params)
+    : params_(std::move(params)) {
+  for (const auto& p : params_) {
+    TURBO_CHECK(p != nullptr);
+    TURBO_CHECK_MSG(p->requires_grad,
+                    "optimizer param " << p->op_name << " has no grad");
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (auto& p : params_) p->ClearGrad();
+}
+
+double Optimizer::ClipGradNorm(double max_norm) {
+  double total = 0.0;
+  for (const auto& p : params_) {
+    if (p->has_grad()) total += p->grad.SquaredNorm();
+  }
+  total = std::sqrt(total);
+  if (total > max_norm && total > 0.0) {
+    const float scale = static_cast<float>(max_norm / total);
+    for (auto& p : params_) {
+      if (p->has_grad()) p->grad.Scale(scale);
+    }
+  }
+  return total;
+}
+
+Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum,
+         float weight_decay)
+    : Optimizer(std::move(params)),
+      lr(lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  velocity_.reserve(params_.size());
+  for (const auto& p : params_) {
+    velocity_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (!p->has_grad()) continue;
+    la::Matrix g = p->grad;
+    if (weight_decay_ != 0.0f) g.Add(p->value, weight_decay_);
+    if (momentum_ != 0.0f) {
+      velocity_[i].Scale(momentum_);
+      velocity_[i].Add(g);
+      p->value.Add(velocity_[i], -lr);
+    } else {
+      p->value.Add(g, -lr);
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (!p->has_grad()) continue;
+    la::Matrix g = p->grad;
+    if (weight_decay_ != 0.0f) g.Add(p->value, weight_decay_);
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    float* w = p->value.data();
+    const float* gd = g.data();
+    for (size_t k = 0; k < g.size(); ++k) {
+      m[k] = beta1_ * m[k] + (1.0f - beta1_) * gd[k];
+      v[k] = beta2_ * v[k] + (1.0f - beta2_) * gd[k] * gd[k];
+      const float mhat = m[k] / bc1;
+      const float vhat = v[k] / bc2;
+      w[k] -= lr * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace turbo::ag

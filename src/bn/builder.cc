@@ -1,0 +1,131 @@
+#include "bn/builder.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace turbo::bn {
+
+std::vector<SimTime> BnConfig::DefaultWindows() {
+  std::vector<SimTime> w;
+  for (int h = 1; h <= 12; ++h) w.push_back(h * kHour);
+  w.push_back(kDay);
+  return w;
+}
+
+BnBuilder::BnBuilder(BnConfig config, storage::EdgeStore* edges)
+    : config_(std::move(config)), edges_(edges) {
+  TURBO_CHECK(edges_ != nullptr);
+  TURBO_CHECK(!config_.windows.empty());
+  for (SimTime w : config_.windows) TURBO_CHECK_GT(w, 0);
+  TURBO_CHECK(std::is_sorted(config_.windows.begin(),
+                             config_.windows.end()));
+}
+
+void BnBuilder::ConnectBucket(int edge_type,
+                              const std::vector<UserId>& users,
+                              SimTime stamp) {
+  const size_t n = users.size();
+  if (n < 2) return;
+  const float w = config_.inverse_weighting
+                      ? 1.0f / static_cast<float>(n)
+                      : 1.0f;
+  if (n <= static_cast<size_t>(config_.max_bucket_users)) {
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        edges_->AddWeight(edge_type, users[i], users[j], w, stamp);
+      }
+    }
+    return;
+  }
+  // Pathological bucket: connect a random subset, preserving the true 1/N.
+  auto idx = rng_.SampleWithoutReplacement(
+      n, static_cast<size_t>(config_.max_bucket_users));
+  for (size_t i = 0; i < idx.size(); ++i) {
+    for (size_t j = i + 1; j < idx.size(); ++j) {
+      edges_->AddWeight(edge_type, users[idx[i]], users[idx[j]], w, stamp);
+    }
+  }
+}
+
+void BnBuilder::BuildFromLogs(const BehaviorLogList& logs) {
+  // Group observations by (type, value) once; each group is then bucketed
+  // per window. This is the offline equivalent of running every window
+  // job over the whole timeline.
+  struct Key {
+    BehaviorType type;
+    ValueId value;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return std::hash<uint64_t>()(k.value * 2654435761ULL +
+                                   static_cast<uint64_t>(k.type));
+    }
+  };
+  std::unordered_map<Key, std::vector<Obs>, KeyHash> groups;
+  for (const auto& log : logs) {
+    if (EdgeTypeIndex(log.type) < 0) continue;
+    groups[Key{log.type, log.value}].push_back({log.uid, log.time});
+  }
+
+  std::vector<UserId> bucket_users;
+  for (auto& [key, obs] : groups) {
+    if (obs.size() < 2) continue;
+    std::sort(obs.begin(), obs.end(), [](const Obs& a, const Obs& b) {
+      return a.time < b.time;
+    });
+    const int edge_type = EdgeTypeIndex(key.type);
+    for (SimTime window : config_.windows) {
+      // Epochs are aligned to t0 = 0: epoch j covers ((j-1)*W, j*W].
+      size_t i = 0;
+      while (i < obs.size()) {
+        // Epoch of obs[i]; time t belongs to epoch ceil(t / W).
+        int64_t epoch = (obs[i].time + window - 1) / window;
+        if (obs[i].time <= 0) epoch = 0;
+        SimTime epoch_end = epoch * window;
+        SimTime epoch_start = epoch_end - window;
+        bucket_users.clear();
+        size_t j = i;
+        while (j < obs.size() && obs[j].time > epoch_start &&
+               obs[j].time <= epoch_end) {
+          bucket_users.push_back(obs[j].uid);
+          ++j;
+        }
+        // Distinct users only: N_{j,s} counts users, not log rows.
+        std::sort(bucket_users.begin(), bucket_users.end());
+        bucket_users.erase(
+            std::unique(bucket_users.begin(), bucket_users.end()),
+            bucket_users.end());
+        ConnectBucket(edge_type, bucket_users, epoch_end);
+        i = j;
+      }
+    }
+  }
+}
+
+void BnBuilder::RunWindowJob(const storage::LogStore& store, SimTime window,
+                             SimTime epoch_end) {
+  TURBO_CHECK_GT(window, 0);
+  const SimTime epoch_start = epoch_end - window;
+  auto active = store.ActiveValues(epoch_start + 1, epoch_end);
+  std::vector<UserId> bucket_users;
+  for (const auto& key : active) {
+    const int edge_type = EdgeTypeIndex(key.type);
+    if (edge_type < 0) continue;
+    auto obs = store.QueryValue(key.type, key.value, epoch_start + 1,
+                                epoch_end);
+    bucket_users.clear();
+    for (const auto& o : obs) bucket_users.push_back(o.uid);
+    std::sort(bucket_users.begin(), bucket_users.end());
+    bucket_users.erase(
+        std::unique(bucket_users.begin(), bucket_users.end()),
+        bucket_users.end());
+    ConnectBucket(edge_type, bucket_users, epoch_end);
+  }
+}
+
+size_t BnBuilder::ExpireOld(SimTime now) {
+  return edges_->ExpireBefore(now - config_.edge_ttl);
+}
+
+}  // namespace turbo::bn

@@ -1,0 +1,103 @@
+#include "bn/network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace turbo::bn {
+
+BehaviorNetwork BehaviorNetwork::FromEdgeStore(
+    const storage::EdgeStore& store, int num_nodes) {
+  TURBO_CHECK_GT(num_nodes, 0);
+  BehaviorNetwork net;
+  net.num_nodes_ = num_nodes;
+  for (int t = 0; t < kNumEdgeTypes; ++t) {
+    net.adj_[t].resize(num_nodes);
+    for (UserId u = 0; u < static_cast<UserId>(num_nodes); ++u) {
+      const auto& nbrs = store.Neighbors(t, u);
+      auto& row = net.adj_[t][u];
+      row.reserve(nbrs.size());
+      for (const auto& [v, e] : nbrs) {
+        TURBO_CHECK_LT(v, static_cast<UserId>(num_nodes));
+        row.push_back({v, e.weight});
+      }
+      std::sort(row.begin(), row.end(),
+                [](const NeighborEntry& a, const NeighborEntry& b) {
+                  return a.id < b.id;
+                });
+    }
+  }
+  return net;
+}
+
+BehaviorNetwork BehaviorNetwork::Normalized() const {
+  BehaviorNetwork out = *this;
+  for (int t = 0; t < kNumEdgeTypes; ++t) {
+    std::vector<double> deg(num_nodes_, 0.0);
+    for (UserId u = 0; u < static_cast<UserId>(num_nodes_); ++u) {
+      for (const auto& e : adj_[t][u]) deg[u] += e.weight;
+    }
+    for (UserId u = 0; u < static_cast<UserId>(num_nodes_); ++u) {
+      for (auto& e : out.adj_[t][u]) {
+        const double d = deg[u] * deg[e.id];
+        e.weight = d > 0.0
+                       ? static_cast<float>(e.weight / std::sqrt(d))
+                       : 0.0f;
+      }
+    }
+  }
+  return out;
+}
+
+BehaviorNetwork BehaviorNetwork::WithTypeMasked(int edge_type) const {
+  TURBO_CHECK_GE(edge_type, 0);
+  TURBO_CHECK_LT(edge_type, kNumEdgeTypes);
+  BehaviorNetwork out = *this;
+  out.adj_[edge_type].assign(num_nodes_, {});
+  return out;
+}
+
+std::vector<NeighborEntry> BehaviorNetwork::UnionNeighbors(UserId u) const {
+  std::unordered_map<UserId, float> merged;
+  for (int t = 0; t < kNumEdgeTypes; ++t) {
+    for (const auto& e : Neighbors(t, u)) merged[e.id] += e.weight;
+  }
+  std::vector<NeighborEntry> out;
+  out.reserve(merged.size());
+  for (const auto& [v, w] : merged) out.push_back({v, w});
+  std::sort(out.begin(), out.end(),
+            [](const NeighborEntry& a, const NeighborEntry& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+double BehaviorNetwork::WeightedDegree(int edge_type, UserId u) const {
+  double s = 0.0;
+  for (const auto& e : Neighbors(edge_type, u)) s += e.weight;
+  return s;
+}
+
+size_t BehaviorNetwork::UnionDegree(UserId u) const {
+  return UnionNeighbors(u).size();
+}
+
+double BehaviorNetwork::UnionWeightedDegree(UserId u) const {
+  double s = 0.0;
+  for (const auto& e : UnionNeighbors(u)) s += e.weight;
+  return s;
+}
+
+size_t BehaviorNetwork::NumEdges(int edge_type) const {
+  size_t s = 0;
+  for (const auto& row : adj_[edge_type]) s += row.size();
+  return s / 2;
+}
+
+size_t BehaviorNetwork::TotalEdges() const {
+  size_t s = 0;
+  for (int t = 0; t < kNumEdgeTypes; ++t) s += NumEdges(t);
+  return s;
+}
+
+}  // namespace turbo::bn

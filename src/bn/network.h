@@ -1,0 +1,71 @@
+// Immutable snapshot of the Behavior Network used by sampling, analysis,
+// and GNN batch construction.
+//
+// Holds one weighted undirected adjacency per edge type, in sorted
+// adjacency-list form. Produced from the live EdgeStore; optionally
+// carries the per-type symmetric degree normalization
+//   w'_r(u,v) = w_r(u,v) / sqrt(deg'_r(u) * deg'_r(v))
+// from Section III-A ("Sampling & normalization").
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "storage/behavior_log.h"
+#include "storage/edge_store.h"
+
+namespace turbo::bn {
+
+struct NeighborEntry {
+  UserId id;
+  float weight;
+};
+
+class BehaviorNetwork {
+ public:
+  BehaviorNetwork() : num_nodes_(0) {}
+
+  /// Snapshots the store. `num_nodes` fixes the node-id space (uids are
+  /// dense in the datasets).
+  static BehaviorNetwork FromEdgeStore(const storage::EdgeStore& store,
+                                       int num_nodes);
+
+  /// Returns a copy with per-type symmetric degree normalization applied.
+  BehaviorNetwork Normalized() const;
+
+  /// Returns a copy with the given edge type removed (Fig. 7 ablation).
+  BehaviorNetwork WithTypeMasked(int edge_type) const;
+
+  int num_nodes() const { return num_nodes_; }
+
+  const std::vector<NeighborEntry>& Neighbors(int edge_type,
+                                              UserId u) const {
+    TURBO_CHECK_GE(edge_type, 0);
+    TURBO_CHECK_LT(edge_type, kNumEdgeTypes);
+    TURBO_CHECK_LT(u, static_cast<UserId>(num_nodes_));
+    return adj_[edge_type][u];
+  }
+
+  /// Union of neighbors across all edge types (deduplicated, weights
+  /// summed) — the homogeneous view used by homophily analysis and the
+  /// single-relation GNN baselines.
+  std::vector<NeighborEntry> UnionNeighbors(UserId u) const;
+
+  size_t Degree(int edge_type, UserId u) const {
+    return Neighbors(edge_type, u).size();
+  }
+  double WeightedDegree(int edge_type, UserId u) const;
+  /// Distinct neighbors across all types.
+  size_t UnionDegree(UserId u) const;
+  double UnionWeightedDegree(UserId u) const;
+
+  size_t NumEdges(int edge_type) const;
+  size_t TotalEdges() const;
+
+ private:
+  int num_nodes_;
+  std::array<std::vector<std::vector<NeighborEntry>>, kNumEdgeTypes> adj_;
+};
+
+}  // namespace turbo::bn

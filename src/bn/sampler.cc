@@ -1,0 +1,83 @@
+#include "bn/sampler.h"
+
+#include <algorithm>
+
+namespace turbo::bn {
+
+SubgraphSampler::SubgraphSampler(const BehaviorNetwork* net,
+                                 SamplerConfig config, uint64_t seed)
+    : net_(net), config_(config), rng_(seed) {
+  TURBO_CHECK(net_ != nullptr);
+  TURBO_CHECK_GT(config_.num_hops, 0);
+  TURBO_CHECK_GT(config_.fanout, 0);
+}
+
+Subgraph SubgraphSampler::Sample(const std::vector<UserId>& targets) {
+  TURBO_CHECK(!targets.empty());
+  Subgraph sg;
+  sg.num_targets = targets.size();
+  for (UserId t : targets) {
+    TURBO_CHECK_LT(t, static_cast<UserId>(net_->num_nodes()));
+    if (sg.local.emplace(t, static_cast<int>(sg.nodes.size())).second) {
+      sg.nodes.push_back(t);
+    }
+  }
+  TURBO_CHECK_EQ(sg.nodes.size(), targets.size());  // targets distinct
+
+  // Hop-by-hop frontier expansion with per-type fanout.
+  std::vector<UserId> frontier = sg.nodes;
+  std::vector<NeighborEntry> candidates;
+  for (int hop = 0; hop < config_.num_hops; ++hop) {
+    std::vector<UserId> next;
+    for (UserId u : frontier) {
+      for (int t = 0; t < kNumEdgeTypes; ++t) {
+        const auto& nbrs = net_->Neighbors(t, u);
+        candidates.assign(nbrs.begin(), nbrs.end());
+        if (candidates.size() > static_cast<size_t>(config_.fanout)) {
+          if (config_.top_by_weight) {
+            std::partial_sort(
+                candidates.begin(), candidates.begin() + config_.fanout,
+                candidates.end(),
+                [](const NeighborEntry& a, const NeighborEntry& b) {
+                  return a.weight > b.weight;
+                });
+          } else {
+            for (int i = 0; i < config_.fanout; ++i) {
+              size_t j = i + rng_.NextUint(candidates.size() - i);
+              std::swap(candidates[i], candidates[j]);
+            }
+          }
+          candidates.resize(config_.fanout);
+        }
+        for (const auto& e : candidates) {
+          if (sg.local.emplace(e.id, static_cast<int>(sg.nodes.size()))
+                  .second) {
+            sg.nodes.push_back(e.id);
+            next.push_back(e.id);
+          }
+        }
+      }
+    }
+    frontier = std::move(next);
+    if (frontier.empty()) break;
+  }
+
+  // Induced typed edges among selected nodes. Keeping all induced edges
+  // (not only sampled tree edges) preserves the clique structure HAG's
+  // SAO is designed around.
+  for (int t = 0; t < kNumEdgeTypes; ++t) {
+    auto& out = sg.edges[t];
+    for (size_t li = 0; li < sg.nodes.size(); ++li) {
+      const UserId u = sg.nodes[li];
+      for (const auto& e : net_->Neighbors(t, u)) {
+        auto it = sg.local.find(e.id);
+        if (it == sg.local.end()) continue;
+        out.push_back({static_cast<uint32_t>(li),
+                       static_cast<uint32_t>(it->second), e.weight});
+      }
+    }
+  }
+  return sg;
+}
+
+}  // namespace turbo::bn

@@ -1,0 +1,62 @@
+// Computation-subgraph sampling (Section III-A "Sampling & normalization"
+// and the BN-server sampling RPC of Figure 2).
+//
+// Given one or more target users, collects their k-hop neighborhood with a
+// per-node, per-type fanout cap and returns the induced typed subgraph
+// with local node indices — everything HAG needs to compute the targets'
+// representations inductively.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "bn/network.h"
+#include "la/sparse.h"
+#include "util/rng.h"
+
+namespace turbo::bn {
+
+struct SamplerConfig {
+  int num_hops = 2;       // matches the 2-layer GNNs of the paper
+  int fanout = 25;        // per node per type per hop
+  /// true: keep the highest-weight neighbors (deterministic, favors
+  /// certain relations); false: uniform random sample like GraphSAGE.
+  bool top_by_weight = true;
+};
+
+struct Subgraph {
+  /// Global ids; the first `num_targets` entries are the targets.
+  std::vector<UserId> nodes;
+  size_t num_targets = 0;
+  /// Global -> local index.
+  std::unordered_map<UserId, int> local;
+  /// Induced typed edges in local indices (both directions present).
+  std::array<std::vector<la::Triplet>, kNumEdgeTypes> edges;
+
+  size_t NumEdges() const {
+    size_t s = 0;
+    for (const auto& e : edges) s += e.size();
+    return s / 2;
+  }
+};
+
+class SubgraphSampler {
+ public:
+  SubgraphSampler(const BehaviorNetwork* net, SamplerConfig config,
+                  uint64_t seed = 1);
+
+  /// Samples the union computation subgraph of `targets`.
+  Subgraph Sample(const std::vector<UserId>& targets);
+  Subgraph SampleOne(UserId target) { return Sample({target}); }
+
+  const SamplerConfig& config() const { return config_; }
+
+ private:
+  const BehaviorNetwork* net_;
+  SamplerConfig config_;
+  Rng rng_;
+};
+
+}  // namespace turbo::bn

@@ -1,0 +1,84 @@
+#include "core/influence.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace turbo::core {
+
+namespace {
+
+/// Clears accumulated gradients on every node reachable from `root`,
+/// making the shared forward graph reusable across backward passes.
+void ClearReachableGrads(const ag::Tensor& root) {
+  std::unordered_set<ag::Node*> seen;
+  std::vector<ag::Node*> stack = {root.get()};
+  seen.insert(root.get());
+  while (!stack.empty()) {
+    ag::Node* n = stack.back();
+    stack.pop_back();
+    n->ClearGrad();
+    for (const auto& p : n->parents) {
+      if (seen.insert(p.get()).second) stack.push_back(p.get());
+    }
+  }
+}
+
+}  // namespace
+
+la::Matrix InfluenceScores(gnn::GnnModel* model,
+                           const gnn::GraphBatch& batch,
+                           const std::vector<int>& targets) {
+  TURBO_CHECK(model != nullptr);
+  TURBO_CHECK(!targets.empty());
+  const size_t n = batch.num_nodes();
+  for (int t : targets) {
+    TURBO_CHECK_GE(t, 0);
+    TURBO_CHECK_LT(static_cast<size_t>(t), n);
+  }
+
+  // Differentiable input leaf shared by one forward pass.
+  ag::Tensor x = ag::Param(batch.features, "x_influence");
+  model->SetInputOverride(x);
+  ag::Tensor embed = model->Embed(batch, /*training=*/false, nullptr);
+  model->SetInputOverride(nullptr);
+  const size_t d_k = embed->cols();
+
+  la::Matrix scores(targets.size(), n);
+  la::Matrix indicator(n, d_k);
+  for (size_t ti = 0; ti < targets.size(); ++ti) {
+    const int i = targets[ti];
+    for (size_t c = 0; c < d_k; ++c) {
+      // One Jacobian row: d embed[i, c] / d x.
+      ClearReachableGrads(embed);
+      indicator.SetZero();
+      indicator(i, c) = 1.0f;
+      ag::Tensor scalar =
+          ag::Sum(ag::Mul(embed, ag::Constant(indicator, "pick")));
+      ag::Backward(scalar);
+      if (!x->has_grad()) continue;
+      for (size_t j = 0; j < n; ++j) {
+        const float* row = x->grad.row(j);
+        float s = 0.0f;
+        for (size_t d = 0; d < x->grad.cols(); ++d) s += std::abs(row[d]);
+        scores(ti, j) += s;
+      }
+    }
+  }
+  return scores;
+}
+
+la::Matrix InfluenceDistribution(gnn::GnnModel* model,
+                                 const gnn::GraphBatch& batch,
+                                 const std::vector<int>& targets) {
+  la::Matrix s = InfluenceScores(model, batch, targets);
+  for (size_t r = 0; r < s.rows(); ++r) {
+    double total = 0.0;
+    for (size_t c = 0; c < s.cols(); ++c) total += s(r, c);
+    if (total <= 0.0) continue;
+    const float inv = static_cast<float>(1.0 / total);
+    for (size_t c = 0; c < s.cols(); ++c) s(r, c) *= inv;
+  }
+  return s;
+}
+
+}  // namespace turbo::core

@@ -1,0 +1,30 @@
+// Influence score and distribution (Definition 1), used by the Fig. 9
+// case study and the Theorem 1 over-smoothing verification.
+//
+// S_i(j) = sum of absolute entries of the Jacobian d h_i^(k) / d x_j of
+// node i's final embedding w.r.t. node j's input feature row;
+// D_i(j) = S_i(j) / sum_k S_i(k).
+//
+// Computed exactly with one backward pass per (target node, embedding
+// coordinate) — intended for case-study-sized subgraphs.
+#pragma once
+
+#include "gnn/model.h"
+#include "la/matrix.h"
+
+namespace turbo::core {
+
+/// Influence scores S: S(i, j) = influence of node j on node i, for every
+/// i in `targets` (rows of the result follow `targets` order, columns are
+/// batch-local node indices).
+la::Matrix InfluenceScores(gnn::GnnModel* model,
+                           const gnn::GraphBatch& batch,
+                           const std::vector<int>& targets);
+
+/// Row-normalized influence distribution D (rows sum to 1; all-zero rows
+/// stay zero).
+la::Matrix InfluenceDistribution(gnn::GnnModel* model,
+                                 const gnn::GraphBatch& batch,
+                                 const std::vector<int>& targets);
+
+}  // namespace turbo::core

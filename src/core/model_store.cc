@@ -1,0 +1,118 @@
+#include "core/model_store.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace turbo::core {
+
+namespace {
+constexpr char kMagic[] = "turbo-model v1";
+}  // namespace
+
+Status SaveModel(const gnn::GnnModel& model, const std::string& path,
+                 const std::string& description) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open " + path + " for write");
+  auto params = model.Params();
+  out << kMagic << "\n";
+  out << "model " << model.name() << "\n";
+  out << "description " << description << "\n";
+  out << "params " << params.size() << "\n";
+  out.precision(9);
+  for (const auto& p : params) {
+    out << "tensor " << p->op_name << " " << p->value.rows() << " "
+        << p->value.cols() << "\n";
+    const float* d = p->value.data();
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      out << d[i] << (i + 1 == p->value.size() ? "\n" : " ");
+    }
+  }
+  if (!out) return Status::Internal("write failed for " + path);
+  return Status::OK();
+}
+
+Status LoadModel(const std::string& path, gnn::GnnModel* model) {
+  TURBO_CHECK(model != nullptr);
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    return Status::InvalidArgument(path + ": bad magic '" + line + "'");
+  }
+  std::getline(in, line);  // model <name>
+  std::getline(in, line);  // description ...
+  size_t count = 0;
+  {
+    std::string tag;
+    in >> tag >> count;
+    if (tag != "params") {
+      return Status::InvalidArgument(path + ": missing params header");
+    }
+  }
+  auto params = model->Params();
+  if (count != params.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "%s: has %zu tensors, model expects %zu", path.c_str(), count,
+        params.size()));
+  }
+  for (auto& p : params) {
+    std::string tag, name;
+    size_t rows = 0, cols = 0;
+    in >> tag >> name >> rows >> cols;
+    if (tag != "tensor") {
+      return Status::InvalidArgument(path + ": missing tensor header");
+    }
+    if (rows != p->value.rows() || cols != p->value.cols()) {
+      return Status::InvalidArgument(StrFormat(
+          "%s: tensor '%s' shape %zux%zu, model expects %zux%zu",
+          path.c_str(), name.c_str(), rows, cols, p->value.rows(),
+          p->value.cols()));
+    }
+    float* d = p->value.data();
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      if (!(in >> d[i])) {
+        return Status::InvalidArgument(path + ": truncated tensor data");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string ModelRegistry::PathFor(const std::string& name,
+                                   int version) const {
+  return StrFormat("%s/%s.v%d.model", dir_.c_str(), name.c_str(), version);
+}
+
+int ModelRegistry::LatestVersion(const std::string& name) const {
+  int v = 0;
+  while (true) {
+    std::ifstream probe(PathFor(name, v + 1));
+    if (!probe) break;
+    ++v;
+  }
+  return v;
+}
+
+Result<int> ModelRegistry::Publish(const gnn::GnnModel& model,
+                                   const std::string& name,
+                                   const std::string& description) {
+  const int version = LatestVersion(name) + 1;
+  TURBO_RETURN_IF_ERROR(SaveModel(model, PathFor(name, version),
+                                  description));
+  return version;
+}
+
+Status ModelRegistry::Load(const std::string& name, gnn::GnnModel* model,
+                           int version) {
+  if (version < 0) version = LatestVersion(name);
+  if (version == 0) {
+    return Status::NotFound("no published versions of " + name);
+  }
+  return LoadModel(PathFor(name, version), model);
+}
+
+}  // namespace turbo::core

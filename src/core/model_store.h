@@ -1,0 +1,51 @@
+// Model management module (Figure 2): serialization of trained model
+// parameters and a versioned registry, so the daily offline retrain can
+// publish a new HAG and the prediction server can hot-swap to it.
+//
+// Format: a self-describing text format ("turbo-model v1") listing each
+// parameter tensor with its name, shape, and row-major float values —
+// portable, diffable, and independent of struct layout.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gnn/model.h"
+#include "util/status.h"
+
+namespace turbo::core {
+
+/// Writes a model's parameters to `path`. Parameters are matched by
+/// position on load, so save/load must use identically-configured models.
+Status SaveModel(const gnn::GnnModel& model, const std::string& path,
+                 const std::string& description = "");
+
+/// Loads parameters saved by SaveModel into `model`, which must already
+/// be Init()-ed with the same architecture (shape mismatches fail).
+Status LoadModel(const std::string& path, gnn::GnnModel* model);
+
+/// Versioned on-disk registry: each Publish writes
+/// `<dir>/<name>.v<N>.model` and records N as latest.
+class ModelRegistry {
+ public:
+  explicit ModelRegistry(std::string dir) : dir_(std::move(dir)) {}
+
+  /// Saves `model` as the next version of `name`; returns the version.
+  Result<int> Publish(const gnn::GnnModel& model, const std::string& name,
+                      const std::string& description = "");
+
+  /// Loads the given version (or the latest if `version` < 0).
+  Status Load(const std::string& name, gnn::GnnModel* model,
+              int version = -1);
+
+  /// Highest published version of `name`, or 0 if none.
+  int LatestVersion(const std::string& name) const;
+
+  std::string PathFor(const std::string& name, int version) const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace turbo::core

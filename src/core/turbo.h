@@ -1,0 +1,88 @@
+// Turbo offline pipeline facade: scenario logs -> BN construction ->
+// feature assembly -> train/test computation subgraphs. Every experiment
+// binary and example builds on these helpers; the online serving path
+// lives in src/server.
+//
+// Fidelity note (documented in DESIGN.md): offline experiments construct
+// one BN snapshot from the full log range, like the paper's offline
+// evaluation; the per-request time-scoped path is exercised by the
+// server module.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "bn/builder.h"
+#include "bn/network.h"
+#include "bn/sampler.h"
+#include "core/hag.h"
+#include "datagen/scenario.h"
+#include "features/feature_store.h"
+#include "gnn/trainer.h"
+#include "metrics/metrics.h"
+#include "ml/scaler.h"
+
+namespace turbo::core {
+
+struct PipelineConfig {
+  bn::BnConfig bn;
+  bn::SamplerConfig sampler;
+  double test_fraction = 0.2;
+  uint64_t split_seed = 7;
+  /// Concatenate the behavior statistical features X_s to the profile and
+  /// transaction features (all models receive the same vector).
+  bool include_stat_features = true;
+  /// Audit delay: features and subgraphs are taken as of application time
+  /// plus this offset (paper: 24 hours).
+  SimTime audit_delay = 24 * kHour;
+  /// >= 0 masks one edge type out of the network (Fig. 7 ablation).
+  int mask_edge_type = -1;
+};
+
+/// Everything the experiments need, prepared once per dataset.
+struct PreparedData {
+  datagen::Dataset dataset;
+  storage::LogStore logs;
+  storage::EdgeStore edges;
+  bn::BehaviorNetwork network;  // degree-normalized, post-masking
+  la::Matrix features;          // standardized [n, d]
+  std::vector<int> labels;      // per uid
+  std::vector<UserId> train_uids;
+  std::vector<UserId> test_uids;
+  ml::StandardScaler scaler;
+
+  std::vector<int> LabelsFor(const std::vector<UserId>& uids) const;
+  la::Matrix FeaturesFor(const std::vector<UserId>& uids) const;
+};
+
+/// Runs BN construction and feature preparation over a generated dataset.
+std::unique_ptr<PreparedData> PrepareData(datagen::Dataset dataset,
+                                          const PipelineConfig& config);
+
+/// 80/20-style split by UID.
+void SplitByUid(size_t num_users, double test_fraction, uint64_t seed,
+                std::vector<UserId>* train, std::vector<UserId>* test);
+
+/// Stratified variant: splits positives and negatives separately so both
+/// partitions carry the (rare) fraud class. At the paper's scale (918
+/// positives) a plain random split suffices; at the reduced scales these
+/// benches run at, an unstratified split can easily draw zero test
+/// positives.
+void SplitByUidStratified(const std::vector<int>& labels,
+                          double test_fraction, uint64_t seed,
+                          std::vector<UserId>* train,
+                          std::vector<UserId>* test);
+
+/// Builds the full-batch computation subgraph whose targets are `targets`.
+gnn::GraphBatch MakeBatch(const PreparedData& data,
+                          const std::vector<UserId>& targets,
+                          const bn::SamplerConfig& sampler_cfg);
+
+/// Trains any GnnModel on the train split and scores the test split.
+/// Returns test-set probabilities aligned with data.test_uids.
+std::vector<double> TrainAndScoreGnn(gnn::GnnModel* model,
+                                     const PreparedData& data,
+                                     const bn::SamplerConfig& sampler_cfg,
+                                     const gnn::TrainConfig& train_cfg);
+
+}  // namespace turbo::core

@@ -1,0 +1,36 @@
+// Behavior statistical features X_s (Section V: "frequency of logins, the
+// number of associated devices in 1 hour, 6 hours, 1 day, etc."),
+// computed from a user's raw logs as of a reference time (the audit
+// moment — the paper triggers detection 24h after the application).
+//
+// In the deployed system this computation is the dominant serving cost
+// when it has to scan raw logs from the relational store; the feature
+// store in feature_store.h adds the Redis-style cache in front.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "la/matrix.h"
+#include "storage/log_store.h"
+
+namespace turbo::features {
+
+inline constexpr int kNumStatFeatures = 14;
+
+/// Names aligned with the feature vector indices.
+const std::array<std::string, kNumStatFeatures>& StatFeatureNames();
+
+/// Computes X_s for one user from their logs in [as_of - 60d, as_of].
+/// Reads through `store`, charging `clock` when provided.
+std::array<float, kNumStatFeatures> ComputeStatFeatures(
+    const storage::LogStore& store, UserId uid, SimTime as_of,
+    storage::SimClock* clock = nullptr);
+
+/// Batch helper: X_s for many users -> [n, kNumStatFeatures].
+la::Matrix ComputeStatFeatureMatrix(const storage::LogStore& store,
+                                    const std::vector<UserId>& uids,
+                                    const std::vector<SimTime>& as_of);
+
+}  // namespace turbo::features

@@ -1,0 +1,53 @@
+// GraphBatch: the tensor-side representation of a sampled computation
+// subgraph, shared by every GNN in the library (baselines and HAG).
+//
+// A batch carries the node feature matrix plus the adjacency views each
+// model family needs:
+//  * per-type weighted mean adjacency (HAG / SAO, Eq. 6),
+//  * the homogeneous union graph in three normalizations: random-walk with
+//    self-loops (GCN, as the paper re-implements it inductively),
+//    row-normalized mean without self (GraphSAGE, Eq. 2/4), and the raw
+//    structure with self-loops (GAT edge softmax).
+//
+// Rows 0..num_targets-1 are the prediction targets.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "bn/sampler.h"
+#include "la/matrix.h"
+#include "la/sparse.h"
+
+namespace turbo::gnn {
+
+struct GraphBatch {
+  la::Matrix features;                 // [n, d]
+  std::vector<UserId> global_ids;      // size n
+  size_t num_targets = 0;
+
+  /// Per-edge-type weighted adjacency, row-normalized to a weighted mean.
+  std::array<la::SparseMatrix, kNumEdgeTypes> type_mean;
+  /// Per-edge-type raw weighted adjacency (influence analysis, stats).
+  std::array<la::SparseMatrix, kNumEdgeTypes> type_adj;
+
+  /// Union across types, weights summed.
+  la::SparseMatrix union_adj;
+  /// Random-walk normalized union with self-loops: D^-1 (A + I).
+  la::SparseMatrix union_rw_self;
+  /// Row-normalized union without self-loops (mean aggregator).
+  la::SparseMatrix union_mean;
+  /// Union structure including self-loops, unit values (GAT attention).
+  la::SparseMatrix union_self_structure;
+
+  size_t num_nodes() const { return features.rows(); }
+};
+
+/// Assembles a batch from a sampled subgraph; `all_features` is indexed by
+/// global user id (rows). Subgraph edge weights are used as-is — pass a
+/// subgraph sampled from a Normalized() BehaviorNetwork to match the
+/// paper's pipeline.
+GraphBatch MakeGraphBatch(const bn::Subgraph& sg,
+                          const la::Matrix& all_features);
+
+}  // namespace turbo::gnn

@@ -1,0 +1,49 @@
+// User–value bipartite graph shared by the BLP and DeepTrax baselines.
+//
+// Both baselines (Min et al. 2018; Bruss et al. 2019) pose the raw
+// activity as a bipartite graph between account nodes and attribute/
+// transaction nodes, ignoring BN's time-window machinery — that contrast
+// is exactly what Table III measures.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "storage/behavior_log.h"
+
+namespace turbo::graphfe {
+
+class BipartiteGraph {
+ public:
+  /// Builds from logs, keeping only values observed by >= 2 distinct
+  /// users (singleton values carry no relational signal) but counting all
+  /// values toward per-user totals.
+  static BipartiteGraph FromLogs(const BehaviorLogList& logs,
+                                 int num_users);
+
+  int num_users() const { return num_users_; }
+  size_t num_values() const { return value_users_.size(); }
+
+  /// Shared values adjacent to a user (indices into the value table).
+  const std::vector<uint32_t>& UserValues(UserId u) const {
+    return user_values_[u];
+  }
+  /// Users adjacent to a value node.
+  const std::vector<UserId>& ValueUsers(uint32_t value_idx) const {
+    return value_users_[value_idx];
+  }
+  BehaviorType ValueType(uint32_t value_idx) const {
+    return value_types_[value_idx];
+  }
+  /// Total distinct values a user touched (including singletons).
+  int TotalDistinctValues(UserId u) const { return total_values_[u]; }
+
+ private:
+  int num_users_ = 0;
+  std::vector<std::vector<uint32_t>> user_values_;
+  std::vector<std::vector<UserId>> value_users_;
+  std::vector<BehaviorType> value_types_;
+  std::vector<int> total_values_;
+};
+
+}  // namespace turbo::graphfe

@@ -1,0 +1,164 @@
+#include "graphfe/blp.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace turbo::graphfe {
+
+BipartiteGraph BipartiteGraph::FromLogs(const BehaviorLogList& logs,
+                                        int num_users) {
+  TURBO_CHECK_GT(num_users, 0);
+  struct Key {
+    BehaviorType type;
+    ValueId value;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return std::hash<uint64_t>()(k.value * 0x9e3779b97f4a7c15ULL +
+                                   static_cast<uint64_t>(k.type));
+    }
+  };
+  std::unordered_map<Key, std::set<UserId>, KeyHash> users_of;
+  std::vector<std::unordered_set<ValueId>> totals(num_users);
+  for (const auto& l : logs) {
+    TURBO_CHECK_LT(l.uid, static_cast<UserId>(num_users));
+    users_of[Key{l.type, l.value}].insert(l.uid);
+    totals[l.uid].insert(l.value);
+  }
+
+  BipartiteGraph g;
+  g.num_users_ = num_users;
+  g.user_values_.resize(num_users);
+  g.total_values_.resize(num_users);
+  for (int u = 0; u < num_users; ++u) {
+    g.total_values_[u] = static_cast<int>(totals[u].size());
+  }
+  for (const auto& [key, users] : users_of) {
+    if (users.size() < 2) continue;
+    const uint32_t idx = static_cast<uint32_t>(g.value_users_.size());
+    g.value_users_.emplace_back(users.begin(), users.end());
+    g.value_types_.push_back(key.type);
+    for (UserId u : users) g.user_values_[u].push_back(idx);
+  }
+  return g;
+}
+
+namespace {
+
+bool IsDeterministicType(BehaviorType t) {
+  // Section VI-C: Device Id, IMEI, IMSI convey near-certain relations.
+  return t == BehaviorType::kDeviceId || t == BehaviorType::kImei ||
+         t == BehaviorType::kImsi;
+}
+
+}  // namespace
+
+la::Matrix BlpGraphFeatures(const BipartiteGraph& graph) {
+  const int n = graph.num_users();
+  la::Matrix f(n, kNumBlpFeatures);
+  std::unordered_map<UserId, int> co_users;  // neighbor -> shared values
+  for (int u = 0; u < n; ++u) {
+    const auto& values = graph.UserValues(static_cast<UserId>(u));
+    co_users.clear();
+    int deterministic = 0, probabilistic = 0;
+    size_t fanout_sum = 0, max_co = 0;
+    for (uint32_t v : values) {
+      const auto& users = graph.ValueUsers(v);
+      fanout_sum += users.size();
+      max_co = std::max(max_co, users.size() - 1);
+      if (IsDeterministicType(graph.ValueType(v))) {
+        ++deterministic;
+      } else {
+        ++probabilistic;
+      }
+      for (UserId other : users) {
+        if (other != static_cast<UserId>(u)) ++co_users[other];
+      }
+    }
+    // Quadrangles: user-value-user'-value' 4-cycles == pairs of shared
+    // values with the same co-user: sum over co-users of C(shared, 2).
+    double quads = 0.0;
+    for (const auto& [other, shared] : co_users) {
+      quads += shared * (shared - 1) / 2.0;
+    }
+    // Clustering coefficient of the user projection around u: fraction of
+    // co-user pairs that also share a value with each other. Exact
+    // computation is O(deg^2 * deg_v); cap the neighborhood for
+    // tractability on hub users.
+    double clustering = 0.0;
+    {
+      std::vector<UserId> nbrs;
+      nbrs.reserve(co_users.size());
+      for (const auto& [other, cnt] : co_users) nbrs.push_back(other);
+      std::sort(nbrs.begin(), nbrs.end());
+      if (nbrs.size() > 30) nbrs.resize(30);
+      int linked = 0, pairs = 0;
+      for (size_t a = 0; a < nbrs.size(); ++a) {
+        for (size_t b = a + 1; b < nbrs.size(); ++b) {
+          ++pairs;
+          // Are nbrs[a] and nbrs[b] connected (share any value)?
+          const auto& va = graph.UserValues(nbrs[a]);
+          bool hit = false;
+          for (uint32_t v : va) {
+            const auto& users = graph.ValueUsers(v);
+            if (std::binary_search(users.begin(), users.end(), nbrs[b])) {
+              hit = true;
+              break;
+            }
+          }
+          linked += hit;
+        }
+      }
+      clustering = pairs > 0 ? static_cast<double>(linked) / pairs : 0.0;
+    }
+
+    f(u, 0) = static_cast<float>(values.size());
+    f(u, 1) = static_cast<float>(
+        graph.TotalDistinctValues(static_cast<UserId>(u)));
+    f(u, 2) = static_cast<float>(co_users.size());
+    f(u, 3) = static_cast<float>(max_co);
+    f(u, 4) = static_cast<float>(deterministic);
+    f(u, 5) = static_cast<float>(probabilistic);
+    f(u, 6) = values.empty()
+                  ? 0.0f
+                  : static_cast<float>(fanout_sum) / values.size();
+    f(u, 7) = static_cast<float>(clustering);
+    f(u, 8) = static_cast<float>(quads);
+    f(u, 9) = values.empty() ? 1.0f : 0.0f;
+  }
+  return f;
+}
+
+la::Matrix Blp::Rows(const la::Matrix& x_all,
+                     const std::vector<UserId>& uids) const {
+  const size_t extra =
+      cfg_.include_original_features ? x_all.cols() : 0;
+  la::Matrix out(uids.size(), kNumBlpFeatures + extra);
+  for (size_t i = 0; i < uids.size(); ++i) {
+    TURBO_CHECK_LT(uids[i], graph_features_.rows());
+    const float* gf = graph_features_.row(uids[i]);
+    std::copy(gf, gf + kNumBlpFeatures, out.row(i));
+    if (extra) {
+      TURBO_CHECK_LT(uids[i], x_all.rows());
+      const float* xf = x_all.row(uids[i]);
+      std::copy(xf, xf + extra, out.row(i) + kNumBlpFeatures);
+    }
+  }
+  return out;
+}
+
+void Blp::Fit(const la::Matrix& x_all, const std::vector<UserId>& train_uids,
+              const std::vector<int>& y_train) {
+  TURBO_CHECK_EQ(train_uids.size(), y_train.size());
+  booster_.Fit(Rows(x_all, train_uids), y_train);
+}
+
+std::vector<double> Blp::Predict(const la::Matrix& x_all,
+                                 const std::vector<UserId>& uids) const {
+  return booster_.PredictProba(Rows(x_all, uids));
+}
+
+}  // namespace turbo::graphfe

@@ -1,0 +1,55 @@
+// BLP baseline — "Behavior Language Processing" (Min et al., 2018):
+// builds an offline user–attribute bipartite graph, extracts handcrafted
+// graph features (degrees, two-hop sizes, clustering coefficient,
+// quadrangle counts) per user, and feeds them together with the original
+// features to a gradient-boosted classifier (LightGBM in the paper, our
+// Gbdt here).
+#pragma once
+
+#include "graphfe/bipartite.h"
+#include "ml/gbdt.h"
+
+namespace turbo::graphfe {
+
+inline constexpr int kNumBlpFeatures = 10;
+
+/// Graph-feature extraction on the bipartite graph: one row per user.
+/// Columns: shared-value count, total distinct values, two-hop user
+/// count, max co-users through one value, deterministic-type shared
+/// count, probabilistic-type shared count, mean value fan-out, user-
+/// projection clustering coefficient, quadrangle count, isolation flag.
+la::Matrix BlpGraphFeatures(const BipartiteGraph& graph);
+
+struct BlpConfig {
+  ml::GbdtConfig gbdt;
+  /// Append the original feature vector (the paper's BLP combines its
+  /// graph features with the application features).
+  bool include_original_features = true;
+};
+
+/// Works on per-uid matrices: `x_all` and the graph features are both
+/// indexed by uid; train/predict address rows through uid lists.
+class Blp {
+ public:
+  Blp(BlpConfig cfg, const BipartiteGraph& graph)
+      : cfg_(cfg), graph_features_(BlpGraphFeatures(graph)),
+        booster_(cfg.gbdt) {}
+
+  void Fit(const la::Matrix& x_all, const std::vector<UserId>& train_uids,
+           const std::vector<int>& y_train);
+  std::vector<double> Predict(const la::Matrix& x_all,
+                              const std::vector<UserId>& uids) const;
+  std::string name() const { return "BLP"; }
+
+  const la::Matrix& graph_features() const { return graph_features_; }
+
+ private:
+  la::Matrix Rows(const la::Matrix& x_all,
+                  const std::vector<UserId>& uids) const;
+
+  BlpConfig cfg_;
+  la::Matrix graph_features_;
+  ml::Gbdt booster_;
+};
+
+}  // namespace turbo::graphfe

@@ -1,0 +1,130 @@
+#include "graphfe/deepwalk.h"
+
+#include <cmath>
+
+namespace turbo::graphfe {
+
+namespace {
+
+inline float SigmoidStable(float z) {
+  return z >= 0.0f ? 1.0f / (1.0f + std::exp(-z))
+                   : std::exp(z) / (1.0f + std::exp(z));
+}
+
+/// One skip-gram-with-negative-sampling update on (center, context).
+void SgnsUpdate(la::Matrix* emb, la::Matrix* ctx, UserId center,
+                UserId context, const std::vector<UserId>& unigram,
+                int negatives, float lr, Rng* rng) {
+  const size_t d = emb->cols();
+  float* wc = emb->row(center);
+  std::vector<float> grad_center(d, 0.0f);
+  auto update_pair = [&](UserId target, float label) {
+    float* wt = ctx->row(target);
+    float dot = 0.0f;
+    for (size_t k = 0; k < d; ++k) dot += wc[k] * wt[k];
+    const float g = lr * (label - SigmoidStable(dot));
+    for (size_t k = 0; k < d; ++k) {
+      grad_center[k] += g * wt[k];
+      wt[k] += g * wc[k];
+    }
+  };
+  update_pair(context, 1.0f);
+  for (int neg = 0; neg < negatives; ++neg) {
+    UserId sample = unigram[rng->NextUint(unigram.size())];
+    if (sample == context) continue;
+    update_pair(sample, 0.0f);
+  }
+  for (size_t k = 0; k < d; ++k) wc[k] += grad_center[k];
+}
+
+}  // namespace
+
+la::Matrix DeepWalkEmbeddings(const BipartiteGraph& graph,
+                              const DeepWalkConfig& config) {
+  TURBO_CHECK_GT(config.embedding_dim, 0);
+  const int n = graph.num_users();
+  Rng rng(config.seed);
+  la::Matrix emb =
+      la::Matrix::Randn(n, config.embedding_dim, &rng,
+                        0.5f / std::sqrt(static_cast<float>(
+                                   config.embedding_dim)));
+  la::Matrix ctx(n, config.embedding_dim);  // output vectors, zero-init
+
+  // Unigram table for negative sampling: connected users, frequency by
+  // shared-value degree.
+  std::vector<UserId> unigram;
+  for (int u = 0; u < n; ++u) {
+    const size_t deg = graph.UserValues(static_cast<UserId>(u)).size();
+    for (size_t k = 0; k < std::min<size_t>(deg, 16); ++k) {
+      unigram.push_back(static_cast<UserId>(u));
+    }
+  }
+  if (unigram.empty()) return emb;
+
+  std::vector<UserId> walk;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    for (int start = 0; start < n; ++start) {
+      if (graph.UserValues(static_cast<UserId>(start)).empty()) continue;
+      for (int w = 0; w < config.walks_per_user; ++w) {
+        // user -> value -> user random walk, recording user positions.
+        walk.clear();
+        UserId cur = static_cast<UserId>(start);
+        walk.push_back(cur);
+        for (int step = 1; step < config.walk_length; ++step) {
+          const auto& values = graph.UserValues(cur);
+          if (values.empty()) break;
+          const uint32_t v = values[rng.NextUint(values.size())];
+          const auto& users = graph.ValueUsers(v);
+          cur = users[rng.NextUint(users.size())];
+          walk.push_back(cur);
+        }
+        // Skip-gram pairs within the window.
+        for (size_t i = 0; i < walk.size(); ++i) {
+          const size_t lo = i >= static_cast<size_t>(config.window)
+                                ? i - config.window
+                                : 0;
+          const size_t hi =
+              std::min(walk.size() - 1, i + config.window);
+          for (size_t j = lo; j <= hi; ++j) {
+            if (i == j || walk[i] == walk[j]) continue;
+            SgnsUpdate(&emb, &ctx, walk[i], walk[j], unigram,
+                       config.negatives, config.lr, &rng);
+          }
+        }
+      }
+    }
+  }
+  return emb;
+}
+
+la::Matrix DeepTrax::Rows(const la::Matrix& x_all,
+                          const std::vector<UserId>& uids) const {
+  const size_t d_emb = embeddings_.cols();
+  const size_t extra =
+      cfg_.include_original_features ? x_all.cols() : 0;
+  la::Matrix out(uids.size(), d_emb + extra);
+  for (size_t i = 0; i < uids.size(); ++i) {
+    TURBO_CHECK_LT(uids[i], embeddings_.rows());
+    const float* e = embeddings_.row(uids[i]);
+    std::copy(e, e + d_emb, out.row(i));
+    if (extra) {
+      const float* xf = x_all.row(uids[i]);
+      std::copy(xf, xf + extra, out.row(i) + d_emb);
+    }
+  }
+  return out;
+}
+
+void DeepTrax::Fit(const la::Matrix& x_all,
+                   const std::vector<UserId>& train_uids,
+                   const std::vector<int>& y_train) {
+  TURBO_CHECK_EQ(train_uids.size(), y_train.size());
+  booster_.Fit(Rows(x_all, train_uids), y_train);
+}
+
+std::vector<double> DeepTrax::Predict(
+    const la::Matrix& x_all, const std::vector<UserId>& uids) const {
+  return booster_.PredictProba(Rows(x_all, uids));
+}
+
+}  // namespace turbo::graphfe

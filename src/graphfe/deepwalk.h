@@ -1,0 +1,70 @@
+// DeepTrax (DTX) baseline — Bruss et al., 2019: embeds accounts by
+// running simplified two-hop DeepWalk (Perozzi et al., 2014) on the
+// user–attribute bipartite graph: truncated random walks alternate
+// user -> value -> user hops, and skip-gram with negative sampling learns
+// user embeddings from walk co-occurrence.
+//
+// Table III evaluates two classifier variants on top:
+//   DTX1: GBDT on the embedding alone.
+//   DTX2: GBDT on [embedding ; original features].
+#pragma once
+
+#include <cstdint>
+
+#include "graphfe/bipartite.h"
+#include "ml/gbdt.h"
+#include "util/rng.h"
+
+namespace turbo::graphfe {
+
+struct DeepWalkConfig {
+  int embedding_dim = 32;
+  int walks_per_user = 6;
+  int walk_length = 6;     // user hops per walk ("two-hop" pairs dominate)
+  int window = 2;          // user-position context window within a walk
+  int negatives = 4;
+  int epochs = 2;
+  float lr = 0.05f;
+  uint64_t seed = 23;
+};
+
+/// Learns user embeddings; rows indexed by uid. Users that never appear
+/// in a walk (isolated) keep their random-init rows.
+la::Matrix DeepWalkEmbeddings(const BipartiteGraph& graph,
+                              const DeepWalkConfig& config);
+
+struct DeepTraxConfig {
+  DeepWalkConfig walk;
+  ml::GbdtConfig gbdt;
+  /// false -> DTX1 (embedding only), true -> DTX2 (plus original
+  /// features).
+  bool include_original_features = false;
+};
+
+class DeepTrax {
+ public:
+  DeepTrax(DeepTraxConfig cfg, const BipartiteGraph& graph)
+      : cfg_(cfg),
+        embeddings_(DeepWalkEmbeddings(graph, cfg.walk)),
+        booster_(cfg.gbdt) {}
+
+  void Fit(const la::Matrix& x_all, const std::vector<UserId>& train_uids,
+           const std::vector<int>& y_train);
+  std::vector<double> Predict(const la::Matrix& x_all,
+                              const std::vector<UserId>& uids) const;
+  std::string name() const {
+    return cfg_.include_original_features ? "DTX2" : "DTX1";
+  }
+
+  const la::Matrix& embeddings() const { return embeddings_; }
+
+ private:
+  la::Matrix Rows(const la::Matrix& x_all,
+                  const std::vector<UserId>& uids) const;
+
+  DeepTraxConfig cfg_;
+  la::Matrix embeddings_;
+  ml::Gbdt booster_;
+};
+
+}  // namespace turbo::graphfe

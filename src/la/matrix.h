@@ -1,0 +1,129 @@
+// Dense row-major float matrix and the kernels used by the autograd
+// engine and the classical ML models.
+//
+// Deliberately simple: contiguous std::vector<float> storage, explicit
+// shapes, bounds-checked accessors (TURBO_CHECK stays on in Release), and
+// free-function kernels. No expression templates — the autograd layer is
+// the composition mechanism.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace turbo::la {
+
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+  Matrix(size_t rows, size_t cols, std::vector<float> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    TURBO_CHECK_EQ(data_.size(), rows_ * cols_);
+  }
+
+  /// Builds from nested initializer-style rows (test convenience).
+  static Matrix FromRows(const std::vector<std::vector<float>>& rows);
+
+  /// Gaussian init with the given stddev.
+  static Matrix Randn(size_t rows, size_t cols, Rng* rng,
+                      float stddev = 1.0f);
+
+  /// Glorot/Xavier-uniform init: U(-a, a), a = sqrt(6/(fan_in+fan_out)).
+  static Matrix Glorot(size_t rows, size_t cols, Rng* rng);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& at(size_t r, size_t c) {
+    TURBO_CHECK_LT(r, rows_);
+    TURBO_CHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+  float at(size_t r, size_t c) const {
+    TURBO_CHECK_LT(r, rows_);
+    TURBO_CHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+  /// Unchecked access for inner loops.
+  float& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  float operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float* row(size_t r) { return data_.data() + r * cols_; }
+  const float* row(size_t r) const { return data_.data() + r * cols_; }
+
+  bool same_shape(const Matrix& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_;
+  }
+
+  void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+  void SetZero() { Fill(0.0f); }
+
+  /// In-place axpy: this += alpha * other. Shapes must match.
+  void Add(const Matrix& other, float alpha = 1.0f);
+  /// In-place scale.
+  void Scale(float alpha);
+
+  /// Squared Frobenius norm.
+  double SquaredNorm() const;
+  /// Sum of all entries.
+  double Sum() const;
+  /// Max |entry|.
+  float MaxAbs() const;
+
+  std::string DebugString(int max_rows = 6, int max_cols = 8) const;
+
+ private:
+  size_t rows_, cols_;
+  std::vector<float> data_;
+};
+
+// ---- kernels ----
+
+/// C = A * B. Shapes: [m,k] x [k,n] -> [m,n].
+Matrix MatMul(const Matrix& a, const Matrix& b);
+/// C = A^T * B. Shapes: [k,m] x [k,n] -> [m,n].
+Matrix MatMulTransA(const Matrix& a, const Matrix& b);
+/// C = A * B^T. Shapes: [m,k] x [n,k] -> [m,n].
+Matrix MatMulTransB(const Matrix& a, const Matrix& b);
+
+Matrix Transpose(const Matrix& a);
+
+/// Elementwise map.
+Matrix Map(const Matrix& a, const std::function<float(float)>& f);
+/// Elementwise binary op; shapes must match.
+Matrix Zip(const Matrix& a, const Matrix& b,
+           const std::function<float(float, float)>& f);
+
+/// C[r,:] = a[r,:] + bias[0,:]; bias is [1, n].
+Matrix AddRowBroadcast(const Matrix& a, const Matrix& bias);
+
+/// C[r,c] = a[r,c] * s[r,0]; s is [m, 1] (per-row gate).
+Matrix MulColBroadcast(const Matrix& a, const Matrix& s);
+
+/// Concatenate along columns: [m,n1] ++ [m,n2] -> [m,n1+n2].
+Matrix ConcatCols(const Matrix& a, const Matrix& b);
+
+/// Row-wise softmax.
+Matrix SoftmaxRows(const Matrix& a);
+
+/// Per-row sums -> [m, 1].
+Matrix RowSums(const Matrix& a);
+
+/// Column c as an [m, 1] matrix.
+Matrix Col(const Matrix& a, size_t c);
+
+/// True if max |a-b| <= atol + rtol*max|b|.
+bool AllClose(const Matrix& a, const Matrix& b, float atol = 1e-5f,
+              float rtol = 1e-4f);
+
+}  // namespace turbo::la

@@ -1,0 +1,61 @@
+// CSR sparse matrix used for graph adjacency in GNN message passing.
+//
+// Structure is immutable after construction (built once per GraphBatch);
+// only SpMM-style products against dense matrices are needed, plus the
+// transposed product for the backward pass.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace turbo::la {
+
+struct Triplet {
+  uint32_t row;
+  uint32_t col;
+  float value;
+};
+
+class SparseMatrix {
+ public:
+  SparseMatrix() : rows_(0), cols_(0) {}
+
+  /// Builds CSR from (row, col, value) triplets; duplicate (row, col)
+  /// entries are summed.
+  static SparseMatrix FromTriplets(size_t rows, size_t cols,
+                                   std::vector<Triplet> triplets);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t nnz() const { return col_idx_.size(); }
+
+  const std::vector<uint32_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<uint32_t>& col_idx() const { return col_idx_; }
+  const std::vector<float>& values() const { return values_; }
+
+  /// Y = this * X. Shapes: [m,k] x [k,n] -> [m,n].
+  Matrix Multiply(const Matrix& x) const;
+
+  /// Y = this^T * X. Shapes: [m,k]^T x [m,n] -> [k,n].
+  /// Backward of Multiply w.r.t. X.
+  Matrix MultiplyTransposed(const Matrix& x) const;
+
+  /// Per-row sum of values (weighted out-degree) -> [m,1] dense.
+  Matrix RowSums() const;
+
+  /// Returns a copy where every row is scaled to sum to 1 (rows with zero
+  /// sum stay zero). Used for mean-aggregation adjacency.
+  SparseMatrix RowNormalized() const;
+
+  Matrix ToDense() const;
+
+ private:
+  size_t rows_, cols_;
+  std::vector<uint32_t> row_ptr_;
+  std::vector<uint32_t> col_idx_;
+  std::vector<float> values_;
+};
+
+}  // namespace turbo::la

@@ -1,0 +1,99 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace turbo::metrics {
+
+double Confusion::Precision() const {
+  return tp + fp == 0 ? 0.0 : static_cast<double>(tp) / (tp + fp);
+}
+
+double Confusion::Recall() const {
+  return tp + fn == 0 ? 0.0 : static_cast<double>(tp) / (tp + fn);
+}
+
+double Confusion::FBeta(double beta) const {
+  const double p = Precision();
+  const double r = Recall();
+  const double b2 = beta * beta;
+  const double denom = b2 * p + r;
+  return denom == 0.0 ? 0.0 : (1.0 + b2) * p * r / denom;
+}
+
+double Confusion::Accuracy() const {
+  const int64_t total = tp + fp + tn + fn;
+  return total == 0 ? 0.0 : static_cast<double>(tp + tn) / total;
+}
+
+Confusion Confuse(const std::vector<double>& scores,
+                  const std::vector<int>& labels, double threshold) {
+  TURBO_CHECK_EQ(scores.size(), labels.size());
+  Confusion c;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const bool pred = scores[i] >= threshold;
+    const bool pos = labels[i] != 0;
+    if (pred && pos) ++c.tp;
+    else if (pred && !pos) ++c.fp;
+    else if (!pred && pos) ++c.fn;
+    else ++c.tn;
+  }
+  return c;
+}
+
+double RocAuc(const std::vector<double>& scores,
+              const std::vector<int>& labels) {
+  TURBO_CHECK_EQ(scores.size(), labels.size());
+  const size_t n = scores.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] < scores[b];
+  });
+  // Average ranks over tie groups, then Mann–Whitney U.
+  std::vector<double> rank(n);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) /
+                           2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) rank[order[k]] = avg;
+    i = j + 1;
+  }
+  int64_t n_pos = 0;
+  double rank_sum_pos = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    if (labels[k] != 0) {
+      ++n_pos;
+      rank_sum_pos += rank[k];
+    }
+  }
+  const int64_t n_neg = static_cast<int64_t>(n) - n_pos;
+  if (n_pos == 0 || n_neg == 0) return 0.5;
+  const double u = rank_sum_pos -
+                   static_cast<double>(n_pos) * (n_pos + 1) / 2.0;
+  return u / (static_cast<double>(n_pos) * static_cast<double>(n_neg));
+}
+
+Report Evaluate(const std::vector<double>& scores,
+                const std::vector<int>& labels, double threshold) {
+  Confusion c = Confuse(scores, labels, threshold);
+  return Report{c.Precision() * 100.0, c.Recall() * 100.0, c.F1() * 100.0,
+                c.F2() * 100.0, RocAuc(scores, labels) * 100.0};
+}
+
+MeanVar Aggregate(const std::vector<double>& values) {
+  TURBO_CHECK(!values.empty());
+  double mean = 0.0;
+  for (double v : values) mean += v;
+  mean /= static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(values.size());
+  return {mean, var};
+}
+
+}  // namespace turbo::metrics

@@ -1,0 +1,48 @@
+// Binary-classification metrics used across all experiments: precision,
+// recall, F1, F2 (recall weighted twice — Table III), and ROC-AUC.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace turbo::metrics {
+
+struct Confusion {
+  int64_t tp = 0, fp = 0, tn = 0, fn = 0;
+
+  double Precision() const;
+  double Recall() const;
+  double FBeta(double beta) const;
+  double F1() const { return FBeta(1.0); }
+  double F2() const { return FBeta(2.0); }
+  double Accuracy() const;
+};
+
+/// Thresholded confusion matrix (score >= threshold -> positive).
+Confusion Confuse(const std::vector<double>& scores,
+                  const std::vector<int>& labels, double threshold = 0.5);
+
+/// Area under the ROC curve via the Mann–Whitney U statistic; ties get a
+/// half count. Returns 0.5 when either class is empty.
+double RocAuc(const std::vector<double>& scores,
+              const std::vector<int>& labels);
+
+/// All Table III columns at once (percentages).
+struct Report {
+  double precision_pct;
+  double recall_pct;
+  double f1_pct;
+  double f2_pct;
+  double auc_pct;
+};
+Report Evaluate(const std::vector<double>& scores,
+                const std::vector<int>& labels, double threshold = 0.5);
+
+/// Mean and (population) variance of repeated-run values.
+struct MeanVar {
+  double mean;
+  double variance;
+};
+MeanVar Aggregate(const std::vector<double>& values);
+
+}  // namespace turbo::metrics

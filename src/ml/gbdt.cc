@@ -1,0 +1,212 @@
+#include "ml/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace turbo::ml {
+
+namespace {
+inline float SigmoidStable(float z) {
+  return z >= 0.0f ? 1.0f / (1.0f + std::exp(-z))
+                   : std::exp(z) / (1.0f + std::exp(z));
+}
+}  // namespace
+
+float Gbdt::Tree::Predict(const float* row) const {
+  int i = 0;
+  while (nodes[i].feature >= 0) {
+    i = row[nodes[i].feature] <= nodes[i].threshold ? nodes[i].left
+                                                    : nodes[i].right;
+  }
+  return nodes[i].value;
+}
+
+void Gbdt::ComputeBinEdges(const la::Matrix& x) {
+  const size_t d = x.cols();
+  bin_edges_.assign(d, {});
+  std::vector<float> col(x.rows());
+  for (size_t f = 0; f < d; ++f) {
+    for (size_t r = 0; r < x.rows(); ++r) col[r] = x(r, f);
+    std::sort(col.begin(), col.end());
+    auto& edges = bin_edges_[f];
+    // Quantile edges; duplicates collapse for low-cardinality features.
+    for (int b = 1; b < cfg_.num_bins; ++b) {
+      const size_t q = (col.size() * b) / cfg_.num_bins;
+      const float e = col[std::min(q, col.size() - 1)];
+      if (edges.empty() || e > edges.back()) edges.push_back(e);
+    }
+  }
+}
+
+int Gbdt::Bin(int feature, float value) const {
+  const auto& edges = bin_edges_[feature];
+  return static_cast<int>(
+      std::lower_bound(edges.begin(), edges.end(), value) - edges.begin());
+}
+
+int Gbdt::BuildNode(const la::Matrix& x, const std::vector<float>& grad,
+                    const std::vector<float>& hess,
+                    std::vector<uint32_t>& rows, size_t begin, size_t end,
+                    int depth, const std::vector<int>& features,
+                    Tree* tree) {
+  double g_total = 0.0, h_total = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    g_total += grad[rows[i]];
+    h_total += hess[rows[i]];
+  }
+  const int node_id = static_cast<int>(tree->nodes.size());
+  tree->nodes.emplace_back();
+
+  auto make_leaf = [&] {
+    tree->nodes[node_id].feature = -1;
+    tree->nodes[node_id].value =
+        static_cast<float>(-g_total / (h_total + cfg_.l2));
+    return node_id;
+  };
+
+  if (depth >= cfg_.max_depth || end - begin < 2 ||
+      h_total < 2.0 * cfg_.min_child_weight) {
+    return make_leaf();
+  }
+
+  // Best histogram split across candidate features.
+  const double parent_score = g_total * g_total / (h_total + cfg_.l2);
+  double best_gain = cfg_.min_gain;
+  int best_feature = -1;
+  int best_bin = -1;
+  std::vector<double> gh(cfg_.num_bins + 1), hh(cfg_.num_bins + 1);
+  for (int f : features) {
+    std::fill(gh.begin(), gh.end(), 0.0);
+    std::fill(hh.begin(), hh.end(), 0.0);
+    for (size_t i = begin; i < end; ++i) {
+      const int b = Bin(f, x(rows[i], f));
+      gh[b] += grad[rows[i]];
+      hh[b] += hess[rows[i]];
+    }
+    double gl = 0.0, hl = 0.0;
+    const int usable_bins = static_cast<int>(bin_edges_[f].size());
+    for (int b = 0; b < usable_bins; ++b) {
+      gl += gh[b];
+      hl += hh[b];
+      const double gr = g_total - gl, hr = h_total - hl;
+      if (hl < cfg_.min_child_weight || hr < cfg_.min_child_weight) continue;
+      const double gain = 0.5 * (gl * gl / (hl + cfg_.l2) +
+                                 gr * gr / (hr + cfg_.l2) - parent_score);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_bin = b;
+      }
+    }
+  }
+  if (best_feature < 0) return make_leaf();
+
+  const float threshold = bin_edges_[best_feature][best_bin];
+  auto mid_it = std::partition(
+      rows.begin() + begin, rows.begin() + end, [&](uint32_t r) {
+        return x(r, best_feature) <= threshold;
+      });
+  const size_t mid = static_cast<size_t>(mid_it - rows.begin());
+  if (mid == begin || mid == end) return make_leaf();
+
+  tree->nodes[node_id].feature = best_feature;
+  tree->nodes[node_id].threshold = threshold;
+  tree->nodes[node_id].gain = best_gain;
+  const int left =
+      BuildNode(x, grad, hess, rows, begin, mid, depth + 1, features, tree);
+  const int right =
+      BuildNode(x, grad, hess, rows, mid, end, depth + 1, features, tree);
+  tree->nodes[node_id].left = left;
+  tree->nodes[node_id].right = right;
+  return node_id;
+}
+
+void Gbdt::BuildTree(const la::Matrix& x, const std::vector<float>& grad,
+                     const std::vector<float>& hess,
+                     const std::vector<uint32_t>& rows, Rng* rng,
+                     Tree* tree) {
+  std::vector<int> features;
+  for (size_t f = 0; f < x.cols(); ++f) {
+    if (rng->NextBool(cfg_.col_subsample)) {
+      features.push_back(static_cast<int>(f));
+    }
+  }
+  if (features.empty()) features.push_back(static_cast<int>(
+      rng->NextUint(x.cols())));
+  std::vector<uint32_t> rws = rows;
+  BuildNode(x, grad, hess, rws, 0, rws.size(), 0, features, tree);
+}
+
+void Gbdt::Fit(const la::Matrix& x, const std::vector<int>& y) {
+  TURBO_CHECK_EQ(x.rows(), y.size());
+  TURBO_CHECK_GT(x.rows(), 0u);
+  num_features_ = x.cols();
+  const size_t n = x.rows();
+  const double wpos = cfg_.positive_weight > 0 ? cfg_.positive_weight
+                                               : BalancedPositiveWeight(y);
+  ComputeBinEdges(x);
+  trees_.clear();
+
+  // Weighted prior log-odds.
+  double pos_w = 0.0, total_w = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double w = y[i] != 0 ? wpos : 1.0;
+    pos_w += y[i] != 0 ? w : 0.0;
+    total_w += w;
+  }
+  double p0 = std::clamp(pos_w / total_w, 1e-4, 1.0 - 1e-4);
+  base_score_ = static_cast<float>(std::log(p0 / (1.0 - p0)));
+
+  std::vector<float> score(n, base_score_);
+  std::vector<float> grad(n), hess(n);
+  Rng rng(cfg_.seed);
+  for (int t = 0; t < cfg_.num_trees; ++t) {
+    for (size_t i = 0; i < n; ++i) {
+      const float p = SigmoidStable(score[i]);
+      const float w = y[i] != 0 ? static_cast<float>(wpos) : 1.0f;
+      grad[i] = w * (p - static_cast<float>(y[i]));
+      hess[i] = w * std::max(1e-6f, p * (1.0f - p));
+    }
+    std::vector<uint32_t> rows;
+    rows.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.NextBool(cfg_.row_subsample)) {
+        rows.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    if (rows.size() < 2) continue;
+    Tree tree;
+    BuildTree(x, grad, hess, rows, &rng, &tree);
+    for (size_t i = 0; i < n; ++i) {
+      score[i] += cfg_.learning_rate * tree.Predict(x.row(i));
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+std::vector<double> Gbdt::PredictProba(const la::Matrix& x) const {
+  TURBO_CHECK_EQ(x.cols(), num_features_);
+  std::vector<double> out(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    float z = base_score_;
+    for (const auto& tree : trees_) {
+      z += cfg_.learning_rate * tree.Predict(x.row(i));
+    }
+    out[i] = SigmoidStable(z);
+  }
+  return out;
+}
+
+std::vector<double> Gbdt::FeatureImportance() const {
+  std::vector<double> imp(num_features_, 0.0);
+  for (const auto& tree : trees_) {
+    for (const auto& node : tree.nodes) {
+      if (node.feature >= 0) imp[node.feature] += node.gain;
+    }
+  }
+  return imp;
+}
+
+}  // namespace turbo::ml

@@ -1,0 +1,73 @@
+// Gradient-boosted decision trees on logistic loss, histogram-based with
+// second-order (Newton) leaf values — the GBDT baseline of Table III and
+// the booster behind BLP / DeepTrax feature classification.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/model.h"
+#include "util/rng.h"
+
+namespace turbo::ml {
+
+struct GbdtConfig {
+  int num_trees = 150;
+  int max_depth = 4;
+  float learning_rate = 0.1f;
+  int num_bins = 32;
+  float min_child_weight = 1.0f;  // min hessian sum per leaf
+  float l2 = 1.0f;                // lambda in the gain formula
+  float min_gain = 0.0f;          // gamma
+  double row_subsample = 0.8;
+  double col_subsample = 0.9;
+  /// <= 0 means auto (neg/pos ratio).
+  double positive_weight = -1.0;
+  uint64_t seed = 3;
+};
+
+class Gbdt : public BinaryClassifier {
+ public:
+  explicit Gbdt(GbdtConfig cfg = {}) : cfg_(cfg) {}
+
+  void Fit(const la::Matrix& x, const std::vector<int>& y) override;
+  std::vector<double> PredictProba(const la::Matrix& x) const override;
+  std::string name() const override { return "GBDT"; }
+
+  int num_trees() const { return static_cast<int>(trees_.size()); }
+
+  /// Total split gain per feature, a standard importance measure.
+  std::vector<double> FeatureImportance() const;
+
+ private:
+  struct Node {
+    int feature = -1;       // -1 for leaf
+    float threshold = 0.0f; // go left if value <= threshold
+    int left = -1;
+    int right = -1;
+    float value = 0.0f;     // leaf output
+    double gain = 0.0;
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+    float Predict(const float* row) const;
+  };
+
+  void ComputeBinEdges(const la::Matrix& x);
+  int Bin(int feature, float value) const;
+  void BuildTree(const la::Matrix& x, const std::vector<float>& grad,
+                 const std::vector<float>& hess,
+                 const std::vector<uint32_t>& rows, Rng* rng, Tree* tree);
+  int BuildNode(const la::Matrix& x, const std::vector<float>& grad,
+                const std::vector<float>& hess, std::vector<uint32_t>& rows,
+                size_t begin, size_t end, int depth,
+                const std::vector<int>& features, Tree* tree);
+
+  GbdtConfig cfg_;
+  float base_score_ = 0.0f;  // log-odds prior
+  std::vector<std::vector<float>> bin_edges_;  // per feature
+  std::vector<Tree> trees_;
+  size_t num_features_ = 0;
+};
+
+}  // namespace turbo::ml

@@ -1,0 +1,133 @@
+#include "ml/linear.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace turbo::ml {
+
+double BalancedPositiveWeight(const std::vector<int>& y, double max_weight) {
+  int64_t pos = 0;
+  for (int v : y) pos += (v != 0);
+  const int64_t neg = static_cast<int64_t>(y.size()) - pos;
+  if (pos == 0) return 1.0;
+  return std::min(max_weight,
+                  std::max(1.0, static_cast<double>(neg) / pos));
+}
+
+namespace {
+inline float SigmoidStable(float z) {
+  return z >= 0.0f ? 1.0f / (1.0f + std::exp(-z))
+                   : std::exp(z) / (1.0f + std::exp(z));
+}
+}  // namespace
+
+void LogisticRegression::Fit(const la::Matrix& x, const std::vector<int>& y) {
+  TURBO_CHECK_EQ(x.rows(), y.size());
+  TURBO_CHECK_GT(x.rows(), 0u);
+  const size_t n = x.rows(), d = x.cols();
+  const double wpos = cfg_.positive_weight > 0 ? cfg_.positive_weight
+                                               : BalancedPositiveWeight(y);
+  w_.assign(d, 0.0f);
+  b_ = 0.0f;
+  Rng rng(cfg_.seed);
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+
+  // Full-batch gradient descent with a cosine-decayed step: robust for the
+  // modest feature dimensionalities used here.
+  std::vector<float> grad(d);
+  for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    std::fill(grad.begin(), grad.end(), 0.0f);
+    float gb = 0.0f;
+    double wsum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const float* row = x.row(i);
+      float z = b_;
+      for (size_t c = 0; c < d; ++c) z += w_[c] * row[c];
+      const float p = SigmoidStable(z);
+      const float sw = y[i] != 0 ? static_cast<float>(wpos) : 1.0f;
+      const float err = sw * (p - static_cast<float>(y[i]));
+      for (size_t c = 0; c < d; ++c) grad[c] += err * row[c];
+      gb += err;
+      wsum += sw;
+    }
+    const float inv = static_cast<float>(1.0 / wsum);
+    const float step =
+        cfg_.lr * 0.5f *
+        (1.0f + std::cos(static_cast<float>(M_PI) * epoch / cfg_.epochs));
+    for (size_t c = 0; c < d; ++c) {
+      w_[c] -= step * (grad[c] * inv + cfg_.l2 * w_[c]);
+    }
+    b_ -= step * gb * inv;
+  }
+}
+
+std::vector<double> LogisticRegression::PredictProba(
+    const la::Matrix& x) const {
+  TURBO_CHECK_EQ(x.cols(), w_.size());
+  std::vector<double> out(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    const float* row = x.row(i);
+    float z = b_;
+    for (size_t c = 0; c < w_.size(); ++c) z += w_[c] * row[c];
+    out[i] = SigmoidStable(z);
+  }
+  return out;
+}
+
+void LinearSvm::Fit(const la::Matrix& x, const std::vector<int>& y) {
+  TURBO_CHECK_EQ(x.rows(), y.size());
+  TURBO_CHECK_GT(x.rows(), 0u);
+  const size_t n = x.rows(), d = x.cols();
+  const double wpos = cfg_.positive_weight > 0 ? cfg_.positive_weight
+                                               : BalancedPositiveWeight(y);
+  w_.assign(d, 0.0f);
+  b_ = 0.0f;
+  Rng rng(cfg_.seed);
+
+  // Pegasos: step 1/(lambda * t) on hinge subgradients. Warm-starting the
+  // step counter at 1/lambda caps the first steps at eta <= 1; the raw
+  // schedule's eta = 1/lambda first step swamps float precision and can
+  // take many epochs to wash out.
+  int64_t t = static_cast<int64_t>(1.0f / cfg_.lambda);
+  for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    for (size_t k = 0; k < n; ++k) {
+      const size_t i = rng.NextUint(n);
+      ++t;
+      const float eta = 1.0f / (cfg_.lambda * static_cast<float>(t));
+      const float* row = x.row(i);
+      const float yi = y[i] != 0 ? 1.0f : -1.0f;
+      const float sw = y[i] != 0 ? static_cast<float>(wpos) : 1.0f;
+      float z = b_;
+      for (size_t c = 0; c < d; ++c) z += w_[c] * row[c];
+      // L2 shrink.
+      const float shrink = 1.0f - eta * cfg_.lambda;
+      for (size_t c = 0; c < d; ++c) w_[c] *= shrink;
+      if (yi * z < 1.0f) {
+        const float s = eta * sw * yi;
+        for (size_t c = 0; c < d; ++c) w_[c] += s * row[c];
+        b_ += s;
+      }
+    }
+  }
+}
+
+double LinearSvm::Margin(const la::Matrix& x, size_t row) const {
+  TURBO_CHECK_EQ(x.cols(), w_.size());
+  const float* r = x.row(row);
+  double z = b_;
+  for (size_t c = 0; c < w_.size(); ++c) z += w_[c] * r[c];
+  return z;
+}
+
+std::vector<double> LinearSvm::PredictProba(const la::Matrix& x) const {
+  std::vector<double> out(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    out[i] = SigmoidStable(static_cast<float>(Margin(x, i)) *
+                           cfg_.proba_scale);
+  }
+  return out;
+}
+
+}  // namespace turbo::ml

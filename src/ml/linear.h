@@ -1,0 +1,66 @@
+// Linear baselines of Table III: logistic regression and a linear SVM
+// trained with Pegasos-style stochastic subgradient descent.
+#pragma once
+
+#include <cstdint>
+
+#include "ml/model.h"
+#include "util/rng.h"
+
+namespace turbo::ml {
+
+struct LogisticRegressionConfig {
+  int epochs = 200;
+  float lr = 0.1f;
+  float l2 = 1e-4f;
+  /// <= 0 means auto (neg/pos ratio).
+  double positive_weight = -1.0;
+  uint64_t seed = 1;
+};
+
+class LogisticRegression : public BinaryClassifier {
+ public:
+  explicit LogisticRegression(LogisticRegressionConfig cfg = {})
+      : cfg_(cfg) {}
+
+  void Fit(const la::Matrix& x, const std::vector<int>& y) override;
+  std::vector<double> PredictProba(const la::Matrix& x) const override;
+  std::string name() const override { return "LR"; }
+
+  const std::vector<float>& weights() const { return w_; }
+  float bias() const { return b_; }
+
+ private:
+  LogisticRegressionConfig cfg_;
+  std::vector<float> w_;
+  float b_ = 0.0f;
+};
+
+struct LinearSvmConfig {
+  int epochs = 60;
+  float lambda = 1e-3f;  // L2 regularization strength
+  /// <= 0 means auto (neg/pos ratio).
+  double positive_weight = -1.0;
+  uint64_t seed = 2;
+  /// Scale for mapping margins to pseudo-probabilities via a sigmoid.
+  float proba_scale = 1.0f;
+};
+
+class LinearSvm : public BinaryClassifier {
+ public:
+  explicit LinearSvm(LinearSvmConfig cfg = {}) : cfg_(cfg) {}
+
+  void Fit(const la::Matrix& x, const std::vector<int>& y) override;
+  std::vector<double> PredictProba(const la::Matrix& x) const override;
+  std::string name() const override { return "SVM"; }
+
+  /// Raw decision margin w.x + b.
+  double Margin(const la::Matrix& x, size_t row) const;
+
+ private:
+  LinearSvmConfig cfg_;
+  std::vector<float> w_;
+  float b_ = 0.0f;
+};
+
+}  // namespace turbo::ml

@@ -1,0 +1,79 @@
+#include "ml/mlp.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace turbo::ml {
+
+using ag::Tensor;
+
+Tensor Mlp::Forward(const Tensor& x, bool training, Rng* rng) const {
+  Tensor h = x;
+  for (size_t l = 0; l < weights_.size(); ++l) {
+    h = ag::AddRowBroadcast(ag::MatMul(h, weights_[l]), biases_[l]);
+    const bool is_output = (l + 1 == weights_.size());
+    if (!is_output) {
+      h = ag::Relu(h);
+      h = ag::Dropout(h, cfg_.dropout, training, rng);
+    }
+  }
+  return h;
+}
+
+void Mlp::Fit(const la::Matrix& x, const std::vector<int>& y) {
+  TURBO_CHECK_EQ(x.rows(), y.size());
+  const size_t n = x.rows();
+  const double wpos = cfg_.positive_weight > 0 ? cfg_.positive_weight
+                                               : BalancedPositiveWeight(y);
+  Rng rng(cfg_.seed);
+
+  weights_.clear();
+  biases_.clear();
+  int in_dim = static_cast<int>(x.cols());
+  std::vector<int> dims = cfg_.hidden;
+  dims.push_back(1);
+  for (int out_dim : dims) {
+    weights_.push_back(
+        ag::Param(la::Matrix::Glorot(in_dim, out_dim, &rng), "w"));
+    biases_.push_back(ag::Param(la::Matrix(1, out_dim), "b"));
+    in_dim = out_dim;
+  }
+
+  la::Matrix targets(n, 1);
+  la::Matrix sample_w(n, 1);
+  for (size_t i = 0; i < n; ++i) {
+    targets(i, 0) = static_cast<float>(y[i]);
+    sample_w(i, 0) = y[i] != 0 ? static_cast<float>(wpos) : 1.0f;
+  }
+
+  std::vector<Tensor> params;
+  for (auto& w : weights_) params.push_back(w);
+  for (auto& b : biases_) params.push_back(b);
+  ag::Adam opt(params, cfg_.lr, 0.9f, 0.999f, 1e-8f, cfg_.weight_decay);
+
+  Tensor input = ag::Constant(x, "x");
+  for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    opt.ZeroGrad();
+    Tensor logits = Forward(input, /*training=*/true, &rng);
+    Tensor loss = ag::BceWithLogits(logits, targets, sample_w);
+    ag::Backward(loss);
+    opt.ClipGradNorm(5.0);
+    opt.Step();
+  }
+}
+
+std::vector<double> Mlp::PredictProba(const la::Matrix& x) const {
+  TURBO_CHECK(!weights_.empty());
+  Tensor logits =
+      Forward(ag::Constant(x, "x"), /*training=*/false, nullptr);
+  std::vector<double> out(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    const float z = logits->value(i, 0);
+    out[i] = z >= 0.0f ? 1.0 / (1.0 + std::exp(-z))
+                       : std::exp(z) / (1.0 + std::exp(z));
+  }
+  return out;
+}
+
+}  // namespace turbo::ml

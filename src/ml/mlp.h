@@ -1,0 +1,43 @@
+// DNN baseline of Table III: a three-layer MLP (128-64-32 hidden units in
+// the paper's setting) trained with Adam on weighted BCE, built on the
+// autograd engine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "autograd/optimizer.h"
+#include "ml/model.h"
+#include "util/rng.h"
+
+namespace turbo::ml {
+
+struct MlpConfig {
+  std::vector<int> hidden = {128, 64, 32};
+  int epochs = 150;
+  float lr = 5e-4f;
+  float weight_decay = 1e-5f;
+  float dropout = 0.1f;
+  /// <= 0 means auto (neg/pos ratio).
+  double positive_weight = -1.0;
+  uint64_t seed = 4;
+};
+
+class Mlp : public BinaryClassifier {
+ public:
+  explicit Mlp(MlpConfig cfg = {}) : cfg_(cfg) {}
+
+  void Fit(const la::Matrix& x, const std::vector<int>& y) override;
+  std::vector<double> PredictProba(const la::Matrix& x) const override;
+  std::string name() const override { return "DNN"; }
+
+ private:
+  ag::Tensor Forward(const ag::Tensor& x, bool training, Rng* rng) const;
+
+  MlpConfig cfg_;
+  std::vector<ag::Tensor> weights_;  // per layer
+  std::vector<ag::Tensor> biases_;
+};
+
+}  // namespace turbo::ml

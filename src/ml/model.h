@@ -1,0 +1,29 @@
+// Common interface for the feature-based classifiers of Table III.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace turbo::ml {
+
+class BinaryClassifier {
+ public:
+  virtual ~BinaryClassifier() = default;
+
+  /// Trains on features x [n, d] and labels y in {0, 1}.
+  virtual void Fit(const la::Matrix& x, const std::vector<int>& y) = 0;
+
+  /// Fraud probabilities in [0, 1], one per row of x.
+  virtual std::vector<double> PredictProba(const la::Matrix& x) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Positive-class weight that balances an imbalanced training set:
+/// (#neg / #pos), clamped to [1, max_weight].
+double BalancedPositiveWeight(const std::vector<int>& y,
+                              double max_weight = 50.0);
+
+}  // namespace turbo::ml

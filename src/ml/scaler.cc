@@ -1,0 +1,52 @@
+#include "ml/scaler.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace turbo::ml {
+
+void StandardScaler::Fit(const la::Matrix& x) {
+  std::vector<int> rows(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) rows[i] = static_cast<int>(i);
+  Fit(x, rows);
+}
+
+void StandardScaler::Fit(const la::Matrix& x, const std::vector<int>& rows) {
+  TURBO_CHECK(!rows.empty());
+  const size_t d = x.cols();
+  mean_.assign(d, 0.0f);
+  std_.assign(d, 0.0f);
+  std::vector<double> sum(d, 0.0), sq(d, 0.0);
+  for (int r : rows) {
+    const float* row = x.row(static_cast<size_t>(r));
+    for (size_t c = 0; c < d; ++c) {
+      sum[c] += row[c];
+      sq[c] += static_cast<double>(row[c]) * row[c];
+    }
+  }
+  const double n = static_cast<double>(rows.size());
+  for (size_t c = 0; c < d; ++c) {
+    const double m = sum[c] / n;
+    double var = sq[c] / n - m * m;
+    if (var < 1e-12) var = 1.0;  // constant feature: leave centered only
+    mean_[c] = static_cast<float>(m);
+    std_[c] = static_cast<float>(std::sqrt(var));
+  }
+}
+
+la::Matrix StandardScaler::Transform(const la::Matrix& x) const {
+  TURBO_CHECK(fitted());
+  TURBO_CHECK_EQ(x.cols(), mean_.size());
+  la::Matrix out(x.rows(), x.cols());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    const float* in = x.row(r);
+    float* o = out.row(r);
+    for (size_t c = 0; c < x.cols(); ++c) {
+      o[c] = (in[c] - mean_[c]) / std_[c];
+    }
+  }
+  return out;
+}
+
+}  // namespace turbo::ml

@@ -1,0 +1,31 @@
+// Per-feature standardization (zero mean, unit variance), fit on the
+// training split only.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace turbo::ml {
+
+class StandardScaler {
+ public:
+  void Fit(const la::Matrix& x);
+  /// Optionally restrict the fit to the given row subset (train rows).
+  void Fit(const la::Matrix& x, const std::vector<int>& rows);
+  la::Matrix Transform(const la::Matrix& x) const;
+  la::Matrix FitTransform(const la::Matrix& x) {
+    Fit(x);
+    return Transform(x);
+  }
+
+  bool fitted() const { return !mean_.empty(); }
+  const std::vector<float>& mean() const { return mean_; }
+  const std::vector<float>& stddev() const { return std_; }
+
+ private:
+  std::vector<float> mean_;
+  std::vector<float> std_;
+};
+
+}  // namespace turbo::ml

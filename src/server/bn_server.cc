@@ -1,0 +1,70 @@
+#include "server/bn_server.h"
+
+namespace turbo::server {
+
+BnServer::BnServer(BnServerConfig config)
+    : config_(std::move(config)),  // logs_ reads config_.log_cost next
+      builder_(config_.bn, &edges_),
+      last_job_end_(config_.bn.windows.size(), 0) {
+  TURBO_CHECK_GT(config_.num_users, 0);
+  TURBO_CHECK_GT(config_.snapshot_refresh, 0);
+}
+
+void BnServer::Ingest(const BehaviorLog& log) {
+  TURBO_CHECK_LT(log.uid, static_cast<UserId>(config_.num_users));
+  logs_.Append(log);
+}
+
+void BnServer::IngestBatch(const BehaviorLogList& logs) {
+  for (const auto& l : logs) Ingest(l);
+}
+
+void BnServer::AdvanceTo(SimTime now) {
+  TURBO_CHECK_GE(now, now_);
+  now_ = now;
+  // Run every completed epoch of every window since its last run; jobs
+  // for shorter windows naturally fire more often.
+  for (size_t w = 0; w < config_.bn.windows.size(); ++w) {
+    const SimTime window = config_.bn.windows[w];
+    SimTime next_end = last_job_end_[w] + window;
+    while (next_end <= now_) {
+      builder_.RunWindowJob(logs_, window, next_end);
+      last_job_end_[w] = next_end;
+      next_end += window;
+      ++jobs_run_;
+    }
+  }
+  // Daily TTL sweep.
+  while (last_expiry_ + kDay <= now_) {
+    last_expiry_ += kDay;
+    edges_expired_ += builder_.ExpireOld(last_expiry_);
+  }
+  if (last_snapshot_ < 0 ||
+      now_ - last_snapshot_ >= config_.snapshot_refresh) {
+    RefreshSnapshot();
+  }
+}
+
+void BnServer::RefreshSnapshot() {
+  snapshot_ = bn::BehaviorNetwork::FromEdgeStore(edges_, config_.num_users)
+                  .Normalized();
+  last_snapshot_ = now_;
+}
+
+const bn::BehaviorNetwork& BnServer::snapshot() const {
+  TURBO_CHECK_MSG(snapshot_.has_value(),
+                  "BnServer::AdvanceTo must run before sampling");
+  return *snapshot_;
+}
+
+bn::Subgraph BnServer::SampleSubgraph(UserId uid) {
+  return SampleSubgraph(std::vector<UserId>{uid});
+}
+
+bn::Subgraph BnServer::SampleSubgraph(const std::vector<UserId>& uids) {
+  bn::SubgraphSampler sampler(&snapshot(), config_.sampler,
+                              /*seed=*/static_cast<uint64_t>(now_) + 1);
+  return sampler.Sample(uids);
+}
+
+}  // namespace turbo::server

@@ -1,0 +1,52 @@
+#include "server/latency.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace turbo::server {
+
+void LatencyTracker::Record(double millis) {
+  TURBO_CHECK_GE(millis, 0.0);
+  samples_.push_back(millis);
+  sorted_ = false;
+}
+
+double LatencyTracker::Mean() const {
+  if (samples_.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : samples_) s += v;
+  return s / samples_.size();
+}
+
+double LatencyTracker::Max() const {
+  if (samples_.empty()) return 0.0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double LatencyTracker::Percentile(double q) const {
+  TURBO_CHECK_GE(q, 0.0);
+  TURBO_CHECK_LE(q, 1.0);
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const size_t rank = std::min(
+      samples_.size() - 1,
+      static_cast<size_t>(std::ceil(q * samples_.size())) == 0
+          ? 0
+          : static_cast<size_t>(std::ceil(q * samples_.size())) - 1);
+  return samples_[rank];
+}
+
+std::string LatencyTracker::Summary(const std::string& label) const {
+  return StrFormat(
+      "%-24s n=%zu mean=%.2fms p50=%.2fms p99=%.2fms p999=%.2fms max=%.2fms",
+      label.c_str(), count(), Mean(), Percentile(0.5), Percentile(0.99),
+      Percentile(0.999), Max());
+}
+
+}  // namespace turbo::server

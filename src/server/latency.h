@@ -1,0 +1,28 @@
+// Latency percentile tracking for the serving benchmarks (Section V
+// reports p50/p99/p999 before and after the caching optimization).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace turbo::server {
+
+class LatencyTracker {
+ public:
+  void Record(double millis);
+
+  size_t count() const { return samples_.size(); }
+  double Mean() const;
+  double Max() const;
+  /// q in [0, 1], e.g. 0.5 / 0.99 / 0.999. Nearest-rank on the sorted
+  /// samples.
+  double Percentile(double q) const;
+
+  std::string Summary(const std::string& label) const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace turbo::server

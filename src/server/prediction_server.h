@@ -1,0 +1,65 @@
+// Real-time prediction server (Figure 2): orchestrates one audit request —
+// subgraph sampling from the BN server, feature retrieval from the
+// feature management module, and HAG inference — and reports the
+// per-module latency split of Fig. 8a.
+//
+// Latency accounting: compute stages (sampling, batch assembly, model
+// forward) are measured in real wall-clock time; storage accesses
+// additionally charge their modeled cost to a SimClock so the cached vs
+// uncached comparison of Section V is reproducible without real network
+// round-trips (see DESIGN.md §2).
+#pragma once
+
+#include <memory>
+
+#include "core/hag.h"
+#include "features/feature_store.h"
+#include "ml/scaler.h"
+#include "server/bn_server.h"
+#include "server/latency.h"
+
+namespace turbo::server {
+
+struct PredictionConfig {
+  /// Online blocking threshold (Section VI-E uses 0.85).
+  double threshold = 0.85;
+};
+
+struct PredictionResponse {
+  double fraud_probability = 0.0;
+  bool blocked = false;
+  int subgraph_nodes = 0;
+  // Per-module latency (milliseconds): wall-clock compute plus modeled
+  // storage cost.
+  double sampling_ms = 0.0;
+  double feature_ms = 0.0;
+  double inference_ms = 0.0;
+  double total_ms = 0.0;
+};
+
+class PredictionServer {
+ public:
+  /// `model` must already be trained; `scaler` must be the one fitted on
+  /// the training features; `features` serves raw (unscaled) rows.
+  PredictionServer(PredictionConfig config, BnServer* bn,
+                   features::FeatureStore* features, core::Hag* model,
+                   const ml::StandardScaler* scaler);
+
+  /// Handles one audit request for `uid` at server time.
+  PredictionResponse Handle(UserId uid);
+
+  const LatencyTracker& sampling_latency() const { return sampling_; }
+  const LatencyTracker& feature_latency() const { return feature_; }
+  const LatencyTracker& inference_latency() const { return inference_; }
+  const LatencyTracker& total_latency() const { return total_; }
+
+ private:
+  PredictionConfig config_;
+  BnServer* bn_;
+  features::FeatureStore* features_;
+  core::Hag* model_;
+  const ml::StandardScaler* scaler_;
+  LatencyTracker sampling_, feature_, inference_, total_;
+};
+
+}  // namespace turbo::server

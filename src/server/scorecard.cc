@@ -1,0 +1,37 @@
+#include "server/scorecard.h"
+
+#include "util/check.h"
+
+namespace turbo::server {
+
+double ScorecardScore(const float* f) {
+  // Feature indices follow datagen::Dataset::feature_names.
+  double score = 0.0;
+  if (f[4] < 580) score += 2.0;          // credit_score
+  else if (f[4] < 620) score += 1.0;
+  if (f[5] < 2.0) score += 1.0;          // credit_history_len
+  if (f[10] < 0.8) score += 1.5;         // prior_ontime_ratio
+  if (f[11] < 0.85) score += 1.0;        // id_verification_score
+  if (f[13] < 6.0) score += 1.5;         // phone_age_months
+  if (f[14] > 0.5) score += 1.0;         // phone_carrier_risk
+  if (f[8] < 30.0) score += 0.5;         // account_age_days
+  if (f[22] > 0.15) score += 1.0;        // price_to_income
+  if (f[18] > 0.5) score += 0.5;         // night_application
+  if (f[25] < 0.7) score += 0.5;         // profile_completeness
+  return score;
+}
+
+bool Scorecard::Blocks(const la::Matrix& profile_features,
+                       UserId uid) const {
+  return Score(profile_features, uid) > config_.block_threshold;
+}
+
+double Scorecard::Score(const la::Matrix& profile_features,
+                        UserId uid) const {
+  TURBO_CHECK_LT(uid, profile_features.rows());
+  TURBO_CHECK_GE(profile_features.cols(),
+                 static_cast<size_t>(datagen::kNumProfileFeatures));
+  return ScorecardScore(profile_features.row(uid));
+}
+
+}  // namespace turbo::server

@@ -1,0 +1,41 @@
+// Rule-based scorecard — the paper's "original risk management system"
+// (block-listing + scorecards, Sections I and VI-E), which Turbo sits
+// behind in production. Implemented as a weighted rule score over the raw
+// profile/transaction features with a block threshold.
+//
+// The online A/B bench uses this as the baseline group's only defence and
+// as the front filter of the test group.
+#pragma once
+
+#include <vector>
+
+#include "datagen/scenario.h"
+#include "la/matrix.h"
+
+namespace turbo::server {
+
+struct ScorecardConfig {
+  /// Applications scoring above this are rejected by the legacy system.
+  double block_threshold = 3.0;
+};
+
+/// Legacy rule score for one applicant's raw (unscaled) profile feature
+/// row; higher = riskier. Rules mirror classic credit-scorecard cuts:
+/// thin credit file, fresh phone number, low verification confidence,
+/// expensive item relative to income, and similar.
+double ScorecardScore(const float* profile_row);
+
+class Scorecard {
+ public:
+  explicit Scorecard(ScorecardConfig config = {}) : config_(config) {}
+
+  /// True if the legacy system blocks this application.
+  bool Blocks(const la::Matrix& profile_features, UserId uid) const;
+
+  double Score(const la::Matrix& profile_features, UserId uid) const;
+
+ private:
+  ScorecardConfig config_;
+};
+
+}  // namespace turbo::server

@@ -1,0 +1,102 @@
+// Core record types shared by the storage, BN, and feature layers.
+//
+// A behavior log is the paper's [u, r, s, t] quadruple: user u performed a
+// behavior of type r with observed value s at time t (Section II-B).
+// Values are pre-hashed to 64-bit ids by the ingestion layer (the raw
+// strings — MACs, coordinates, addresses — never matter to the algorithms,
+// only equality within a type does).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/time_util.h"
+
+namespace turbo {
+
+using UserId = uint32_t;
+using ValueId = uint64_t;
+
+/// Behavior types from Table I. The raw GPS coordinates (kGps, kGpsDev)
+/// are recorded but edge-building joins on their 100-meter square cells
+/// (kGps100, kGpsDev100), mirroring the paper's derived types — two exact
+/// double-precision coordinates essentially never collide.
+enum class BehaviorType : uint8_t {
+  kDeviceId = 0,
+  kImei = 1,
+  kImsi = 2,
+  kIpv4 = 3,
+  kWifiMac = 4,
+  kGps = 5,
+  kGps100 = 6,
+  kGpsDev = 7,
+  kGpsDev100 = 8,
+  kWorkplace = 9,
+};
+
+inline constexpr int kNumBehaviorTypes = 10;
+
+/// The 8 edge types of the constructed BN (Table II: "# type" = 8).
+inline constexpr std::array<BehaviorType, 8> kEdgeTypes = {
+    BehaviorType::kDeviceId,  BehaviorType::kImei,
+    BehaviorType::kImsi,      BehaviorType::kIpv4,
+    BehaviorType::kWifiMac,   BehaviorType::kGps100,
+    BehaviorType::kGpsDev100, BehaviorType::kWorkplace,
+};
+
+inline constexpr int kNumEdgeTypes =
+    static_cast<int>(kEdgeTypes.size());
+
+std::string_view BehaviorTypeName(BehaviorType t);
+
+/// Index of an edge type within kEdgeTypes, or -1 if the behavior type is
+/// not an edge-building type.
+int EdgeTypeIndex(BehaviorType t);
+
+struct BehaviorLog {
+  UserId uid;
+  BehaviorType type;
+  ValueId value;
+  SimTime time;
+
+  bool operator==(const BehaviorLog&) const = default;
+};
+
+using BehaviorLogList = std::vector<BehaviorLog>;
+
+inline std::string_view BehaviorTypeName(BehaviorType t) {
+  switch (t) {
+    case BehaviorType::kDeviceId:
+      return "DeviceId";
+    case BehaviorType::kImei:
+      return "IMEI";
+    case BehaviorType::kImsi:
+      return "IMSI";
+    case BehaviorType::kIpv4:
+      return "IPv4";
+    case BehaviorType::kWifiMac:
+      return "WiFiMAC";
+    case BehaviorType::kGps:
+      return "GPS";
+    case BehaviorType::kGps100:
+      return "GPS100";
+    case BehaviorType::kGpsDev:
+      return "GPSDev";
+    case BehaviorType::kGpsDev100:
+      return "GPSDev100";
+    case BehaviorType::kWorkplace:
+      return "Workplace";
+  }
+  return "Unknown";
+}
+
+inline int EdgeTypeIndex(BehaviorType t) {
+  for (size_t i = 0; i < kEdgeTypes.size(); ++i) {
+    if (kEdgeTypes[i] == t) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace turbo

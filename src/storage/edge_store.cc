@@ -1,0 +1,99 @@
+#include "storage/edge_store.h"
+
+#include <algorithm>
+
+namespace turbo::storage {
+
+namespace {
+const std::unordered_map<UserId, EdgeInfo> kEmptyNeighbors;
+}  // namespace
+
+void EdgeStore::AddWeight(int edge_type, UserId u, UserId v, float w,
+                          SimTime now) {
+  TURBO_CHECK_GE(edge_type, 0);
+  TURBO_CHECK_LT(edge_type, kNumEdgeTypes);
+  TURBO_CHECK_NE(u, v);
+  TURBO_CHECK_GT(w, 0.0f);
+  auto& adj = by_type_[edge_type];
+  EnsureSize(&adj, std::max(u, v));
+  auto& fwd = adj[u][v];
+  if (fwd.weight == 0.0f) ++edge_count_[edge_type];
+  fwd.weight += w;
+  fwd.last_update = std::max(fwd.last_update, now);
+  auto& bwd = adj[v][u];
+  bwd.weight += w;
+  bwd.last_update = std::max(bwd.last_update, now);
+}
+
+size_t EdgeStore::ExpireBefore(SimTime cutoff) {
+  size_t removed = 0;
+  for (int t = 0; t < kNumEdgeTypes; ++t) {
+    auto& adj = by_type_[t];
+    for (UserId u = 0; u < adj.size(); ++u) {
+      for (auto it = adj[u].begin(); it != adj[u].end();) {
+        if (it->second.last_update < cutoff) {
+          // Count each undirected edge once (from its smaller endpoint).
+          if (u < it->first) {
+            ++removed;
+            --edge_count_[t];
+          }
+          it = adj[u].erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+  return removed;
+}
+
+const std::unordered_map<UserId, EdgeInfo>& EdgeStore::Neighbors(
+    int edge_type, UserId u) const {
+  TURBO_CHECK_GE(edge_type, 0);
+  TURBO_CHECK_LT(edge_type, kNumEdgeTypes);
+  const auto& adj = by_type_[edge_type];
+  if (u >= adj.size()) return kEmptyNeighbors;
+  return adj[u];
+}
+
+double EdgeStore::WeightedDegree(int edge_type, UserId u) const {
+  double s = 0.0;
+  for (const auto& [v, e] : Neighbors(edge_type, u)) s += e.weight;
+  return s;
+}
+
+float EdgeStore::Weight(int edge_type, UserId u, UserId v) const {
+  const auto& n = Neighbors(edge_type, u);
+  auto it = n.find(v);
+  return it == n.end() ? 0.0f : it->second.weight;
+}
+
+size_t EdgeStore::NumEdges(int edge_type) const {
+  TURBO_CHECK_GE(edge_type, 0);
+  TURBO_CHECK_LT(edge_type, kNumEdgeTypes);
+  return edge_count_[edge_type];
+}
+
+size_t EdgeStore::TotalEdges() const {
+  size_t s = 0;
+  for (size_t c : edge_count_) s += c;
+  return s;
+}
+
+std::vector<UserId> EdgeStore::ConnectedUsers() const {
+  size_t max_size = 0;
+  for (const auto& adj : by_type_) max_size = std::max(max_size, adj.size());
+  std::vector<bool> seen(max_size, false);
+  for (const auto& adj : by_type_) {
+    for (UserId u = 0; u < adj.size(); ++u) {
+      if (!adj[u].empty()) seen[u] = true;
+    }
+  }
+  std::vector<UserId> out;
+  for (UserId u = 0; u < seen.size(); ++u) {
+    if (seen[u]) out.push_back(u);
+  }
+  return out;
+}
+
+}  // namespace turbo::storage

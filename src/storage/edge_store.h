@@ -1,0 +1,62 @@
+// Global typed, weighted, undirected edge list of the Behavior Network,
+// with incremental weight accumulation and TTL-based expiry (Section V:
+// "a max TTL is set to 60 days for each edge").
+//
+// The store is keyed by (edge type, endpoint): adjacency is materialized
+// in both directions so neighbor queries are O(deg).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/behavior_log.h"
+#include "util/check.h"
+
+namespace turbo::storage {
+
+struct EdgeInfo {
+  float weight = 0.0f;
+  SimTime last_update = 0;
+};
+
+class EdgeStore {
+ public:
+  /// Adds `w` to the weight of the undirected edge (u, v) of the given
+  /// edge type (index into kEdgeTypes); refreshes its TTL timestamp.
+  void AddWeight(int edge_type, UserId u, UserId v, float w, SimTime now);
+
+  /// Removes every edge whose last update is strictly before `cutoff`.
+  /// Returns the number of undirected edges removed.
+  size_t ExpireBefore(SimTime cutoff);
+
+  /// Neighbor map of u for one edge type (empty if none).
+  const std::unordered_map<UserId, EdgeInfo>& Neighbors(int edge_type,
+                                                        UserId u) const;
+
+  /// Sum of edge weights incident to u for one edge type.
+  double WeightedDegree(int edge_type, UserId u) const;
+
+  /// Current weight of (u, v) on `edge_type`, or 0 if absent.
+  float Weight(int edge_type, UserId u, UserId v) const;
+
+  /// Undirected edge count per type and total.
+  size_t NumEdges(int edge_type) const;
+  size_t TotalEdges() const;
+
+  /// Users that have at least one edge of any type.
+  std::vector<UserId> ConnectedUsers() const;
+
+ private:
+  using Adjacency = std::vector<std::unordered_map<UserId, EdgeInfo>>;
+
+  void EnsureSize(Adjacency* adj, UserId u) {
+    if (adj->size() <= u) adj->resize(static_cast<size_t>(u) + 1);
+  }
+
+  std::array<Adjacency, kNumEdgeTypes> by_type_;
+  std::array<size_t, kNumEdgeTypes> edge_count_{};  // undirected, per type
+};
+
+}  // namespace turbo::storage

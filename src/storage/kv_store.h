@@ -1,0 +1,37 @@
+// Durable-store stand-in: an unordered map with storage-cost accounting.
+//
+// Used for profile/transaction feature rows ("MySQL" in the paper's
+// deployment). Header-only template.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "storage/sim_clock.h"
+
+namespace turbo::storage {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class KvStore {
+ public:
+  explicit KvStore(MediumCost cost = MediumCost::Free()) : cost_(cost) {}
+
+  void Put(const K& key, V value) { map_[key] = std::move(value); }
+
+  std::optional<V> Get(const K& key, SimClock* clock = nullptr) const {
+    auto it = map_.find(key);
+    if (clock) clock->ChargeQuery(cost_, it == map_.end() ? 0 : 1);
+    if (it == map_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  bool Contains(const K& key) const { return map_.count(key) > 0; }
+  size_t size() const { return map_.size(); }
+  const MediumCost& cost() const { return cost_; }
+
+ private:
+  MediumCost cost_;
+  std::unordered_map<K, V, Hash> map_;
+};
+
+}  // namespace turbo::storage

@@ -1,0 +1,76 @@
+#include "storage/log_io.h"
+
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace turbo::storage {
+
+Result<BehaviorType> BehaviorTypeFromName(const std::string& name) {
+  for (int t = 0; t < kNumBehaviorTypes; ++t) {
+    const auto bt = static_cast<BehaviorType>(t);
+    if (BehaviorTypeName(bt) == name) return bt;
+  }
+  return Status::NotFound("unknown behavior type '" + name + "'");
+}
+
+Result<BehaviorLog> ParseLogLine(const std::string& line) {
+  auto fields = Split(line, ',');
+  if (fields.size() != 4) {
+    return Status::InvalidArgument(
+        StrFormat("expected 4 fields, got %zu", fields.size()));
+  }
+  BehaviorLog log;
+  try {
+    log.uid = static_cast<UserId>(std::stoul(std::string(Trim(fields[0]))));
+    auto type = BehaviorTypeFromName(std::string(Trim(fields[1])));
+    if (!type.ok()) return type.status();
+    log.type = type.value();
+    log.value =
+        static_cast<ValueId>(std::stoull(std::string(Trim(fields[2]))));
+    log.time = static_cast<SimTime>(std::stoll(std::string(Trim(fields[3]))));
+  } catch (const std::exception& e) {
+    return Status::InvalidArgument(std::string("bad numeric field: ") +
+                                   e.what());
+  }
+  if (log.value == 0) {
+    return Status::InvalidArgument("value 0 is reserved");
+  }
+  return log;
+}
+
+Result<BehaviorLogList> ReadLogsCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  BehaviorLogList logs;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    auto trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    if (lineno == 1 && trimmed == "uid,type,value,timestamp") continue;
+    auto log = ParseLogLine(std::string(trimmed));
+    if (!log.ok()) {
+      return Status::InvalidArgument(StrFormat(
+          "%s:%d: %s", path.c_str(), lineno,
+          log.status().message().c_str()));
+    }
+    logs.push_back(log.value());
+  }
+  return logs;
+}
+
+Status WriteLogsCsv(const BehaviorLogList& logs, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open " + path + " for write");
+  out << "uid,type,value,timestamp\n";
+  for (const auto& l : logs) {
+    out << l.uid << "," << BehaviorTypeName(l.type) << "," << l.value
+        << "," << l.time << "\n";
+  }
+  if (!out) return Status::Internal("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace turbo::storage

@@ -1,0 +1,33 @@
+// CSV import/export for behavior logs — the bring-your-own-logs entry
+// point. Format, one record per line:
+//
+//   uid,type,value,timestamp
+//
+// `type` is a behavior-type name from Table I (case-sensitive, e.g.
+// "DeviceId", "IPv4", "GPS100"); `value` is the 64-bit hashed behavior
+// value; `timestamp` is seconds since the dataset epoch. Lines starting
+// with '#' and blank lines are skipped. A leading header line
+// "uid,type,value,timestamp" is tolerated.
+#pragma once
+
+#include <string>
+
+#include "storage/behavior_log.h"
+#include "util/status.h"
+
+namespace turbo::storage {
+
+/// Parses one CSV record (no comment/header handling).
+Result<BehaviorLog> ParseLogLine(const std::string& line);
+
+/// Reads a whole CSV file; fails on the first malformed record with its
+/// line number in the message.
+Result<BehaviorLogList> ReadLogsCsv(const std::string& path);
+
+/// Writes logs in the same format (with header).
+Status WriteLogsCsv(const BehaviorLogList& logs, const std::string& path);
+
+/// Behavior type from its Table-I name; -1-style NotFound on unknown.
+Result<BehaviorType> BehaviorTypeFromName(const std::string& name);
+
+}  // namespace turbo::storage

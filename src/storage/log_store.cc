@@ -1,0 +1,114 @@
+#include "storage/log_store.h"
+
+#include <algorithm>
+
+namespace turbo::storage {
+
+void LogStore::Append(const BehaviorLog& log) {
+  auto& ui = by_user_[log.uid];
+  if (!ui.logs.empty() && ui.logs.back().time > log.time) ui.sorted = false;
+  ui.logs.push_back(log);
+
+  auto& vi = by_value_[ValueKey{log.type, log.value}];
+  if (!vi.obs.empty() && vi.obs.back().time > log.time) vi.sorted = false;
+  vi.obs.push_back({log.uid, log.time});
+  touched_by_hour_[log.time / kHour].insert(
+      ValueKey{log.type, log.value});
+  ++total_;
+}
+
+void LogStore::AppendBatch(const BehaviorLogList& logs) {
+  for (const auto& l : logs) Append(l);
+}
+
+BehaviorLogList LogStore::QueryUser(UserId uid, SimTime t0, SimTime t1,
+                                    SimClock* clock) const {
+  auto it = by_user_.find(uid);
+  if (it == by_user_.end()) {
+    if (clock) clock->ChargeQuery(cost_, 0);
+    return {};
+  }
+  auto& idx = it->second;
+  if (!idx.sorted) {
+    std::sort(idx.logs.begin(), idx.logs.end(),
+              [](const BehaviorLog& a, const BehaviorLog& b) {
+                return a.time < b.time;
+              });
+    idx.sorted = true;
+  }
+  auto lo = std::lower_bound(idx.logs.begin(), idx.logs.end(), t0,
+                             [](const BehaviorLog& l, SimTime t) {
+                               return l.time < t;
+                             });
+  auto hi = std::upper_bound(idx.logs.begin(), idx.logs.end(), t1,
+                             [](SimTime t, const BehaviorLog& l) {
+                               return t < l.time;
+                             });
+  BehaviorLogList out(lo, hi);
+  if (clock) clock->ChargeQuery(cost_, static_cast<int64_t>(out.size()));
+  return out;
+}
+
+std::vector<LogStore::Observation> LogStore::QueryValue(
+    BehaviorType t, ValueId v, SimTime t0, SimTime t1,
+    SimClock* clock) const {
+  auto it = by_value_.find(ValueKey{t, v});
+  if (it == by_value_.end()) {
+    if (clock) clock->ChargeQuery(cost_, 0);
+    return {};
+  }
+  auto& idx = it->second;
+  if (!idx.sorted) {
+    std::sort(idx.obs.begin(), idx.obs.end(),
+              [](const Observation& a, const Observation& b) {
+                return a.time < b.time;
+              });
+    idx.sorted = true;
+  }
+  auto lo = std::lower_bound(
+      idx.obs.begin(), idx.obs.end(), t0,
+      [](const Observation& o, SimTime t) { return o.time < t; });
+  auto hi = std::upper_bound(
+      idx.obs.begin(), idx.obs.end(), t1,
+      [](SimTime t, const Observation& o) { return t < o.time; });
+  std::vector<Observation> out(lo, hi);
+  if (clock) clock->ChargeQuery(cost_, static_cast<int64_t>(out.size()));
+  return out;
+}
+
+std::vector<LogStore::ValueKey> LogStore::ActiveValues(SimTime t0,
+                                                       SimTime t1) const {
+  // Union of the hour buckets overlapping [t0, t1]; bucket granularity
+  // makes this proportional to the touched keys, not the key space.
+  std::unordered_set<ValueKey, ValueKeyHash> seen;
+  const int64_t b0 = t0 >= 0 ? t0 / kHour : (t0 - kHour + 1) / kHour;
+  const int64_t b1 = t1 >= 0 ? t1 / kHour : (t1 - kHour + 1) / kHour;
+  for (int64_t b = b0; b <= b1; ++b) {
+    auto it = touched_by_hour_.find(b);
+    if (it == touched_by_hour_.end()) continue;
+    seen.insert(it->second.begin(), it->second.end());
+  }
+  // Bucket overlap is coarse; filter to exact range membership.
+  std::vector<ValueKey> out;
+  out.reserve(seen.size());
+  for (const auto& key : seen) {
+    const auto& obs = by_value_.at(key).obs;
+    for (const auto& o : obs) {
+      if (o.time >= t0 && o.time <= t1) {
+        out.push_back(key);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<UserId> LogStore::Users() const {
+  std::vector<UserId> out;
+  out.reserve(by_user_.size());
+  for (const auto& [uid, idx] : by_user_) out.push_back(uid);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace turbo::storage

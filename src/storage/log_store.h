@@ -1,0 +1,86 @@
+// Append-only behavior-log store with the two secondary indexes the system
+// needs: per-user time ranges (statistical features) and per-(type, value)
+// time ranges (BN edge construction).
+//
+// Plays the role of the paper's "local database" holding raw logs. Every
+// read can charge its modeled cost to a SimClock so the Section V cache
+// study can compare media without changing callers.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "storage/behavior_log.h"
+#include "storage/sim_clock.h"
+#include "util/status.h"
+
+namespace turbo::storage {
+
+class LogStore {
+ public:
+  explicit LogStore(MediumCost cost = MediumCost::Free()) : cost_(cost) {}
+
+  /// Appends one log. Out-of-order timestamps are accepted (indexes keep
+  /// insertion order per key; queries sort lazily on first read after a
+  /// write — logs arrive nearly sorted in practice).
+  void Append(const BehaviorLog& log);
+  void AppendBatch(const BehaviorLogList& logs);
+
+  size_t size() const { return total_; }
+
+  /// All logs of `uid` with time in [t0, t1], charged to `clock` if given.
+  BehaviorLogList QueryUser(UserId uid, SimTime t0, SimTime t1,
+                            SimClock* clock = nullptr) const;
+
+  /// All (uid, time) observations of value `v` of type `t` in [t0, t1].
+  struct Observation {
+    UserId uid;
+    SimTime time;
+  };
+  std::vector<Observation> QueryValue(BehaviorType t, ValueId v, SimTime t0,
+                                      SimTime t1,
+                                      SimClock* clock = nullptr) const;
+
+  /// Distinct (type, value) keys that received at least one log in
+  /// [t0, t1] — drives the periodic BN window jobs.
+  struct ValueKey {
+    BehaviorType type;
+    ValueId value;
+    bool operator==(const ValueKey&) const = default;
+  };
+  std::vector<ValueKey> ActiveValues(SimTime t0, SimTime t1) const;
+
+  /// Users with at least one log (for dataset statistics).
+  std::vector<UserId> Users() const;
+
+  const MediumCost& cost() const { return cost_; }
+
+ private:
+  struct UserIndex {
+    std::vector<BehaviorLog> logs;
+    bool sorted = true;
+  };
+  struct ValueIndex {
+    std::vector<Observation> obs;
+    bool sorted = true;
+  };
+  struct ValueKeyHash {
+    size_t operator()(const ValueKey& k) const {
+      return std::hash<uint64_t>()(k.value * 1315423911ULL +
+                                   static_cast<uint64_t>(k.type));
+    }
+  };
+
+  MediumCost cost_;
+  size_t total_ = 0;
+  mutable std::unordered_map<UserId, UserIndex> by_user_;
+  mutable std::unordered_map<ValueKey, ValueIndex, ValueKeyHash> by_value_;
+  /// Hour-bucketed index of touched keys so the periodic window jobs can
+  /// enumerate active values without scanning the whole key space.
+  std::unordered_map<int64_t,
+                     std::unordered_set<ValueKey, ValueKeyHash>>
+      touched_by_hour_;
+};
+
+}  // namespace turbo::storage

@@ -1,0 +1,90 @@
+// Bounded LRU cache modeling the Redis layer in front of the local
+// database (Section V). Header-only template.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "storage/sim_clock.h"
+#include "util/check.h"
+
+namespace turbo::storage {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity,
+                    MediumCost cost = MediumCost::InMemoryCache())
+      : capacity_(capacity), cost_(cost) {
+    TURBO_CHECK_GT(capacity_, 0u);
+  }
+
+  /// Returns the cached value and refreshes recency; charges one cache
+  /// round-trip either way.
+  std::optional<V> Get(const K& key, SimClock* clock = nullptr) {
+    if (clock) clock->ChargeQuery(cost_, 1);
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++misses_;
+      return std::nullopt;
+    }
+    order_.splice(order_.begin(), order_, it->second);
+    ++hits_;
+    return it->second->second;
+  }
+
+  /// Inserts or overwrites; evicts the least-recently-used entry when full.
+  void Put(const K& key, V value, SimClock* clock = nullptr) {
+    if (clock) clock->ChargeQuery(cost_, 1);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    if (map_.size() >= capacity_) {
+      auto& lru = order_.back();
+      map_.erase(lru.first);
+      order_.pop_back();
+      ++evictions_;
+    }
+    order_.emplace_front(key, std::move(value));
+    map_[key] = order_.begin();
+  }
+
+  void Erase(const K& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) return;
+    order_.erase(it->second);
+    map_.erase(it);
+  }
+
+  void Clear() {
+    map_.clear();
+    order_.clear();
+  }
+
+  size_t size() const { return map_.size(); }
+  size_t capacity() const { return capacity_; }
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+  int64_t evictions() const { return evictions_; }
+  double hit_rate() const {
+    int64_t total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) / total;
+  }
+
+ private:
+  size_t capacity_;
+  MediumCost cost_;
+  std::list<std::pair<K, V>> order_;  // front = most recent
+  std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator, Hash>
+      map_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t evictions_ = 0;
+};
+
+}  // namespace turbo::storage

@@ -1,0 +1,32 @@
+#include "storage/sim_clock.h"
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace turbo::storage {
+
+void SimClock::ChargeQuery(const MediumCost& cost, int64_t rows) {
+  TURBO_CHECK_GE(rows, 0);
+  elapsed_us_ += cost.query_overhead_us + cost.per_row_us * rows;
+  ++queries_;
+  rows_ += rows;
+}
+
+void SimClock::ChargeMicros(double us) {
+  TURBO_CHECK_GE(us, 0.0);
+  elapsed_us_ += us;
+}
+
+void SimClock::Reset() {
+  elapsed_us_ = 0.0;
+  queries_ = 0;
+  rows_ = 0;
+}
+
+std::string SimClock::DebugString() const {
+  return StrFormat("SimClock{%.1fus, %lld queries, %lld rows}", elapsed_us_,
+                   static_cast<long long>(queries_),
+                   static_cast<long long>(rows_));
+}
+
+}  // namespace turbo::storage

@@ -1,0 +1,58 @@
+// Internal invariant-checking macros.
+//
+// These stay active in all build types (see top-level CMakeLists): a
+// violated invariant in a research system must abort loudly rather than
+// silently corrupt an experiment result.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace turbo::internal {
+
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const char* expr, const std::string& msg) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg.empty() ? "" : " — ", msg.c_str());
+  std::abort();
+}
+
+}  // namespace turbo::internal
+
+#define TURBO_CHECK(expr)                                              \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::turbo::internal::CheckFail(__FILE__, __LINE__, #expr, "");     \
+    }                                                                  \
+  } while (0)
+
+#define TURBO_CHECK_MSG(expr, ...)                                     \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream oss_;                                         \
+      oss_ << __VA_ARGS__;                                             \
+      ::turbo::internal::CheckFail(__FILE__, __LINE__, #expr,          \
+                                   oss_.str());                        \
+    }                                                                  \
+  } while (0)
+
+#define TURBO_CHECK_BINOP(a, b, op)                                    \
+  do {                                                                 \
+    auto va_ = (a);                                                    \
+    auto vb_ = (b);                                                    \
+    if (!(va_ op vb_)) {                                               \
+      std::ostringstream oss_;                                         \
+      oss_ << "lhs=" << va_ << " rhs=" << vb_;                         \
+      ::turbo::internal::CheckFail(__FILE__, __LINE__,                 \
+                                   #a " " #op " " #b, oss_.str());     \
+    }                                                                  \
+  } while (0)
+
+#define TURBO_CHECK_EQ(a, b) TURBO_CHECK_BINOP(a, b, ==)
+#define TURBO_CHECK_NE(a, b) TURBO_CHECK_BINOP(a, b, !=)
+#define TURBO_CHECK_LT(a, b) TURBO_CHECK_BINOP(a, b, <)
+#define TURBO_CHECK_LE(a, b) TURBO_CHECK_BINOP(a, b, <=)
+#define TURBO_CHECK_GT(a, b) TURBO_CHECK_BINOP(a, b, >)
+#define TURBO_CHECK_GE(a, b) TURBO_CHECK_BINOP(a, b, >=)

@@ -1,0 +1,174 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace turbo {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// SplitMix64: seeds the xoshiro state from a single 64-bit seed.
+inline uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+  // All-zero state is invalid for xoshiro; SplitMix64 never yields four
+  // zeros from any seed, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+  has_gauss_ = false;
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextUint(uint64_t n) {
+  TURBO_CHECK_GT(n, 0u);
+  // Rejection sampling to remove modulo bias.
+  const uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  TURBO_CHECK_LE(lo, hi);
+  return lo + static_cast<int64_t>(
+                  NextUint(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDouble(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::NextGaussian() {
+  if (has_gauss_) {
+    has_gauss_ = false;
+    return gauss_;
+  }
+  double u1, u2;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  u2 = NextDouble();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  gauss_ = mag * std::sin(2.0 * M_PI * u2);
+  has_gauss_ = true;
+  return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::NextExponential(double mean) {
+  TURBO_CHECK_GT(mean, 0.0);
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 1e-300);
+  return -mean * std::log(u);
+}
+
+int Rng::NextPoisson(double lambda) {
+  TURBO_CHECK_GE(lambda, 0.0);
+  if (lambda <= 0.0) return 0;
+  if (lambda < 30.0) {
+    // Knuth inversion.
+    double l = std::exp(-lambda);
+    int k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= NextDouble();
+    } while (p > l);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction.
+  double v = NextGaussian(lambda, std::sqrt(lambda));
+  return v < 0 ? 0 : static_cast<int>(v + 0.5);
+}
+
+uint64_t Rng::NextZipf(uint64_t n, double s) {
+  TURBO_CHECK_GT(n, 0u);
+  if (s <= 0.0) return NextUint(n);
+  // Inverse-CDF on the continuous approximation, clamped to [0, n).
+  // Good enough for workload skew; exact Zipf not required.
+  double u = NextDouble();
+  if (std::abs(s - 1.0) < 1e-9) {
+    double x = std::pow(static_cast<double>(n), u);
+    uint64_t r = static_cast<uint64_t>(x) - 1 + 1;  // in [1, n]
+    return (r - 1 < n) ? r - 1 : n - 1;
+  }
+  double p = 1.0 - s;
+  double x = std::pow(u * (std::pow(static_cast<double>(n), p) - 1.0) + 1.0,
+                      1.0 / p);
+  uint64_t r = static_cast<uint64_t>(x);
+  return r < n ? r : n - 1;
+}
+
+size_t Rng::NextWeighted(const std::vector<double>& weights) {
+  TURBO_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    TURBO_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  TURBO_CHECK_GT(total, 0.0);
+  double r = NextDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  TURBO_CHECK_LE(k, n);
+  if (k * 3 >= n) {
+    std::vector<size_t> all(n);
+    for (size_t i = 0; i < n; ++i) all[i] = i;
+    Shuffle(&all);
+    all.resize(k);
+    return all;
+  }
+  // Floyd's algorithm for k << n.
+  std::vector<size_t> out;
+  out.reserve(k);
+  for (size_t j = n - k; j < n; ++j) {
+    size_t t = NextUint(j + 1);
+    bool dup = false;
+    for (size_t x : out) {
+      if (x == t) {
+        dup = true;
+        break;
+      }
+    }
+    out.push_back(dup ? j : t);
+  }
+  Shuffle(&out);
+  return out;
+}
+
+Rng Rng::Split() { return Rng(Next() ^ 0xd1b54a32d192ed03ULL); }
+
+}  // namespace turbo

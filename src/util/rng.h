@@ -1,0 +1,89 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in the library takes an explicit Rng (or a
+// seed used to construct one) so that datasets, model training, and
+// benchmark runs are reproducible bit-for-bit across runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace turbo {
+
+/// xoshiro256** — fast, high-quality, 64-bit state-splittable generator.
+/// Satisfies UniformRandomBitGenerator so it can drive <random> if needed,
+/// but the convenience members below avoid libstdc++ distribution
+/// implementation differences for reproducibility.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return ~0ULL; }
+  uint64_t operator()() { return Next(); }
+
+  uint64_t Next();
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t NextUint(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// Standard normal via Box–Muller (cached second value).
+  double NextGaussian();
+
+  double NextGaussian(double mean, double stddev) {
+    return mean + stddev * NextGaussian();
+  }
+
+  /// Bernoulli(p).
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Exponential with given mean (> 0).
+  double NextExponential(double mean);
+
+  /// Poisson(lambda) — inversion for small lambda, normal approx for large.
+  int NextPoisson(double lambda);
+
+  /// Zipf-like rank sample in [0, n) with exponent `s` (s=0 -> uniform).
+  /// Used for skewed behavior-value popularity (public Wi-Fi, hot IPs).
+  uint64_t NextZipf(uint64_t n, double s);
+
+  /// Sample index from unnormalized non-negative weights.
+  size_t NextWeighted(const std::vector<double>& weights);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = NextUint(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n) (k <= n), order randomized.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Derive an independent child stream (for parallel-safe substructures).
+  Rng Split();
+
+ private:
+  uint64_t s_[4];
+  bool has_gauss_ = false;
+  double gauss_ = 0.0;
+};
+
+}  // namespace turbo

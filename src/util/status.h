@@ -1,0 +1,100 @@
+// Minimal Status/Result error-propagation types, RocksDB-style.
+//
+// Library code that can fail for data-dependent reasons (bad input file,
+// unknown id, empty subgraph) returns Status / Result<T> instead of
+// throwing; programming errors use TURBO_CHECK.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/check.h"
+
+namespace turbo {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Lightweight error carrier; cheap to copy when OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status OutOfRange(std::string m) {
+    return Status(StatusCode::kOutOfRange, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Value-or-Status, move-friendly. Access with value() after checking ok().
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}          // NOLINT implicit
+  Result(Status status) : v_(std::move(status)) {    // NOLINT implicit
+    TURBO_CHECK(!std::get<Status>(v_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(v_);
+  }
+  T& value() {
+    TURBO_CHECK_MSG(ok(), "Result::value on error: " << status().ToString());
+    return std::get<T>(v_);
+  }
+  const T& value() const {
+    TURBO_CHECK_MSG(ok(), "Result::value on error: " << status().ToString());
+    return std::get<T>(v_);
+  }
+  T&& take() {
+    TURBO_CHECK(ok());
+    return std::move(std::get<T>(v_));
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+#define TURBO_RETURN_IF_ERROR(expr)         \
+  do {                                      \
+    ::turbo::Status s_ = (expr);            \
+    if (!s_.ok()) return s_;                \
+  } while (0)
+
+}  // namespace turbo

@@ -1,0 +1,30 @@
+// Fixed-width ASCII table rendering for benchmark harness output.
+//
+// Every bench binary prints its paper table/figure through this class so
+// the output format is uniform and diffable across runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace turbo {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  /// Convenience: formats doubles with the given precision.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int precision = 2);
+
+  /// Renders the full table (header, separator, rows).
+  std::string ToString() const;
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace turbo

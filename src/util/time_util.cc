@@ -1,0 +1,22 @@
+#include "util/time_util.h"
+
+#include <cstdio>
+
+namespace turbo {
+
+std::string FormatSimTime(SimTime t) {
+  bool neg = t < 0;
+  if (neg) t = -t;
+  int64_t days = t / kDay;
+  int64_t rem = t % kDay;
+  int64_t h = rem / kHour;
+  int64_t m = (rem % kHour) / kMinute;
+  int64_t s = rem % kMinute;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s%ldd %02ld:%02ld:%02ld", neg ? "-" : "",
+                static_cast<long>(days), static_cast<long>(h),
+                static_cast<long>(m), static_cast<long>(s));
+  return buf;
+}
+
+}  // namespace turbo

@@ -1,0 +1,41 @@
+// Simulation-time units and wall-clock helpers.
+//
+// All behavior-log timestamps in the library are int64 seconds on a
+// simulated timeline (0 = dataset epoch start). Wall-clock helpers are
+// only used by benchmark harnesses.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace turbo {
+
+/// Simulated timestamp, seconds since scenario epoch.
+using SimTime = int64_t;
+
+inline constexpr SimTime kSecond = 1;
+inline constexpr SimTime kMinute = 60;
+inline constexpr SimTime kHour = 3600;
+inline constexpr SimTime kDay = 24 * kHour;
+
+/// Renders a SimTime as "Dd HH:MM:SS" for logs and table output.
+std::string FormatSimTime(SimTime t);
+
+/// Monotonic wall-clock stopwatch for harness timing.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+  void Reset() { start_ = Clock::now(); }
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace turbo

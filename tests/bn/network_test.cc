@@ -1,0 +1,102 @@
+#include "bn/network.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace turbo::bn {
+namespace {
+
+using storage::EdgeStore;
+
+// Two-type example:
+//   type 0: 0-1 (w 2), 1-2 (w 2)
+//   type 1: 0-1 (w 1), 0-2 (w 3)
+EdgeStore MakeStore() {
+  EdgeStore s;
+  s.AddWeight(0, 0, 1, 2.0f, 0);
+  s.AddWeight(0, 1, 2, 2.0f, 0);
+  s.AddWeight(1, 0, 1, 1.0f, 0);
+  s.AddWeight(1, 0, 2, 3.0f, 0);
+  return s;
+}
+
+TEST(NetworkTest, SnapshotPreservesEdges) {
+  auto net = BehaviorNetwork::FromEdgeStore(MakeStore(), 3);
+  EXPECT_EQ(net.num_nodes(), 3);
+  EXPECT_EQ(net.NumEdges(0), 2u);
+  EXPECT_EQ(net.NumEdges(1), 2u);
+  EXPECT_EQ(net.TotalEdges(), 4u);
+  ASSERT_EQ(net.Neighbors(0, 1).size(), 2u);
+  EXPECT_DOUBLE_EQ(net.WeightedDegree(0, 1), 4.0);
+}
+
+TEST(NetworkTest, NeighborsSortedById) {
+  auto net = BehaviorNetwork::FromEdgeStore(MakeStore(), 3);
+  const auto& nbrs = net.Neighbors(0, 1);
+  ASSERT_EQ(nbrs.size(), 2u);
+  EXPECT_LT(nbrs[0].id, nbrs[1].id);
+}
+
+TEST(NetworkTest, SymmetricNormalization) {
+  auto net = BehaviorNetwork::FromEdgeStore(MakeStore(), 3).Normalized();
+  // Type 0: deg(0)=2, deg(1)=4, deg(2)=2.
+  // w'(0,1) = 2 / sqrt(2*4)
+  const auto& nbrs = net.Neighbors(0, 0);
+  ASSERT_EQ(nbrs.size(), 1u);
+  EXPECT_NEAR(nbrs[0].weight, 2.0f / std::sqrt(8.0f), 1e-6f);
+  // Symmetric: same value seen from node 1.
+  for (const auto& e : net.Neighbors(0, 1)) {
+    if (e.id == 0) EXPECT_NEAR(e.weight, 2.0f / std::sqrt(8.0f), 1e-6f);
+  }
+}
+
+TEST(NetworkTest, NormalizationIsPerType) {
+  auto net = BehaviorNetwork::FromEdgeStore(MakeStore(), 3).Normalized();
+  // Type 1: deg(0)=4, deg(1)=1, deg(2)=3. w'(0,1) = 1/sqrt(4).
+  for (const auto& e : net.Neighbors(1, 0)) {
+    if (e.id == 1) EXPECT_NEAR(e.weight, 0.5f, 1e-6f);
+    if (e.id == 2) EXPECT_NEAR(e.weight, 3.0f / std::sqrt(12.0f), 1e-6f);
+  }
+}
+
+TEST(NetworkTest, UnionNeighborsMergeAcrossTypes) {
+  auto net = BehaviorNetwork::FromEdgeStore(MakeStore(), 3);
+  auto u0 = net.UnionNeighbors(0);
+  ASSERT_EQ(u0.size(), 2u);  // {1, 2}
+  EXPECT_EQ(u0[0].id, 1u);
+  EXPECT_FLOAT_EQ(u0[0].weight, 3.0f);  // 2 (type 0) + 1 (type 1)
+  EXPECT_EQ(u0[1].id, 2u);
+  EXPECT_FLOAT_EQ(u0[1].weight, 3.0f);
+  EXPECT_EQ(net.UnionDegree(0), 2u);
+  EXPECT_DOUBLE_EQ(net.UnionWeightedDegree(0), 6.0);
+}
+
+TEST(NetworkTest, MaskingRemovesOneType) {
+  auto net = BehaviorNetwork::FromEdgeStore(MakeStore(), 3);
+  auto masked = net.WithTypeMasked(0);
+  EXPECT_EQ(masked.NumEdges(0), 0u);
+  EXPECT_EQ(masked.NumEdges(1), 2u);
+  EXPECT_TRUE(masked.Neighbors(0, 1).empty());
+  // Original untouched.
+  EXPECT_EQ(net.NumEdges(0), 2u);
+}
+
+TEST(NetworkTest, IsolatedNodesHaveNoNeighbors) {
+  auto net = BehaviorNetwork::FromEdgeStore(MakeStore(), 5);
+  EXPECT_TRUE(net.Neighbors(0, 4).empty());
+  EXPECT_EQ(net.UnionDegree(4), 0u);
+  // Normalization must not divide by zero on isolated nodes.
+  auto norm = net.Normalized();
+  EXPECT_TRUE(norm.Neighbors(0, 4).empty());
+}
+
+TEST(NetworkDeathTest, BoundsChecked) {
+  auto net = BehaviorNetwork::FromEdgeStore(MakeStore(), 3);
+  EXPECT_DEATH(net.Neighbors(0, 3), "CHECK failed");
+  EXPECT_DEATH(net.Neighbors(-1, 0), "CHECK failed");
+  EXPECT_DEATH(net.WithTypeMasked(99), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace turbo::bn

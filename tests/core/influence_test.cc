@@ -1,0 +1,115 @@
+#include "core/influence.h"
+
+#include <gtest/gtest.h>
+
+#include "core/hag.h"
+#include "gnn/gcn.h"
+#include "tests/core/test_graphs.h"
+
+namespace turbo::core {
+namespace {
+
+gnn::GnnConfig NoDropout() {
+  gnn::GnnConfig cfg;
+  cfg.hidden = {8, 4};
+  cfg.attention_dim = 4;
+  cfg.mlp_hidden = 4;
+  cfg.dropout = 0.0f;
+  return cfg;
+}
+
+TEST(InfluenceTest, ScoresNonNegativeAndDistributionNormalized) {
+  auto batch = testing::MakePath(6, 1);
+  gnn::Gcn model(NoDropout());
+  model.Init(6);
+  auto d = InfluenceDistribution(&model, batch, {0, 3});
+  ASSERT_EQ(d.rows(), 2u);
+  ASSERT_EQ(d.cols(), 6u);
+  for (size_t r = 0; r < d.rows(); ++r) {
+    double sum = 0.0;
+    for (size_t c = 0; c < d.cols(); ++c) {
+      EXPECT_GE(d(r, c), 0.0f);
+      sum += d(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-4);
+  }
+}
+
+TEST(InfluenceTest, TwoLayerModelHasTwoHopReceptiveField) {
+  // On a path, a 2-layer GCN's influence on node 0 must vanish beyond
+  // 2 hops.
+  auto batch = testing::MakePath(7, 2);
+  gnn::Gcn model(NoDropout());
+  model.Init(6);
+  auto s = InfluenceScores(&model, batch, {0});
+  EXPECT_GT(s(0, 0), 0.0f);
+  EXPECT_GT(s(0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(s(0, 4), 0.0f);
+  EXPECT_FLOAT_EQ(s(0, 6), 0.0f);
+}
+
+TEST(InfluenceTest, GcnOnCliqueIsUniform) {
+  // Theorem 1's consequence: E[D_i(j)] = 1/m for every j in a clique.
+  // With self-loops and uniform normalization, this holds exactly.
+  const int m = 6;
+  auto batch = testing::MakeClique(m, 3);
+  gnn::Gcn model(NoDropout());
+  model.Init(6);
+  auto d = InfluenceDistribution(&model, batch, {0, 2});
+  for (size_t r = 0; r < d.rows(); ++r) {
+    for (size_t c = 0; c < d.cols(); ++c) {
+      EXPECT_NEAR(d(r, c), 1.0 / m, 1e-3) << "entry " << r << "," << c;
+    }
+  }
+}
+
+TEST(InfluenceTest, SaoSelfInfluenceExceedsCliquePeers) {
+  // SAO's gate should keep a node's own input the dominant contributor
+  // even inside a clique.
+  const int m = 6;
+  auto batch = testing::MakeClique(m, 4);
+  HagConfig cfg;
+  static_cast<gnn::GnnConfig&>(cfg) = NoDropout();
+  cfg.use_cfo = false;
+  Hag model(cfg);
+  model.Init(6);
+  auto d = InfluenceDistribution(&model, batch, {0});
+  double peer_mean = 0.0;
+  for (int j = 1; j < m; ++j) peer_mean += d(0, j);
+  peer_mean /= (m - 1);
+  EXPECT_GT(d(0, 0), peer_mean);
+}
+
+TEST(InfluenceTest, RepeatedCallsAreConsistent) {
+  // The grad-clearing between Jacobian rows must make results
+  // call-order independent.
+  auto batch = testing::MakePath(5, 5);
+  gnn::Gcn model(NoDropout());
+  model.Init(6);
+  auto a = InfluenceScores(&model, batch, {1});
+  auto b = InfluenceScores(&model, batch, {1});
+  EXPECT_TRUE(la::AllClose(a, b, 1e-6f, 1e-5f));
+}
+
+TEST(InfluenceTest, HagInfluenceRunsOnHeterogeneousGraph) {
+  auto batch = testing::MakePath(5, 6);
+  HagConfig cfg;
+  static_cast<gnn::GnnConfig&>(cfg) = NoDropout();
+  Hag model(cfg);
+  model.Init(6);
+  auto d = InfluenceDistribution(&model, batch, {2});
+  double sum = 0.0;
+  for (size_t c = 0; c < d.cols(); ++c) sum += d(0, c);
+  EXPECT_NEAR(sum, 1.0, 1e-4);
+  EXPECT_GT(d(0, 2), 0.0f);  // self influence present
+}
+
+TEST(InfluenceDeathTest, TargetOutOfRangeAborts) {
+  auto batch = testing::MakePath(4, 7);
+  gnn::Gcn model(NoDropout());
+  model.Init(6);
+  EXPECT_DEATH(InfluenceScores(&model, batch, {4}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace turbo::core

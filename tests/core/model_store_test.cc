@@ -1,0 +1,133 @@
+#include "core/model_store.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/hag.h"
+#include "gnn/sage.h"
+#include "tests/core/test_graphs.h"
+
+namespace turbo::core {
+namespace {
+
+HagConfig TinyConfig() {
+  HagConfig cfg;
+  cfg.hidden = {8, 4};
+  cfg.mlp_hidden = 4;
+  cfg.attention_dim = 4;
+  cfg.dropout = 0.0f;
+  return cfg;
+}
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(ModelStoreTest, SaveLoadRoundTripsPredictions) {
+  auto batch = testing::MakePath(8, 1);
+  Hag a(TinyConfig());
+  a.Init(6);
+  const auto path = TempPath("hag.model");
+  ASSERT_TRUE(SaveModel(a, path, "unit test").ok());
+
+  HagConfig cfg = TinyConfig();
+  cfg.seed = 999;  // different init — must be overwritten by Load
+  Hag b(cfg);
+  b.Init(6);
+  auto before = b.Logits(batch, false, nullptr);
+  ASSERT_TRUE(LoadModel(path, &b).ok());
+  auto after = b.Logits(batch, false, nullptr);
+  auto original = a.Logits(batch, false, nullptr);
+  EXPECT_FALSE(la::AllClose(before->value, original->value, 1e-6f, 1e-6f));
+  EXPECT_TRUE(la::AllClose(after->value, original->value, 1e-5f, 1e-5f));
+  std::remove(path.c_str());
+}
+
+TEST(ModelStoreTest, LoadRejectsWrongArchitecture) {
+  Hag a(TinyConfig());
+  a.Init(6);
+  const auto path = TempPath("hag6.model");
+  ASSERT_TRUE(SaveModel(a, path).ok());
+  Hag b(TinyConfig());
+  b.Init(7);  // different input dim -> different shapes
+  auto s = LoadModel(path, &b);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(ModelStoreTest, LoadRejectsWrongModelFamily) {
+  Hag a(TinyConfig());
+  a.Init(6);
+  const auto path = TempPath("family.model");
+  ASSERT_TRUE(SaveModel(a, path).ok());
+  gnn::GnnConfig scfg;
+  scfg.hidden = {8, 4};
+  scfg.mlp_hidden = 4;
+  gnn::GraphSage sage(scfg);
+  sage.Init(6);
+  EXPECT_FALSE(LoadModel(path, &sage).ok());  // param counts differ
+  std::remove(path.c_str());
+}
+
+TEST(ModelStoreTest, LoadRejectsGarbageFile) {
+  const auto path = TempPath("garbage.model");
+  {
+    std::ofstream out(path);
+    out << "not a model\n";
+  }
+  Hag m(TinyConfig());
+  m.Init(6);
+  EXPECT_EQ(LoadModel(path, &m).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(LoadModel("/nonexistent/x.model", &m).code(),
+            StatusCode::kNotFound);
+  std::remove(path.c_str());
+}
+
+TEST(ModelRegistryTest, PublishBumpsVersions) {
+  ModelRegistry registry(::testing::TempDir());
+  Hag m(TinyConfig());
+  m.Init(6);
+  EXPECT_EQ(registry.LatestVersion("hag_reg_test"), 0);
+  auto v1 = registry.Publish(m, "hag_reg_test", "first");
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(v1.value(), 1);
+  auto v2 = registry.Publish(m, "hag_reg_test");
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(v2.value(), 2);
+  EXPECT_EQ(registry.LatestVersion("hag_reg_test"), 2);
+  std::remove(registry.PathFor("hag_reg_test", 1).c_str());
+  std::remove(registry.PathFor("hag_reg_test", 2).c_str());
+}
+
+TEST(ModelRegistryTest, LoadLatestAndSpecific) {
+  ModelRegistry registry(::testing::TempDir());
+  auto batch = testing::MakePath(6, 2);
+  Hag v1_model(TinyConfig());
+  v1_model.Init(6);
+  ASSERT_TRUE(registry.Publish(v1_model, "hag_load_test").ok());
+  HagConfig cfg2 = TinyConfig();
+  cfg2.seed = 77;
+  Hag v2_model(cfg2);
+  v2_model.Init(6);
+  ASSERT_TRUE(registry.Publish(v2_model, "hag_load_test").ok());
+
+  Hag target(TinyConfig());
+  target.Init(6);
+  ASSERT_TRUE(registry.Load("hag_load_test", &target).ok());  // latest=v2
+  EXPECT_TRUE(la::AllClose(target.Logits(batch, false, nullptr)->value,
+                           v2_model.Logits(batch, false, nullptr)->value,
+                           1e-5f, 1e-5f));
+  ASSERT_TRUE(registry.Load("hag_load_test", &target, 1).ok());
+  EXPECT_TRUE(la::AllClose(target.Logits(batch, false, nullptr)->value,
+                           v1_model.Logits(batch, false, nullptr)->value,
+                           1e-5f, 1e-5f));
+  EXPECT_EQ(registry.Load("never_published", &target).code(),
+            StatusCode::kNotFound);
+  std::remove(registry.PathFor("hag_load_test", 1).c_str());
+  std::remove(registry.PathFor("hag_load_test", 2).c_str());
+}
+
+}  // namespace
+}  // namespace turbo::core

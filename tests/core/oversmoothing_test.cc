@@ -1,0 +1,107 @@
+// Empirical verification of Theorem 1: on a homogeneous clique, one round
+// of GCN aggregation (with self-loops and uniform normalization) maps
+// every node to the same embedding, while SAO's self-aware gate keeps
+// clique members separable.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/hag.h"
+#include "gnn/gcn.h"
+#include "gnn/sage.h"
+#include "tests/core/test_graphs.h"
+
+namespace turbo::core {
+namespace {
+
+using testing::MakeClique;
+
+/// Mean pairwise L2 distance between embedding rows.
+double MeanPairwiseDistance(const la::Matrix& h) {
+  double total = 0.0;
+  int pairs = 0;
+  for (size_t i = 0; i < h.rows(); ++i) {
+    for (size_t j = i + 1; j < h.rows(); ++j) {
+      double d = 0.0;
+      for (size_t c = 0; c < h.cols(); ++c) {
+        const double diff = h(i, c) - h(j, c);
+        d += diff * diff;
+      }
+      total += std::sqrt(d);
+      ++pairs;
+    }
+  }
+  return pairs ? total / pairs : 0.0;
+}
+
+gnn::GnnConfig NoDropoutConfig() {
+  gnn::GnnConfig cfg;
+  cfg.hidden = {16, 8};
+  cfg.attention_dim = 8;
+  cfg.mlp_hidden = 8;
+  cfg.dropout = 0.0f;
+  return cfg;
+}
+
+TEST(OversmoothingTest, GcnCollapsesCliqueToOnePoint) {
+  auto batch = MakeClique(8, 1);
+  gnn::Gcn model(NoDropoutConfig());
+  model.Init(6);
+  auto h = model.Embed(batch, /*training=*/false, nullptr);
+  // In a clique with self-loops, every node's normalized neighborhood is
+  // identical, so the first aggregation already collapses all rows.
+  EXPECT_LT(MeanPairwiseDistance(h->value), 1e-5);
+}
+
+TEST(OversmoothingTest, InputFeaturesWereDistinct) {
+  auto batch = MakeClique(8, 1);
+  EXPECT_GT(MeanPairwiseDistance(batch.features), 1.0);
+}
+
+TEST(OversmoothingTest, SaoKeepsCliqueMembersSeparable) {
+  auto batch = MakeClique(8, 1);
+  HagConfig cfg;
+  static_cast<gnn::GnnConfig&>(cfg) = NoDropoutConfig();
+  cfg.use_cfo = false;  // isolate SAO on the homogeneous clique
+  Hag model(cfg);
+  model.Init(6);
+  auto h = model.Embed(batch, /*training=*/false, nullptr);
+  EXPECT_GT(MeanPairwiseDistance(h->value), 1e-2);
+}
+
+TEST(OversmoothingTest, SkipConnectionAlsoSeparatesButGcnDoesNot) {
+  // GraphSAGE (Eq. 4) separates self from neighbors, so it does not
+  // collapse either — the paper's point is that GCN-style schemes do.
+  auto batch = MakeClique(8, 2);
+  gnn::GraphSage sage(NoDropoutConfig());
+  sage.Init(6);
+  auto hs = sage.Embed(batch, false, nullptr);
+  EXPECT_GT(MeanPairwiseDistance(hs->value), 1e-2);
+
+  gnn::Gcn gcn(NoDropoutConfig());
+  gcn.Init(6);
+  auto hg = gcn.Embed(batch, false, nullptr);
+  EXPECT_LT(MeanPairwiseDistance(hg->value),
+            1e-4 * MeanPairwiseDistance(hs->value));
+}
+
+TEST(OversmoothingTest, GcnDoesNotCollapseNonCliqueGraph) {
+  auto batch = testing::MakePath(8, 3);
+  gnn::Gcn model(NoDropoutConfig());
+  model.Init(6);
+  auto h = model.Embed(batch, false, nullptr);
+  EXPECT_GT(MeanPairwiseDistance(h->value), 1e-3);
+}
+
+TEST(OversmoothingTest, CollapseHoldsForAnyCliqueSize) {
+  for (int m : {3, 5, 12, 20}) {
+    auto batch = MakeClique(m, 10 + m);
+    gnn::Gcn model(NoDropoutConfig());
+    model.Init(6);
+    auto h = model.Embed(batch, false, nullptr);
+    EXPECT_LT(MeanPairwiseDistance(h->value), 1e-5) << "clique size " << m;
+  }
+}
+
+}  // namespace
+}  // namespace turbo::core

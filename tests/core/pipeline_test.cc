@@ -1,0 +1,115 @@
+// End-to-end pipeline tests: scenario -> BN -> features -> HAG training.
+#include <gtest/gtest.h>
+
+#include "core/turbo.h"
+
+namespace turbo::core {
+namespace {
+
+PipelineConfig FastPipeline() {
+  PipelineConfig cfg;
+  // Fewer windows for test speed; same hierarchy principle.
+  cfg.bn.windows = {kHour, 6 * kHour, kDay};
+  return cfg;
+}
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto ds = datagen::GenerateScenario(datagen::ScenarioConfig::D1Like(1000));
+    data_ = PrepareData(std::move(ds), FastPipeline()).release();
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+  static PreparedData* data_;
+};
+
+PreparedData* PipelineTest::data_ = nullptr;
+
+TEST_F(PipelineTest, SplitCoversAllUsersDisjointly) {
+  EXPECT_EQ(data_->train_uids.size() + data_->test_uids.size(), 1000u);
+  std::vector<bool> seen(1000, false);
+  for (UserId u : data_->train_uids) seen[u] = true;
+  for (UserId u : data_->test_uids) {
+    EXPECT_FALSE(seen[u]) << "uid " << u << " in both splits";
+    seen[u] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+  EXPECT_NEAR(static_cast<double>(data_->test_uids.size()) / 1000.0, 0.2,
+              0.01);
+}
+
+TEST_F(PipelineTest, FeaturesIncludeStatsAndAreStandardized) {
+  EXPECT_EQ(data_->features.cols(),
+            static_cast<size_t>(datagen::kNumProfileFeatures) +
+                features::kNumStatFeatures);
+  // Train rows should be roughly standardized.
+  double mean = 0.0;
+  for (UserId u : data_->train_uids) mean += data_->features(u, 0);
+  mean /= data_->train_uids.size();
+  EXPECT_NEAR(mean, 0.0, 0.05);
+}
+
+TEST_F(PipelineTest, NetworkIsNormalizedAndNonEmpty) {
+  EXPECT_GT(data_->network.TotalEdges(), 0u);
+  // Normalized weights are bounded by 1 for positive-weight graphs.
+  for (int t = 0; t < kNumEdgeTypes; ++t) {
+    for (UserId u = 0; u < 50; ++u) {
+      for (const auto& e : data_->network.Neighbors(t, u)) {
+        EXPECT_GT(e.weight, 0.0f);
+        EXPECT_LE(e.weight, 1.0f + 1e-5f);
+      }
+    }
+  }
+}
+
+TEST_F(PipelineTest, MakeBatchTargetsComeFirst) {
+  std::vector<UserId> targets = {data_->test_uids[0], data_->test_uids[1]};
+  auto batch = MakeBatch(*data_, targets, bn::SamplerConfig{});
+  EXPECT_EQ(batch.num_targets, 2u);
+  EXPECT_EQ(batch.global_ids[0], targets[0]);
+  EXPECT_EQ(batch.global_ids[1], targets[1]);
+}
+
+TEST_F(PipelineTest, HagBeatsChanceOnScenario) {
+  HagConfig cfg;
+  cfg.hidden = {16, 8};
+  cfg.attention_dim = 8;
+  cfg.mlp_hidden = 8;
+  Hag model(cfg);
+  gnn::TrainConfig tc;
+  tc.epochs = 40;
+  tc.lr = 2e-3f;
+  auto scores = TrainAndScoreGnn(&model, *data_, bn::SamplerConfig{}, tc);
+  ASSERT_EQ(scores.size(), data_->test_uids.size());
+  auto labels = data_->LabelsFor(data_->test_uids);
+  const double auc = metrics::RocAuc(scores, labels);
+  EXPECT_GT(auc, 0.8) << "HAG should comfortably beat chance";
+}
+
+TEST_F(PipelineTest, EdgeTypeMaskingRemovesTypeFromNetwork) {
+  auto ds = datagen::GenerateScenario(datagen::ScenarioConfig::D1Like(400));
+  PipelineConfig cfg = FastPipeline();
+  cfg.mask_edge_type = 0;  // Device Id
+  auto masked = PrepareData(std::move(ds), cfg);
+  for (UserId u = 0; u < 400; ++u) {
+    EXPECT_TRUE(masked->network.Neighbors(0, u).empty());
+  }
+  EXPECT_GT(masked->network.TotalEdges(), 0u);
+}
+
+TEST(SplitTest, DeterministicAndSeedSensitive) {
+  std::vector<UserId> tr1, te1, tr2, te2, tr3, te3;
+  SplitByUid(100, 0.2, 1, &tr1, &te1);
+  SplitByUid(100, 0.2, 1, &tr2, &te2);
+  SplitByUid(100, 0.2, 2, &tr3, &te3);
+  EXPECT_EQ(te1, te2);
+  EXPECT_NE(te1, te3);
+  EXPECT_EQ(te1.size(), 20u);
+  EXPECT_EQ(tr1.size(), 80u);
+}
+
+}  // namespace
+}  // namespace turbo::core

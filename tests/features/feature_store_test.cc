@@ -1,0 +1,84 @@
+#include "features/feature_store.h"
+
+#include <gtest/gtest.h>
+
+namespace turbo::features {
+namespace {
+
+using storage::LogStore;
+using storage::SimClock;
+
+class FeatureStoreTest : public ::testing::Test {
+ protected:
+  FeatureStoreTest() {
+    for (int i = 0; i < 10; ++i) {
+      logs_.Append({1, BehaviorType::kDeviceId, 100,
+                    20 * kDay + i * kHour});
+    }
+  }
+  LogStore logs_{storage::MediumCost::NetworkedSql()};
+};
+
+TEST_F(FeatureStoreTest, ReturnsProfilePlusStats) {
+  FeatureStore store(FeatureStoreConfig{}, &logs_);
+  store.PutProfile(1, {1.0f, 2.0f, 3.0f});
+  auto f = store.GetFeatures(1, 21 * kDay);
+  ASSERT_EQ(f.size(), 3u + kNumStatFeatures);
+  EXPECT_FLOAT_EQ(f[0], 1.0f);
+  EXPECT_FLOAT_EQ(f[2], 3.0f);
+  EXPECT_GT(f[3 + 2], 0.0f);  // log_count_60d
+  EXPECT_EQ(store.dim(), 3u + kNumStatFeatures);
+}
+
+TEST_F(FeatureStoreTest, UnknownUserReturnsEmpty) {
+  FeatureStore store(FeatureStoreConfig{}, &logs_);
+  store.PutProfile(1, {1.0f});
+  EXPECT_TRUE(store.GetFeatures(99, 21 * kDay).empty());
+}
+
+TEST_F(FeatureStoreTest, CacheHitIsCheaper) {
+  FeatureStore store(FeatureStoreConfig{}, &logs_);
+  store.PutProfile(1, {1.0f});
+  SimClock cold, warm;
+  store.GetFeatures(1, 21 * kDay, &cold);
+  store.GetFeatures(1, 21 * kDay, &warm);
+  EXPECT_GT(cold.ElapsedMicros(), warm.ElapsedMicros());
+  EXPECT_GT(store.cache_hit_rate(), 0.0);
+}
+
+TEST_F(FeatureStoreTest, CachedValueMatchesComputed) {
+  FeatureStore store(FeatureStoreConfig{}, &logs_);
+  store.PutProfile(1, {5.0f});
+  auto a = store.GetFeatures(1, 21 * kDay);
+  auto b = store.GetFeatures(1, 21 * kDay);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(FeatureStoreTest, NoCacheModeAlwaysRecomputes) {
+  FeatureStoreConfig cfg;
+  cfg.use_cache = false;
+  FeatureStore store(cfg, &logs_);
+  store.PutProfile(1, {1.0f});
+  SimClock c1, c2;
+  store.GetFeatures(1, 21 * kDay, &c1);
+  store.GetFeatures(1, 21 * kDay, &c2);
+  EXPECT_DOUBLE_EQ(c1.ElapsedMicros(), c2.ElapsedMicros());
+}
+
+TEST_F(FeatureStoreTest, DifferentAsOfHoursAreSeparateCacheKeys) {
+  FeatureStore store(FeatureStoreConfig{}, &logs_);
+  store.PutProfile(1, {1.0f});
+  auto f1 = store.GetFeatures(1, 20 * kDay + 5 * kHour);
+  auto f2 = store.GetFeatures(1, 25 * kDay);
+  // More logs have accumulated by the later as_of.
+  EXPECT_LT(f1[1 + 2], f2[1 + 2]);
+}
+
+TEST_F(FeatureStoreTest, ProfileDimMismatchAborts) {
+  FeatureStore store(FeatureStoreConfig{}, &logs_);
+  store.PutProfile(1, {1.0f, 2.0f});
+  EXPECT_DEATH(store.PutProfile(2, {1.0f}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace turbo::features

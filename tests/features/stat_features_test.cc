@@ -1,0 +1,115 @@
+#include "features/stat_features.h"
+
+#include <gtest/gtest.h>
+
+namespace turbo::features {
+namespace {
+
+using storage::LogStore;
+
+// A "session": device + ip + cell + wifi logs at one time.
+void AddSession(LogStore* store, UserId uid, SimTime t, ValueId device,
+                ValueId ip, ValueId cell, ValueId wifi) {
+  store->Append({uid, BehaviorType::kDeviceId, device, t});
+  store->Append({uid, BehaviorType::kIpv4, ip, t});
+  store->Append({uid, BehaviorType::kGps100, cell, t});
+  store->Append({uid, BehaviorType::kWifiMac, wifi, t});
+}
+
+TEST(StatFeaturesTest, NamesMatchCount) {
+  EXPECT_EQ(StatFeatureNames().size(),
+            static_cast<size_t>(kNumStatFeatures));
+}
+
+TEST(StatFeaturesTest, EmptyUserAllZero) {
+  LogStore store;
+  auto f = ComputeStatFeatures(store, 42, 100 * kDay);
+  for (float v : f) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(StatFeaturesTest, CountsSessionsInWindows) {
+  LogStore store;
+  const SimTime as_of = 100 * kDay;
+  AddSession(&store, 1, as_of - 2 * kHour, 10, 20, 30, 40);   // in 1d
+  AddSession(&store, 1, as_of - 3 * kDay, 10, 21, 30, 40);    // in 7d
+  AddSession(&store, 1, as_of - 20 * kDay, 10, 22, 31, 40);   // in 60d
+  AddSession(&store, 1, as_of - 90 * kDay, 10, 23, 32, 40);   // outside
+  auto f = ComputeStatFeatures(store, 1, as_of);
+  EXPECT_FLOAT_EQ(f[0], 1.0f);  // log_count_1d
+  EXPECT_FLOAT_EQ(f[1], 2.0f);  // log_count_7d
+  EXPECT_FLOAT_EQ(f[2], 3.0f);  // log_count_60d
+}
+
+TEST(StatFeaturesTest, DistinctCountersAreSetBased) {
+  LogStore store;
+  const SimTime as_of = 50 * kDay;
+  AddSession(&store, 1, as_of - kHour, 10, 20, 30, 40);
+  AddSession(&store, 1, as_of - 2 * kHour, 11, 20, 31, 40);
+  AddSession(&store, 1, as_of - 3 * kHour, 10, 21, 30, 41);
+  auto f = ComputeStatFeatures(store, 1, as_of);
+  EXPECT_FLOAT_EQ(f[3], 2.0f);  // devices {10, 11}
+  EXPECT_FLOAT_EQ(f[4], 2.0f);  // ips {20, 21}
+  EXPECT_FLOAT_EQ(f[5], 2.0f);  // cells {30, 31}
+  EXPECT_FLOAT_EQ(f[6], 2.0f);  // wifi {40, 41}
+}
+
+TEST(StatFeaturesTest, NightFraction) {
+  LogStore store;
+  const SimTime day_start = 10 * kDay;
+  // Two sessions at 23:00 (night), two at noon.
+  AddSession(&store, 1, day_start + 23 * kHour, 1, 2, 3, 4);
+  AddSession(&store, 1, day_start + kDay + 23 * kHour, 1, 2, 3, 4);
+  AddSession(&store, 1, day_start + 12 * kHour, 1, 2, 3, 4);
+  AddSession(&store, 1, day_start + kDay + 12 * kHour, 1, 2, 3, 4);
+  auto f = ComputeStatFeatures(store, 1, day_start + 3 * kDay);
+  EXPECT_FLOAT_EQ(f[7], 0.5f);
+}
+
+TEST(StatFeaturesTest, BurstRatioHighForBurstyUser) {
+  LogStore store;
+  const SimTime as_of = 30 * kDay;
+  // 8 sessions within +-1 day of as_of, 2 spread out.
+  for (int i = 0; i < 8; ++i) {
+    AddSession(&store, 1, as_of - kDay + i * kHour, 1, 2, 3, 4);
+  }
+  AddSession(&store, 1, as_of - 20 * kDay, 1, 2, 3, 4);
+  AddSession(&store, 1, as_of - 10 * kDay, 1, 2, 3, 4);
+  auto f = ComputeStatFeatures(store, 1, as_of);
+  EXPECT_FLOAT_EQ(f[9], 0.8f);
+  EXPECT_NEAR(f[8], 20.0f, 1.5f);  // activity span ~20 days
+}
+
+TEST(StatFeaturesTest, DeviceSwitchesCounted) {
+  LogStore store;
+  const SimTime as_of = 30 * kDay;
+  // Device pattern A, B, A -> 2 switches.
+  AddSession(&store, 1, as_of - 3 * kHour, 100, 2, 3, 4);
+  AddSession(&store, 1, as_of - 2 * kHour, 200, 2, 3, 4);
+  AddSession(&store, 1, as_of - 1 * kHour, 100, 2, 3, 4);
+  auto f = ComputeStatFeatures(store, 1, as_of);
+  EXPECT_FLOAT_EQ(f[12], 2.0f);
+}
+
+TEST(StatFeaturesTest, ChargesClockForLogScan) {
+  LogStore store(storage::MediumCost{100.0, 10.0});
+  const SimTime as_of = 30 * kDay;
+  AddSession(&store, 1, as_of - kHour, 1, 2, 3, 4);
+  storage::SimClock clock;
+  ComputeStatFeatures(store, 1, as_of, &clock);
+  EXPECT_DOUBLE_EQ(clock.ElapsedMicros(), 100.0 + 4 * 10.0);
+}
+
+TEST(StatFeaturesTest, BatchMatrixMatchesSingle) {
+  LogStore store;
+  AddSession(&store, 0, 5 * kDay, 1, 2, 3, 4);
+  AddSession(&store, 1, 6 * kDay, 5, 6, 7, 8);
+  la::Matrix m = ComputeStatFeatureMatrix(store, {0, 1},
+                                          {7 * kDay, 7 * kDay});
+  auto f0 = ComputeStatFeatures(store, 0, 7 * kDay);
+  for (int c = 0; c < kNumStatFeatures; ++c) {
+    EXPECT_FLOAT_EQ(m(0, c), f0[c]);
+  }
+}
+
+}  // namespace
+}  // namespace turbo::features

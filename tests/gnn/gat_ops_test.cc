@@ -1,0 +1,108 @@
+#include "gnn/gat_ops.h"
+
+#include <gtest/gtest.h>
+
+#include "autograd/gradcheck.h"
+#include "autograd/ops.h"
+
+namespace turbo::gnn {
+namespace {
+
+using ag::Constant;
+using ag::Param;
+using ag::Tensor;
+using la::Matrix;
+
+la::SparseMatrix TriangleWithSelf() {
+  // 3-node triangle plus self loops (unit structure values).
+  std::vector<la::Triplet> t;
+  for (uint32_t i = 0; i < 3; ++i) {
+    for (uint32_t j = 0; j < 3; ++j) t.push_back({i, j, 1.0f});
+  }
+  return la::SparseMatrix::FromTriplets(3, 3, t);
+}
+
+TEST(GatOpsTest, UniformScoresGiveMeanAggregation) {
+  auto st = TriangleWithSelf();
+  Tensor h = Constant(Matrix::FromRows({{3, 0}, {0, 3}, {3, 3}}));
+  Tensor s = Constant(Matrix(3, 1, 0.0f));
+  Tensor d = Constant(Matrix(3, 1, 0.0f));
+  Tensor out = GatAggregate(st, h, s, d);
+  // alpha uniform = 1/3 -> out = column means.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(out->value(i, 0), 2.0f, 1e-5f);
+    EXPECT_NEAR(out->value(i, 1), 2.0f, 1e-5f);
+  }
+}
+
+TEST(GatOpsTest, LargeDstScoreDominates) {
+  auto st = TriangleWithSelf();
+  Tensor h = Constant(Matrix::FromRows({{1, 0}, {5, 0}, {9, 0}}));
+  Tensor s = Constant(Matrix(3, 1, 0.0f));
+  // Node 1 has overwhelming destination score.
+  Tensor d = Constant(Matrix::FromRows({{0}, {50}, {0}}));
+  Tensor out = GatAggregate(st, h, s, d);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(out->value(i, 0), 5.0f, 1e-3f);
+}
+
+TEST(GatOpsTest, RowsWithoutEdgesYieldZero) {
+  auto st = la::SparseMatrix::FromTriplets(2, 2, {{0, 0, 1.0f}});
+  Tensor h = Constant(Matrix::FromRows({{7, 7}, {9, 9}}));
+  Tensor s = Constant(Matrix(2, 1, 0.0f));
+  Tensor d = Constant(Matrix(2, 1, 0.0f));
+  Tensor out = GatAggregate(st, h, s, d);
+  EXPECT_FLOAT_EQ(out->value(0, 0), 7.0f);
+  EXPECT_FLOAT_EQ(out->value(1, 0), 0.0f);
+}
+
+TEST(GatOpsTest, GradientsMatchNumerical) {
+  Rng rng(3);
+  auto st = TriangleWithSelf();
+  Tensor h = Param(Matrix::Randn(3, 4, &rng, 0.7f), "h");
+  Tensor s = Param(Matrix::Randn(3, 1, &rng, 0.5f), "s");
+  Tensor d = Param(Matrix::Randn(3, 1, &rng, 0.5f), "d");
+  Tensor pick = Constant(Matrix::Randn(3, 4, &rng));
+  auto res = ag::CheckGradients({h, s, d}, [&] {
+    return ag::Sum(ag::Mul(GatAggregate(st, h, s, d), pick));
+  });
+  EXPECT_TRUE(res.ok) << res.detail;
+}
+
+TEST(GatOpsTest, GradientsMatchNumericalIrregularStructure) {
+  Rng rng(4);
+  // Asymmetric neighborhoods with self loops.
+  std::vector<la::Triplet> t = {{0, 0, 1}, {0, 1, 1}, {1, 1, 1},
+                                {2, 2, 1}, {2, 0, 1}, {2, 1, 1},
+                                {3, 3, 1}};
+  auto st = la::SparseMatrix::FromTriplets(4, 4, t);
+  Tensor h = Param(Matrix::Randn(4, 3, &rng, 0.7f), "h");
+  Tensor s = Param(Matrix::Randn(4, 1, &rng, 0.5f), "s");
+  Tensor d = Param(Matrix::Randn(4, 1, &rng, 0.5f), "d");
+  Tensor pick = Constant(Matrix::Randn(4, 3, &rng));
+  auto res = ag::CheckGradients({h, s, d}, [&] {
+    return ag::Sum(ag::Mul(GatAggregate(st, h, s, d), pick));
+  });
+  EXPECT_TRUE(res.ok) << res.detail;
+}
+
+TEST(GatOpsTest, AttentionThroughUpstreamParams) {
+  // Full GAT head pattern: h = XW, s = h a_s, d = h a_d. Gradients must
+  // flow back into W and the attention vectors.
+  Rng rng(5);
+  auto st = TriangleWithSelf();
+  Tensor x = Constant(Matrix::Randn(3, 5, &rng));
+  Tensor w = Param(Matrix::Randn(5, 4, &rng, 0.4f), "w");
+  Tensor a_src = Param(Matrix::Randn(4, 1, &rng, 0.4f), "a_src");
+  Tensor a_dst = Param(Matrix::Randn(4, 1, &rng, 0.4f), "a_dst");
+  Tensor pick = Constant(Matrix::Randn(3, 4, &rng));
+  auto res = ag::CheckGradients({w, a_src, a_dst}, [&] {
+    Tensor hw = ag::MatMul(x, w);
+    Tensor s = ag::MatMul(hw, a_src);
+    Tensor d = ag::MatMul(hw, a_dst);
+    return ag::Sum(ag::Mul(GatAggregate(st, hw, s, d), pick));
+  });
+  EXPECT_TRUE(res.ok) << res.detail;
+}
+
+}  // namespace
+}  // namespace turbo::gnn

@@ -1,0 +1,105 @@
+#include "gnn/graph_batch.h"
+
+#include <gtest/gtest.h>
+
+namespace turbo::gnn {
+namespace {
+
+// Hand-built subgraph: 3 nodes; type 0 edge (0,1) w=2; type 1 edge (1,2)
+// w=4. Global ids 10, 11, 12.
+bn::Subgraph MakeSubgraph() {
+  bn::Subgraph sg;
+  sg.nodes = {10, 11, 12};
+  sg.num_targets = 2;
+  sg.local = {{10, 0}, {11, 1}, {12, 2}};
+  sg.edges[0] = {{0, 1, 2.0f}, {1, 0, 2.0f}};
+  sg.edges[1] = {{1, 2, 4.0f}, {2, 1, 4.0f}};
+  return sg;
+}
+
+la::Matrix MakeFeatures() {
+  la::Matrix f(20, 2);
+  for (size_t r = 0; r < 20; ++r) {
+    f(r, 0) = static_cast<float>(r);
+    f(r, 1) = static_cast<float>(r) * 10;
+  }
+  return f;
+}
+
+TEST(GraphBatchTest, GathersFeaturesByGlobalId) {
+  auto batch = MakeGraphBatch(MakeSubgraph(), MakeFeatures());
+  EXPECT_EQ(batch.num_nodes(), 3u);
+  EXPECT_EQ(batch.num_targets, 2u);
+  EXPECT_FLOAT_EQ(batch.features(0, 0), 10.0f);
+  EXPECT_FLOAT_EQ(batch.features(2, 1), 120.0f);
+}
+
+TEST(GraphBatchTest, TypeAdjacenciesSeparate) {
+  auto batch = MakeGraphBatch(MakeSubgraph(), MakeFeatures());
+  EXPECT_EQ(batch.type_adj[0].nnz(), 2u);
+  EXPECT_EQ(batch.type_adj[1].nnz(), 2u);
+  EXPECT_EQ(batch.type_adj[2].nnz(), 0u);
+  la::Matrix d0 = batch.type_adj[0].ToDense();
+  EXPECT_FLOAT_EQ(d0(0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(d0(1, 2), 0.0f);
+}
+
+TEST(GraphBatchTest, TypeMeanRowsNormalized) {
+  auto batch = MakeGraphBatch(MakeSubgraph(), MakeFeatures());
+  la::Matrix rs = batch.type_mean[0].RowSums();
+  EXPECT_NEAR(rs(0, 0), 1.0f, 1e-6f);
+  EXPECT_NEAR(rs(1, 0), 1.0f, 1e-6f);
+  EXPECT_FLOAT_EQ(rs(2, 0), 0.0f);  // no type-0 edges at node 2
+}
+
+TEST(GraphBatchTest, UnionMergesTypes) {
+  auto batch = MakeGraphBatch(MakeSubgraph(), MakeFeatures());
+  la::Matrix u = batch.union_adj.ToDense();
+  EXPECT_FLOAT_EQ(u(0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(u(1, 2), 4.0f);
+  EXPECT_FLOAT_EQ(u(1, 0), 2.0f);
+}
+
+TEST(GraphBatchTest, RwSelfIncludesSelfLoopAndNormalizes) {
+  auto batch = MakeGraphBatch(MakeSubgraph(), MakeFeatures());
+  la::Matrix a = batch.union_rw_self.ToDense();
+  // Node 0: neighbors {1 (2.0), self (1.0)} -> row sums to 1.
+  EXPECT_NEAR(a(0, 0) + a(0, 1) + a(0, 2), 1.0f, 1e-6f);
+  EXPECT_GT(a(0, 0), 0.0f);
+  // Isolated-from-union? none here, but every row must sum to 1.
+  la::Matrix rs = batch.union_rw_self.RowSums();
+  for (size_t r = 0; r < 3; ++r) EXPECT_NEAR(rs(r, 0), 1.0f, 1e-6f);
+}
+
+TEST(GraphBatchTest, SelfStructureHasUnitValues) {
+  auto batch = MakeGraphBatch(MakeSubgraph(), MakeFeatures());
+  for (float v : batch.union_self_structure.values()) {
+    EXPECT_FLOAT_EQ(v, 1.0f);
+  }
+  // 4 directed union edges + 3 self loops.
+  EXPECT_EQ(batch.union_self_structure.nnz(), 7u);
+}
+
+TEST(GraphBatchTest, SingletonSubgraph) {
+  bn::Subgraph sg;
+  sg.nodes = {5};
+  sg.num_targets = 1;
+  sg.local = {{5, 0}};
+  auto batch = MakeGraphBatch(sg, MakeFeatures());
+  EXPECT_EQ(batch.num_nodes(), 1u);
+  EXPECT_EQ(batch.union_adj.nnz(), 0u);
+  // Self-loop keeps GCN aggregation well-defined.
+  EXPECT_EQ(batch.union_rw_self.nnz(), 1u);
+  EXPECT_FLOAT_EQ(batch.union_rw_self.ToDense()(0, 0), 1.0f);
+}
+
+TEST(GraphBatchDeathTest, GlobalIdOutOfFeatureRangeAborts) {
+  bn::Subgraph sg;
+  sg.nodes = {99};
+  sg.num_targets = 1;
+  sg.local = {{99, 0}};
+  EXPECT_DEATH(MakeGraphBatch(sg, la::Matrix(20, 2)), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace turbo::gnn

@@ -1,0 +1,102 @@
+#include "la/sparse.h"
+
+#include <gtest/gtest.h>
+
+namespace turbo::la {
+namespace {
+
+SparseMatrix MakeExample() {
+  // [[0, 2, 0],
+  //  [1, 0, 3],
+  //  [0, 0, 0],
+  //  [4, 5, 0]]
+  return SparseMatrix::FromTriplets(
+      4, 3, {{0, 1, 2.0f}, {1, 0, 1.0f}, {1, 2, 3.0f}, {3, 0, 4.0f},
+             {3, 1, 5.0f}});
+}
+
+TEST(SparseTest, FromTripletsShapeAndNnz) {
+  auto m = MakeExample();
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.nnz(), 5u);
+}
+
+TEST(SparseTest, DuplicatesAreSummed) {
+  auto m = SparseMatrix::FromTriplets(
+      2, 2, {{0, 0, 1.0f}, {0, 0, 2.5f}, {1, 1, 1.0f}});
+  EXPECT_EQ(m.nnz(), 2u);
+  Matrix d = m.ToDense();
+  EXPECT_FLOAT_EQ(d(0, 0), 3.5f);
+}
+
+TEST(SparseTest, ToDenseRoundTrip) {
+  auto m = MakeExample();
+  Matrix d = m.ToDense();
+  EXPECT_FLOAT_EQ(d(0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(d(1, 2), 3.0f);
+  EXPECT_FLOAT_EQ(d(2, 0), 0.0f);
+  EXPECT_FLOAT_EQ(d(3, 1), 5.0f);
+}
+
+TEST(SparseTest, MultiplyMatchesDense) {
+  auto m = MakeExample();
+  Rng rng(1);
+  Matrix x = Matrix::Randn(3, 5, &rng);
+  EXPECT_TRUE(AllClose(m.Multiply(x), MatMul(m.ToDense(), x)));
+}
+
+TEST(SparseTest, MultiplyTransposedMatchesDense) {
+  auto m = MakeExample();
+  Rng rng(2);
+  Matrix x = Matrix::Randn(4, 5, &rng);
+  EXPECT_TRUE(
+      AllClose(m.MultiplyTransposed(x), MatMul(Transpose(m.ToDense()), x)));
+}
+
+TEST(SparseTest, RowSums) {
+  auto m = MakeExample();
+  Matrix rs = m.RowSums();
+  EXPECT_FLOAT_EQ(rs(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(rs(1, 0), 4.0f);
+  EXPECT_FLOAT_EQ(rs(2, 0), 0.0f);
+  EXPECT_FLOAT_EQ(rs(3, 0), 9.0f);
+}
+
+TEST(SparseTest, RowNormalizedRowsSumToOne) {
+  auto m = MakeExample().RowNormalized();
+  Matrix rs = m.RowSums();
+  EXPECT_NEAR(rs(0, 0), 1.0f, 1e-6f);
+  EXPECT_NEAR(rs(1, 0), 1.0f, 1e-6f);
+  EXPECT_FLOAT_EQ(rs(2, 0), 0.0f);  // empty row stays zero
+  EXPECT_NEAR(rs(3, 0), 1.0f, 1e-6f);
+}
+
+TEST(SparseTest, EmptyMatrix) {
+  auto m = SparseMatrix::FromTriplets(3, 3, {});
+  EXPECT_EQ(m.nnz(), 0u);
+  Matrix x(3, 2, 1.0f);
+  Matrix y = m.Multiply(x);
+  EXPECT_DOUBLE_EQ(y.Sum(), 0.0);
+}
+
+TEST(SparseDeathTest, OutOfRangeTripletAborts) {
+  EXPECT_DEATH(SparseMatrix::FromTriplets(2, 2, {{2, 0, 1.0f}}),
+               "CHECK failed");
+}
+
+TEST(SparseTest, LargeRandomAgainstDense) {
+  Rng rng(7);
+  std::vector<Triplet> trips;
+  for (int i = 0; i < 500; ++i) {
+    trips.push_back({static_cast<uint32_t>(rng.NextUint(40)),
+                     static_cast<uint32_t>(rng.NextUint(30)),
+                     static_cast<float>(rng.NextGaussian())});
+  }
+  auto m = SparseMatrix::FromTriplets(40, 30, trips);
+  Matrix x = Matrix::Randn(30, 8, &rng);
+  EXPECT_TRUE(AllClose(m.Multiply(x), MatMul(m.ToDense(), x), 1e-4f, 1e-3f));
+}
+
+}  // namespace
+}  // namespace turbo::la

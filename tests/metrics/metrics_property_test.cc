@@ -1,0 +1,92 @@
+// Property sweeps over the metric implementations.
+#include <gtest/gtest.h>
+
+#include "metrics/metrics.h"
+#include "util/rng.h"
+
+namespace turbo::metrics {
+namespace {
+
+class MetricsPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    Rng rng(GetParam());
+    const int n = 500;
+    scores_.resize(n);
+    labels_.resize(n);
+    for (int i = 0; i < n; ++i) {
+      labels_[i] = rng.NextBool(0.2);
+      scores_[i] = rng.NextDouble() * 0.6 + 0.3 * labels_[i];
+    }
+  }
+  std::vector<double> scores_;
+  std::vector<int> labels_;
+};
+
+TEST_P(MetricsPropertyTest, ConfusionCountsSumToN) {
+  for (double thr : {0.0, 0.3, 0.5, 0.9, 1.1}) {
+    auto c = Confuse(scores_, labels_, thr);
+    ASSERT_EQ(c.tp + c.fp + c.tn + c.fn,
+              static_cast<int64_t>(scores_.size()));
+  }
+}
+
+TEST_P(MetricsPropertyTest, RecallMonotoneInThreshold) {
+  double prev = 1.1;
+  for (double thr : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const double r = Confuse(scores_, labels_, thr).Recall();
+    ASSERT_LE(r, prev + 1e-12);
+    prev = r;
+  }
+}
+
+TEST_P(MetricsPropertyTest, FBetaBetweenZeroAndOne) {
+  auto c = Confuse(scores_, labels_, 0.5);
+  for (double beta : {0.5, 1.0, 2.0, 4.0}) {
+    const double f = c.FBeta(beta);
+    ASSERT_GE(f, 0.0);
+    ASSERT_LE(f, 1.0);
+    // F-beta lies between min and max of precision and recall.
+    ASSERT_GE(f, std::min(c.Precision(), c.Recall()) - 1e-12);
+    ASSERT_LE(f, std::max(c.Precision(), c.Recall()) + 1e-12);
+  }
+}
+
+TEST_P(MetricsPropertyTest, AucComplementsOnLabelFlip) {
+  std::vector<int> flipped(labels_.size());
+  for (size_t i = 0; i < labels_.size(); ++i) flipped[i] = 1 - labels_[i];
+  ASSERT_NEAR(RocAuc(scores_, labels_) + RocAuc(scores_, flipped), 1.0,
+              1e-9);
+}
+
+TEST_P(MetricsPropertyTest, AucInvariantUnderPermutation) {
+  const double base = RocAuc(scores_, labels_);
+  Rng rng(GetParam() + 99);
+  std::vector<size_t> perm(scores_.size());
+  for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  rng.Shuffle(&perm);
+  std::vector<double> s2(scores_.size());
+  std::vector<int> y2(labels_.size());
+  for (size_t i = 0; i < perm.size(); ++i) {
+    s2[i] = scores_[perm[i]];
+    y2[i] = labels_[perm[i]];
+  }
+  ASSERT_NEAR(RocAuc(s2, y2), base, 1e-12);
+}
+
+TEST_P(MetricsPropertyTest, AggregateVarianceNonNegative) {
+  auto mv = Aggregate(scores_);
+  ASSERT_GE(mv.variance, 0.0);
+  // Shifting values shifts the mean but not the variance.
+  std::vector<double> shifted = scores_;
+  for (double& v : shifted) v += 42.0;
+  auto mv2 = Aggregate(shifted);
+  ASSERT_NEAR(mv2.mean, mv.mean + 42.0, 1e-9);
+  ASSERT_NEAR(mv2.variance, mv.variance, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricsPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace turbo::metrics

@@ -1,0 +1,112 @@
+#include "metrics/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace turbo::metrics {
+namespace {
+
+TEST(ConfusionTest, BasicCounts) {
+  // scores:  .9 .8 .4 .3 ; labels: 1 0 1 0 ; threshold .5
+  auto c = Confuse({0.9, 0.8, 0.4, 0.3}, {1, 0, 1, 0});
+  EXPECT_EQ(c.tp, 1);
+  EXPECT_EQ(c.fp, 1);
+  EXPECT_EQ(c.fn, 1);
+  EXPECT_EQ(c.tn, 1);
+  EXPECT_DOUBLE_EQ(c.Precision(), 0.5);
+  EXPECT_DOUBLE_EQ(c.Recall(), 0.5);
+  EXPECT_DOUBLE_EQ(c.Accuracy(), 0.5);
+}
+
+TEST(ConfusionTest, ThresholdIsInclusive) {
+  auto c = Confuse({0.5}, {1}, 0.5);
+  EXPECT_EQ(c.tp, 1);
+}
+
+TEST(ConfusionTest, DegenerateCasesReturnZero) {
+  Confusion empty;
+  EXPECT_DOUBLE_EQ(empty.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.F1(), 0.0);
+}
+
+TEST(FBetaTest, F1IsHarmonicMean) {
+  Confusion c{/*tp=*/8, /*fp=*/2, /*tn=*/0, /*fn=*/8};
+  // P = 0.8, R = 0.5 -> F1 = 2*0.8*0.5/1.3
+  EXPECT_NEAR(c.F1(), 2 * 0.8 * 0.5 / 1.3, 1e-9);
+}
+
+TEST(FBetaTest, F2WeighsRecallTwice) {
+  // High precision, low recall: F2 < F1. High recall, low precision:
+  // F2 > F1 — this is why Table III reports both.
+  Confusion high_p{9, 1, 0, 91};   // P=0.9, R=0.09
+  EXPECT_LT(high_p.F2(), high_p.F1());
+  Confusion high_r{90, 110, 0, 10};  // P=0.45, R=0.9
+  EXPECT_GT(high_r.F2(), high_r.F1());
+}
+
+TEST(AucTest, PerfectRankingIsOne) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.1, 0.2, 0.8, 0.9}, {0, 0, 1, 1}), 1.0);
+}
+
+TEST(AucTest, InvertedRankingIsZero) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.9, 0.8, 0.2, 0.1}, {0, 0, 1, 1}), 0.0);
+}
+
+TEST(AucTest, RandomScoresNearHalf) {
+  Rng rng(1);
+  std::vector<double> scores(4000);
+  std::vector<int> labels(4000);
+  for (int i = 0; i < 4000; ++i) {
+    scores[i] = rng.NextDouble();
+    labels[i] = rng.NextBool(0.3);
+  }
+  EXPECT_NEAR(RocAuc(scores, labels), 0.5, 0.03);
+}
+
+TEST(AucTest, TiesGetHalfCredit) {
+  // All scores equal: AUC must be exactly 0.5.
+  EXPECT_DOUBLE_EQ(RocAuc({0.7, 0.7, 0.7, 0.7}, {1, 0, 1, 0}), 0.5);
+}
+
+TEST(AucTest, SingleClassReturnsHalf) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.1, 0.9}, {1, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(RocAuc({0.1, 0.9}, {0, 0}), 0.5);
+}
+
+TEST(AucTest, InvariantToMonotoneTransform) {
+  std::vector<double> s1 = {0.1, 0.4, 0.35, 0.8, 0.65};
+  std::vector<double> s2;
+  for (double v : s1) s2.push_back(v * 100.0 - 3.0);
+  std::vector<int> y = {0, 0, 1, 1, 0};
+  EXPECT_DOUBLE_EQ(RocAuc(s1, y), RocAuc(s2, y));
+}
+
+TEST(AucTest, KnownHandComputedValue) {
+  // pos scores {0.8, 0.4}, neg {0.6, 0.2}:
+  // pairs: (.8>.6)+( .8>.2)+(.4<.6=0)+(.4>.2) = 3/4
+  EXPECT_DOUBLE_EQ(RocAuc({0.8, 0.4, 0.6, 0.2}, {1, 1, 0, 0}), 0.75);
+}
+
+TEST(EvaluateTest, ReturnsPercentages) {
+  auto r = Evaluate({0.9, 0.1}, {1, 0});
+  EXPECT_DOUBLE_EQ(r.precision_pct, 100.0);
+  EXPECT_DOUBLE_EQ(r.recall_pct, 100.0);
+  EXPECT_DOUBLE_EQ(r.auc_pct, 100.0);
+}
+
+TEST(AggregateTest, MeanAndVariance) {
+  auto mv = Aggregate({2.0, 4.0, 6.0});
+  EXPECT_DOUBLE_EQ(mv.mean, 4.0);
+  EXPECT_NEAR(mv.variance, 8.0 / 3.0, 1e-12);
+}
+
+TEST(AggregateTest, SingleValueHasZeroVariance) {
+  auto mv = Aggregate({3.14});
+  EXPECT_DOUBLE_EQ(mv.mean, 3.14);
+  EXPECT_DOUBLE_EQ(mv.variance, 0.0);
+}
+
+}  // namespace
+}  // namespace turbo::metrics

@@ -1,0 +1,139 @@
+#include "ml/gbdt.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "metrics/metrics.h"
+#include "util/rng.h"
+
+namespace turbo::ml {
+namespace {
+
+struct Data {
+  la::Matrix x;
+  std::vector<int> y;
+};
+
+// XOR-style dataset: label = (x0 > 0) != (x1 > 0). Linear models fail;
+// trees must nail it.
+Data MakeXor(int n, uint64_t seed) {
+  Rng rng(seed);
+  Data d{la::Matrix(n, 3), std::vector<int>(n)};
+  for (int i = 0; i < n; ++i) {
+    const double a = rng.NextGaussian();
+    const double b = rng.NextGaussian();
+    d.x(i, 0) = static_cast<float>(a);
+    d.x(i, 1) = static_cast<float>(b);
+    d.x(i, 2) = static_cast<float>(rng.NextGaussian());  // noise
+    d.y[i] = ((a > 0) != (b > 0)) ? 1 : 0;
+  }
+  return d;
+}
+
+TEST(GbdtTest, LearnsXor) {
+  auto train = MakeXor(3000, 1);
+  auto test = MakeXor(800, 2);
+  Gbdt model;
+  model.Fit(train.x, train.y);
+  auto scores = model.PredictProba(test.x);
+  EXPECT_GT(metrics::RocAuc(scores, test.y), 0.97);
+}
+
+TEST(GbdtTest, NoiseFeatureHasLowImportance) {
+  auto train = MakeXor(3000, 3);
+  Gbdt model;
+  model.Fit(train.x, train.y);
+  auto imp = model.FeatureImportance();
+  ASSERT_EQ(imp.size(), 3u);
+  EXPECT_GT(imp[0], 5.0 * imp[2]);
+  EXPECT_GT(imp[1], 5.0 * imp[2]);
+}
+
+TEST(GbdtTest, MoreTreesImproveTrainFit) {
+  auto train = MakeXor(1500, 4);
+  GbdtConfig few;
+  few.num_trees = 5;
+  GbdtConfig many;
+  many.num_trees = 100;
+  Gbdt a(few), b(many);
+  a.Fit(train.x, train.y);
+  b.Fit(train.x, train.y);
+  auto auc_a = metrics::RocAuc(a.PredictProba(train.x), train.y);
+  auto auc_b = metrics::RocAuc(b.PredictProba(train.x), train.y);
+  EXPECT_GT(auc_b, auc_a);
+}
+
+TEST(GbdtTest, PredictionsAreProbabilities) {
+  auto train = MakeXor(500, 5);
+  Gbdt model;
+  model.Fit(train.x, train.y);
+  for (double p : model.PredictProba(train.x)) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    EXPECT_FALSE(std::isnan(p));
+  }
+}
+
+TEST(GbdtTest, HandlesConstantFeatures) {
+  Rng rng(6);
+  la::Matrix x(400, 2);
+  std::vector<int> y(400);
+  for (int i = 0; i < 400; ++i) {
+    x(i, 0) = 7.0f;  // constant
+    x(i, 1) = static_cast<float>(rng.NextGaussian());
+    y[i] = x(i, 1) > 0;
+  }
+  Gbdt model;
+  model.Fit(x, y);
+  EXPECT_GT(metrics::RocAuc(model.PredictProba(x), y), 0.95);
+}
+
+TEST(GbdtTest, HandlesAllOneClass) {
+  la::Matrix x(50, 2, 1.0f);
+  std::vector<int> y(50, 0);
+  Gbdt model;
+  model.Fit(x, y);
+  auto p = model.PredictProba(x);
+  for (double v : p) EXPECT_LT(v, 0.1);
+}
+
+TEST(GbdtTest, ImbalanceWithAutoWeightKeepsRecall) {
+  Rng rng(7);
+  const int n = 4000;
+  la::Matrix x(n, 2);
+  std::vector<int> y(n);
+  for (int i = 0; i < n; ++i) {
+    const bool pos = rng.NextBool(0.02);
+    y[i] = pos;
+    x(i, 0) = static_cast<float>(rng.NextGaussian(pos ? 2.0 : 0.0, 1.0));
+    x(i, 1) = static_cast<float>(rng.NextGaussian());
+  }
+  Gbdt model;
+  model.Fit(x, y);
+  auto report = metrics::Evaluate(model.PredictProba(x), y);
+  EXPECT_GT(report.recall_pct, 60.0);
+}
+
+TEST(GbdtTest, DeterministicForSameSeed) {
+  auto train = MakeXor(800, 8);
+  Gbdt a, b;
+  a.Fit(train.x, train.y);
+  b.Fit(train.x, train.y);
+  auto pa = a.PredictProba(train.x);
+  auto pb = b.PredictProba(train.x);
+  for (size_t i = 0; i < pa.size(); ++i) EXPECT_DOUBLE_EQ(pa[i], pb[i]);
+}
+
+TEST(GbdtTest, DepthLimitIsRespectedViaTreeCount) {
+  auto train = MakeXor(500, 9);
+  GbdtConfig cfg;
+  cfg.num_trees = 17;
+  Gbdt model(cfg);
+  model.Fit(train.x, train.y);
+  EXPECT_LE(model.num_trees(), 17);
+  EXPECT_GE(model.num_trees(), 15);  // row subsample may skip a tree
+}
+
+}  // namespace
+}  // namespace turbo::ml

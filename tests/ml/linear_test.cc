@@ -1,0 +1,117 @@
+#include "ml/linear.h"
+
+#include <gtest/gtest.h>
+
+#include "metrics/metrics.h"
+#include "util/rng.h"
+
+namespace turbo::ml {
+namespace {
+
+// Two Gaussian blobs along the first feature; second feature is noise.
+struct Blobs {
+  la::Matrix x;
+  std::vector<int> y;
+};
+
+Blobs MakeBlobs(int n, double sep, double pos_rate, uint64_t seed) {
+  Rng rng(seed);
+  Blobs b{la::Matrix(n, 2), std::vector<int>(n)};
+  for (int i = 0; i < n; ++i) {
+    const bool pos = rng.NextBool(pos_rate);
+    b.y[i] = pos;
+    b.x(i, 0) = static_cast<float>(rng.NextGaussian(pos ? sep : 0.0, 1.0));
+    b.x(i, 1) = static_cast<float>(rng.NextGaussian());
+  }
+  return b;
+}
+
+TEST(BalancedWeightTest, ComputesNegOverPos) {
+  EXPECT_DOUBLE_EQ(BalancedPositiveWeight({1, 0, 0, 0}), 3.0);
+  EXPECT_DOUBLE_EQ(BalancedPositiveWeight({1, 1, 0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(BalancedPositiveWeight({0, 0, 0, 0}), 1.0);  // no pos
+  // Clamped at max.
+  std::vector<int> y(1000, 0);
+  y[0] = 1;
+  EXPECT_DOUBLE_EQ(BalancedPositiveWeight(y, 50.0), 50.0);
+}
+
+TEST(LogisticRegressionTest, SeparatesBlobs) {
+  auto train = MakeBlobs(2000, 3.0, 0.5, 1);
+  auto test = MakeBlobs(500, 3.0, 0.5, 2);
+  LogisticRegression lr;
+  lr.Fit(train.x, train.y);
+  auto scores = lr.PredictProba(test.x);
+  EXPECT_GT(metrics::RocAuc(scores, test.y), 0.95);
+}
+
+TEST(LogisticRegressionTest, LearnsPositiveWeightOnSignalFeature) {
+  auto train = MakeBlobs(2000, 3.0, 0.5, 3);
+  LogisticRegression lr;
+  lr.Fit(train.x, train.y);
+  EXPECT_GT(lr.weights()[0], 0.5f);
+  EXPECT_LT(std::abs(lr.weights()[1]), std::abs(lr.weights()[0]) / 3);
+}
+
+TEST(LogisticRegressionTest, ProbabilitiesInRange) {
+  auto train = MakeBlobs(500, 2.0, 0.3, 4);
+  LogisticRegression lr;
+  lr.Fit(train.x, train.y);
+  for (double p : lr.PredictProba(train.x)) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(LogisticRegressionTest, ImbalancedDataStillRecallsPositives) {
+  auto train = MakeBlobs(4000, 2.5, 0.03, 5);
+  LogisticRegression lr;  // auto class weight
+  lr.Fit(train.x, train.y);
+  auto scores = lr.PredictProba(train.x);
+  auto report = metrics::Evaluate(scores, train.y);
+  EXPECT_GT(report.recall_pct, 50.0);
+}
+
+TEST(LinearSvmTest, SeparatesBlobs) {
+  auto train = MakeBlobs(2000, 3.0, 0.5, 6);
+  auto test = MakeBlobs(500, 3.0, 0.5, 7);
+  LinearSvm svm;
+  svm.Fit(train.x, train.y);
+  auto scores = svm.PredictProba(test.x);
+  EXPECT_GT(metrics::RocAuc(scores, test.y), 0.95);
+}
+
+TEST(LinearSvmTest, MarginSignMatchesClass) {
+  auto train = MakeBlobs(2000, 4.0, 0.5, 8);
+  LinearSvm svm;
+  svm.Fit(train.x, train.y);
+  int correct = 0;
+  for (size_t i = 0; i < 200; ++i) {
+    const bool pred = svm.Margin(train.x, i) > 0;
+    correct += (pred == (train.y[i] != 0));
+  }
+  EXPECT_GT(correct, 180);
+}
+
+TEST(LinearSvmTest, ProbaMonotoneInMargin) {
+  auto train = MakeBlobs(500, 3.0, 0.5, 9);
+  LinearSvm svm;
+  svm.Fit(train.x, train.y);
+  auto scores = svm.PredictProba(train.x);
+  for (size_t i = 0; i < 50; ++i) {
+    for (size_t j = 0; j < 50; ++j) {
+      if (svm.Margin(train.x, i) > svm.Margin(train.x, j)) {
+        EXPECT_GE(scores[i], scores[j]);
+      }
+    }
+  }
+}
+
+TEST(LinearDeathTest, MismatchedShapesAbort) {
+  LogisticRegression lr;
+  EXPECT_DEATH(lr.Fit(la::Matrix(3, 2), std::vector<int>{1, 0}),
+               "CHECK failed");
+}
+
+}  // namespace
+}  // namespace turbo::ml

@@ -1,0 +1,78 @@
+#include "ml/mlp.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "metrics/metrics.h"
+#include "util/rng.h"
+
+namespace turbo::ml {
+namespace {
+
+struct Data {
+  la::Matrix x;
+  std::vector<int> y;
+};
+
+// Concentric circles: inner circle positive. Not linearly separable.
+Data MakeCircles(int n, uint64_t seed) {
+  Rng rng(seed);
+  Data d{la::Matrix(n, 2), std::vector<int>(n)};
+  for (int i = 0; i < n; ++i) {
+    const bool pos = rng.NextBool(0.5);
+    const double radius = pos ? 1.0 : 3.0;
+    const double angle = rng.NextDouble() * 2 * M_PI;
+    const double r = radius + rng.NextGaussian() * 0.3;
+    d.x(i, 0) = static_cast<float>(r * std::cos(angle));
+    d.x(i, 1) = static_cast<float>(r * std::sin(angle));
+    d.y[i] = pos;
+  }
+  return d;
+}
+
+TEST(MlpTest, LearnsNonlinearBoundary) {
+  auto train = MakeCircles(1500, 1);
+  auto test = MakeCircles(400, 2);
+  MlpConfig cfg;
+  cfg.hidden = {32, 16};
+  cfg.epochs = 300;
+  cfg.lr = 5e-3f;
+  Mlp model(cfg);
+  model.Fit(train.x, train.y);
+  EXPECT_GT(metrics::RocAuc(model.PredictProba(test.x), test.y), 0.95);
+}
+
+TEST(MlpTest, OutputsValidProbabilities) {
+  auto train = MakeCircles(300, 3);
+  MlpConfig cfg;
+  cfg.hidden = {8};
+  cfg.epochs = 50;
+  Mlp model(cfg);
+  model.Fit(train.x, train.y);
+  for (double p : model.PredictProba(train.x)) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(MlpTest, DeterministicForSameSeed) {
+  auto train = MakeCircles(300, 4);
+  MlpConfig cfg;
+  cfg.hidden = {8};
+  cfg.epochs = 30;
+  Mlp a(cfg), b(cfg);
+  a.Fit(train.x, train.y);
+  b.Fit(train.x, train.y);
+  auto pa = a.PredictProba(train.x);
+  auto pb = b.PredictProba(train.x);
+  for (size_t i = 0; i < pa.size(); ++i) EXPECT_DOUBLE_EQ(pa[i], pb[i]);
+}
+
+TEST(MlpDeathTest, PredictBeforeFitAborts) {
+  Mlp model;
+  EXPECT_DEATH(model.PredictProba(la::Matrix(2, 2)), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace turbo::ml

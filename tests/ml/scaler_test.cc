@@ -1,0 +1,67 @@
+#include "ml/scaler.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace turbo::ml {
+namespace {
+
+TEST(ScalerTest, TransformedDataHasZeroMeanUnitVar) {
+  Rng rng(1);
+  la::Matrix x(500, 3);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    x(r, 0) = static_cast<float>(rng.NextGaussian(100, 20));
+    x(r, 1) = static_cast<float>(rng.NextGaussian(-5, 0.1));
+    x(r, 2) = static_cast<float>(rng.NextDouble() * 1e6);
+  }
+  StandardScaler scaler;
+  la::Matrix t = scaler.FitTransform(x);
+  for (size_t c = 0; c < 3; ++c) {
+    double mean = 0, sq = 0;
+    for (size_t r = 0; r < t.rows(); ++r) {
+      mean += t(r, c);
+      sq += static_cast<double>(t(r, c)) * t(r, c);
+    }
+    mean /= t.rows();
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(sq / t.rows() - mean * mean, 1.0, 1e-3);
+  }
+}
+
+TEST(ScalerTest, ConstantFeatureDoesNotBlowUp) {
+  la::Matrix x(10, 1, 5.0f);
+  StandardScaler scaler;
+  la::Matrix t = scaler.FitTransform(x);
+  for (size_t r = 0; r < t.rows(); ++r) {
+    EXPECT_FLOAT_EQ(t(r, 0), 0.0f);
+    EXPECT_FALSE(std::isnan(t(r, 0)));
+  }
+}
+
+TEST(ScalerTest, FitOnSubsetAppliesEverywhere) {
+  la::Matrix x = la::Matrix::FromRows({{0}, {10}, {1000}, {2000}});
+  StandardScaler scaler;
+  scaler.Fit(x, {0, 1});  // mean 5, std 5
+  la::Matrix t = scaler.Transform(x);
+  EXPECT_NEAR(t(0, 0), -1.0f, 1e-5f);
+  EXPECT_NEAR(t(1, 0), 1.0f, 1e-5f);
+  EXPECT_NEAR(t(2, 0), 199.0f, 1e-3f);
+}
+
+TEST(ScalerDeathTest, TransformBeforeFitAborts) {
+  StandardScaler scaler;
+  la::Matrix x(2, 2);
+  EXPECT_DEATH(scaler.Transform(x), "CHECK failed");
+}
+
+TEST(ScalerDeathTest, DimensionMismatchAborts) {
+  StandardScaler scaler;
+  scaler.Fit(la::Matrix(3, 2, 1.0f));
+  EXPECT_DEATH(scaler.Transform(la::Matrix(3, 5)), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace turbo::ml

@@ -1,0 +1,113 @@
+#include "server/bn_server.h"
+
+#include <gtest/gtest.h>
+
+namespace turbo::server {
+namespace {
+
+constexpr BehaviorType kIp = BehaviorType::kIpv4;
+const int kIpIdx = EdgeTypeIndex(kIp);
+
+BnServerConfig SmallConfig() {
+  BnServerConfig cfg;
+  cfg.bn.windows = {kHour, kDay};
+  cfg.num_users = 100;
+  cfg.snapshot_refresh = kHour;
+  return cfg;
+}
+
+BehaviorLog L(UserId u, ValueId v, SimTime t) {
+  return BehaviorLog{u, kIp, v, t};
+}
+
+TEST(BnServerTest, WindowJobsRunOnSchedule) {
+  BnServer server(SmallConfig());
+  server.AdvanceTo(3 * kHour);
+  // 1-hour window ran 3 times; 1-day window not yet.
+  EXPECT_EQ(server.jobs_run(), 3u);
+  server.AdvanceTo(kDay);
+  // 24 hourly + 1 daily.
+  EXPECT_EQ(server.jobs_run(), 25u);
+}
+
+TEST(BnServerTest, IngestedCoOccurrenceBecomesEdge) {
+  BnServer server(SmallConfig());
+  server.Ingest(L(1, 42, 10 * kMinute));
+  server.Ingest(L(2, 42, 20 * kMinute));
+  server.AdvanceTo(kHour);
+  EXPECT_GT(server.edges().Weight(kIpIdx, 1, 2), 0.0f);
+}
+
+TEST(BnServerTest, ShorterWindowJobRunsBeforeLarger) {
+  BnServer server(SmallConfig());
+  server.Ingest(L(1, 42, 10 * kMinute));
+  server.Ingest(L(2, 42, 20 * kMinute));
+  server.AdvanceTo(kHour);
+  const float after_hourly = server.edges().Weight(kIpIdx, 1, 2);
+  EXPECT_FLOAT_EQ(after_hourly, 0.5f);  // hourly job only
+  server.AdvanceTo(kDay);
+  // Daily job adds its own 1/2.
+  EXPECT_FLOAT_EQ(server.edges().Weight(kIpIdx, 1, 2), 1.0f);
+}
+
+TEST(BnServerTest, SamplingServesSnapshot) {
+  BnServer server(SmallConfig());
+  server.Ingest(L(1, 42, 10 * kMinute));
+  server.Ingest(L(2, 42, 20 * kMinute));
+  server.AdvanceTo(kHour);
+  auto sg = server.SampleSubgraph(1);
+  EXPECT_EQ(sg.nodes[0], 1u);
+  EXPECT_EQ(sg.nodes.size(), 2u);
+  EXPECT_GE(sg.NumEdges(), 1u);
+}
+
+TEST(BnServerTest, SnapshotIsRefreshedOnCadence) {
+  BnServerConfig cfg = SmallConfig();
+  cfg.snapshot_refresh = 2 * kHour;
+  BnServer server(cfg);
+  server.Ingest(L(1, 42, 10 * kMinute));
+  server.Ingest(L(2, 42, 20 * kMinute));
+  server.AdvanceTo(kHour);  // first snapshot
+  // New logs for another pair; within refresh interval the snapshot is
+  // stale.
+  server.Ingest(L(3, 77, kHour + 10 * kMinute));
+  server.Ingest(L(4, 77, kHour + 20 * kMinute));
+  server.AdvanceTo(2 * kHour);
+  auto stale = server.SampleSubgraph(3);
+  EXPECT_EQ(stale.nodes.size(), 1u);  // not yet visible
+  server.AdvanceTo(3 * kHour + 1);    // past refresh cadence
+  auto fresh = server.SampleSubgraph(3);
+  EXPECT_EQ(fresh.nodes.size(), 2u);
+}
+
+TEST(BnServerTest, TtlSweepExpiresOldEdges) {
+  BnServerConfig cfg = SmallConfig();
+  cfg.bn.edge_ttl = 5 * kDay;
+  BnServer server(cfg);
+  server.Ingest(L(1, 42, 10 * kMinute));
+  server.Ingest(L(2, 42, 20 * kMinute));
+  server.AdvanceTo(kDay);
+  EXPECT_GT(server.edges().Weight(kIpIdx, 1, 2), 0.0f);
+  server.AdvanceTo(10 * kDay);
+  EXPECT_FLOAT_EQ(server.edges().Weight(kIpIdx, 1, 2), 0.0f);
+  EXPECT_GT(server.edges_expired(), 0u);
+}
+
+TEST(BnServerDeathTest, SamplingBeforeAdvanceAborts) {
+  BnServer server(SmallConfig());
+  EXPECT_DEATH(server.SampleSubgraph(1), "AdvanceTo");
+}
+
+TEST(BnServerDeathTest, ClockCannotGoBackwards) {
+  BnServer server(SmallConfig());
+  server.AdvanceTo(kHour);
+  EXPECT_DEATH(server.AdvanceTo(kHour - 1), "CHECK failed");
+}
+
+TEST(BnServerDeathTest, IngestOutOfRangeUidAborts) {
+  BnServer server(SmallConfig());
+  EXPECT_DEATH(server.Ingest(L(100, 1, 0)), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace turbo::server

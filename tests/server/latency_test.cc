@@ -1,0 +1,62 @@
+#include "server/latency.h"
+
+#include <gtest/gtest.h>
+
+namespace turbo::server {
+namespace {
+
+TEST(LatencyTest, EmptyTrackerIsZero) {
+  LatencyTracker t;
+  EXPECT_EQ(t.count(), 0u);
+  EXPECT_DOUBLE_EQ(t.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(t.Percentile(0.5), 0.0);
+}
+
+TEST(LatencyTest, MeanAndMax) {
+  LatencyTracker t;
+  for (double v : {1.0, 2.0, 3.0, 10.0}) t.Record(v);
+  EXPECT_DOUBLE_EQ(t.Mean(), 4.0);
+  EXPECT_DOUBLE_EQ(t.Max(), 10.0);
+}
+
+TEST(LatencyTest, PercentilesNearestRank) {
+  LatencyTracker t;
+  for (int i = 1; i <= 100; ++i) t.Record(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(t.Percentile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(t.Percentile(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(t.Percentile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(t.Percentile(0.0), 1.0);
+}
+
+TEST(LatencyTest, RecordAfterPercentileStaysCorrect) {
+  LatencyTracker t;
+  t.Record(5.0);
+  EXPECT_DOUBLE_EQ(t.Percentile(0.5), 5.0);
+  t.Record(1.0);
+  EXPECT_DOUBLE_EQ(t.Percentile(0.0), 1.0);
+}
+
+TEST(LatencyTest, P999IsTailSensitive) {
+  LatencyTracker t;
+  for (int i = 0; i < 1999; ++i) t.Record(1.0);
+  t.Record(500.0);
+  EXPECT_DOUBLE_EQ(t.Percentile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(t.Percentile(0.999), 1.0);
+  EXPECT_DOUBLE_EQ(t.Percentile(1.0), 500.0);
+}
+
+TEST(LatencyTest, SummaryContainsFields) {
+  LatencyTracker t;
+  t.Record(2.5);
+  auto s = t.Summary("module");
+  EXPECT_NE(s.find("module"), std::string::npos);
+  EXPECT_NE(s.find("p999"), std::string::npos);
+}
+
+TEST(LatencyDeathTest, NegativeSampleAborts) {
+  LatencyTracker t;
+  EXPECT_DEATH(t.Record(-1.0), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace turbo::server

@@ -1,0 +1,164 @@
+// End-to-end serving tests: scenario -> trained HAG -> streaming replay
+// of audit requests (each request handled at its user's audit moment,
+// like production, so BN edges and burst features are live).
+#include "server/prediction_server.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/turbo.h"
+#include "metrics/metrics.h"
+
+namespace turbo::server {
+namespace {
+
+struct Replay {
+  std::vector<UserId> uids;
+  std::vector<int> labels;
+  std::vector<PredictionResponse> responses;
+};
+
+class PredictionServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // Offline phase: train a small HAG on a scenario.
+    auto ds = datagen::GenerateScenario(datagen::ScenarioConfig::D1Like(800));
+    core::PipelineConfig pcfg;
+    pcfg.bn.windows = {kHour, 6 * kHour, kDay};
+    data_ = core::PrepareData(std::move(ds), pcfg).release();
+    core::HagConfig hcfg;
+    hcfg.hidden = {16, 8};
+    hcfg.attention_dim = 8;
+    hcfg.mlp_hidden = 8;
+    model_ = new core::Hag(hcfg);
+    gnn::TrainConfig tcfg;
+    tcfg.epochs = 25;
+    tcfg.lr = 2e-3f;
+    core::TrainAndScoreGnn(model_, *data_, bn::SamplerConfig{}, tcfg);
+
+    // Online phase: stand up servers over the same scenario.
+    BnServerConfig bcfg;
+    bcfg.bn = pcfg.bn;
+    bcfg.num_users = 800;
+    bn_ = new BnServer(bcfg);
+    bn_->IngestBatch(data_->dataset.logs);
+
+    features::FeatureStoreConfig fcfg;
+    features_ = new features::FeatureStore(fcfg, &bn_->logs());
+    for (UserId u = 0; u < 800; ++u) {
+      const float* row = data_->dataset.profile_features.row(u);
+      features_->PutProfile(
+          u, std::vector<float>(
+                 row, row + data_->dataset.profile_features.cols()));
+    }
+    server_ = new PredictionServer(PredictionConfig{}, bn_, features_,
+                                   model_, &data_->scaler);
+
+    // Streaming replay: handle every test user at application + 24h,
+    // in audit-time order.
+    replay_ = new Replay();
+    std::vector<UserId> order = data_->test_uids;
+    std::sort(order.begin(), order.end(), [&](UserId a, UserId b) {
+      return data_->dataset.users[a].application_time <
+             data_->dataset.users[b].application_time;
+    });
+    for (UserId u : order) {
+      bn_->AdvanceTo(data_->dataset.users[u].application_time + kDay);
+      replay_->uids.push_back(u);
+      replay_->labels.push_back(data_->labels[u]);
+      replay_->responses.push_back(server_->Handle(u));
+    }
+  }
+  static void TearDownTestSuite() {
+    delete replay_;
+    delete server_;
+    delete features_;
+    delete bn_;
+    delete model_;
+    delete data_;
+    server_ = nullptr;
+  }
+
+  static core::PreparedData* data_;
+  static core::Hag* model_;
+  static BnServer* bn_;
+  static features::FeatureStore* features_;
+  static PredictionServer* server_;
+  static Replay* replay_;
+};
+
+core::PreparedData* PredictionServerTest::data_ = nullptr;
+core::Hag* PredictionServerTest::model_ = nullptr;
+BnServer* PredictionServerTest::bn_ = nullptr;
+features::FeatureStore* PredictionServerTest::features_ = nullptr;
+PredictionServer* PredictionServerTest::server_ = nullptr;
+Replay* PredictionServerTest::replay_ = nullptr;
+
+TEST_F(PredictionServerTest, ResponseFieldsPopulated) {
+  for (const auto& resp : replay_->responses) {
+    ASSERT_GE(resp.fraud_probability, 0.0);
+    ASSERT_LE(resp.fraud_probability, 1.0);
+    ASSERT_GE(resp.subgraph_nodes, 1);
+    ASSERT_GT(resp.total_ms, 0.0);
+    ASSERT_NEAR(resp.total_ms,
+                resp.sampling_ms + resp.feature_ms + resp.inference_ms,
+                1e-9);
+  }
+}
+
+TEST_F(PredictionServerTest, LatencyTrackersRecordEveryRequest) {
+  EXPECT_EQ(server_->total_latency().count(), replay_->responses.size());
+  EXPECT_EQ(server_->sampling_latency().count(),
+            replay_->responses.size());
+  EXPECT_GT(server_->total_latency().Mean(), 0.0);
+}
+
+TEST_F(PredictionServerTest, OnlineScoresRankFraudHigh) {
+  std::vector<double> scores;
+  for (const auto& r : replay_->responses) {
+    scores.push_back(r.fraud_probability);
+  }
+  const double auc = metrics::RocAuc(scores, replay_->labels);
+  EXPECT_GT(auc, 0.8) << "online replay AUC";
+}
+
+TEST_F(PredictionServerTest, FraudSubgraphsAreLarger) {
+  double fraud_nodes = 0, normal_nodes = 0;
+  int nf = 0, nn = 0;
+  for (size_t i = 0; i < replay_->responses.size(); ++i) {
+    if (replay_->labels[i]) {
+      fraud_nodes += replay_->responses[i].subgraph_nodes;
+      ++nf;
+    } else {
+      normal_nodes += replay_->responses[i].subgraph_nodes;
+      ++nn;
+    }
+  }
+  ASSERT_GT(nf, 0);
+  ASSERT_GT(nn, 0);
+  EXPECT_GT(fraud_nodes / nf, normal_nodes / nn);
+}
+
+TEST_F(PredictionServerTest, ThresholdControlsBlocking) {
+  PredictionConfig strict;
+  strict.threshold = 0.0;  // block everyone
+  PredictionServer block_all(strict, bn_, features_, model_,
+                             &data_->scaler);
+  EXPECT_TRUE(block_all.Handle(replay_->uids.back()).blocked);
+
+  PredictionConfig lax;
+  lax.threshold = 1.01;  // block no one
+  PredictionServer block_none(lax, bn_, features_, model_, &data_->scaler);
+  EXPECT_FALSE(block_none.Handle(replay_->uids.back()).blocked);
+}
+
+TEST_F(PredictionServerTest, RepeatRequestsBenefitFromFeatureCache) {
+  UserId u = replay_->uids.back();
+  auto first = server_->Handle(u);
+  auto second = server_->Handle(u);
+  EXPECT_LE(second.feature_ms, first.feature_ms);
+}
+
+}  // namespace
+}  // namespace turbo::server

@@ -1,0 +1,71 @@
+#include "server/scorecard.h"
+
+#include <gtest/gtest.h>
+
+namespace turbo::server {
+namespace {
+
+TEST(ScorecardTest, RiskyFraudstersScoreHigherThanNormals) {
+  auto ds = datagen::GenerateScenario(datagen::ScenarioConfig::D1Like(1500));
+  Scorecard card;
+  double normal = 0, risky = 0, stealth = 0;
+  int nn = 0, nr = 0, ns = 0;
+  for (const auto& u : ds.users) {
+    const double s = card.Score(ds.profile_features, u.uid);
+    if (!u.is_fraud) {
+      normal += s;
+      ++nn;
+    } else if (u.stealth) {
+      stealth += s;
+      ++ns;
+    } else {
+      risky += s;
+      ++nr;
+    }
+  }
+  ASSERT_GT(nr, 0);
+  ASSERT_GT(ns, 0);
+  EXPECT_GT(risky / nr, normal / nn + 1.5);
+  // Stealth fraudsters sail through the legacy rules — the gap Turbo
+  // exists to close.
+  EXPECT_LT(stealth / ns, normal / nn + 1.0);
+}
+
+TEST(ScorecardTest, BlockThresholdSplitsPopulation) {
+  auto ds = datagen::GenerateScenario(datagen::ScenarioConfig::D1Like(1500));
+  Scorecard card;
+  int blocked = 0;
+  int blocked_risky = 0, total_risky = 0;
+  for (const auto& u : ds.users) {
+    const bool b = card.Blocks(ds.profile_features, u.uid);
+    blocked += b;
+    if (u.is_fraud && !u.stealth) {
+      ++total_risky;
+      blocked_risky += b;
+    }
+  }
+  // Blocks only a small fraction of all applications, but a much larger
+  // share of the visibly risky fraudsters. (The legacy scorecard being
+  // mediocre is the paper's premise — it is why Turbo exists.)
+  EXPECT_LT(blocked, 1500 * 0.25);
+  ASSERT_GT(total_risky, 0);
+  EXPECT_GT(static_cast<double>(blocked_risky) / total_risky, 0.35);
+}
+
+TEST(ScorecardTest, ScoreIsDeterministic) {
+  auto ds = datagen::GenerateScenario(datagen::ScenarioConfig::D1Like(300));
+  Scorecard card;
+  for (UserId u = 0; u < 50; ++u) {
+    EXPECT_DOUBLE_EQ(card.Score(ds.profile_features, u),
+                     card.Score(ds.profile_features, u));
+  }
+}
+
+TEST(ScorecardDeathTest, UidOutOfRangeAborts) {
+  la::Matrix x(2, datagen::kNumProfileFeatures);
+  Scorecard card;
+  EXPECT_DEATH(card.Score(x, 2), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace turbo::server

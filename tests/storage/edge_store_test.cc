@@ -1,0 +1,93 @@
+#include "storage/edge_store.h"
+
+#include <gtest/gtest.h>
+
+namespace turbo::storage {
+namespace {
+
+TEST(EdgeStoreTest, AddWeightCreatesSymmetricEdge) {
+  EdgeStore store;
+  store.AddWeight(0, 1, 2, 0.25f, 100);
+  EXPECT_FLOAT_EQ(store.Weight(0, 1, 2), 0.25f);
+  EXPECT_FLOAT_EQ(store.Weight(0, 2, 1), 0.25f);
+  EXPECT_EQ(store.NumEdges(0), 1u);
+}
+
+TEST(EdgeStoreTest, WeightsAccumulate) {
+  EdgeStore store;
+  store.AddWeight(3, 1, 2, 0.25f, 100);
+  store.AddWeight(3, 2, 1, 0.20f, 200);
+  EXPECT_FLOAT_EQ(store.Weight(3, 1, 2), 0.45f);
+  EXPECT_EQ(store.NumEdges(3), 1u);  // still one undirected edge
+}
+
+TEST(EdgeStoreTest, TypesAreIndependent) {
+  EdgeStore store;
+  store.AddWeight(0, 1, 2, 1.0f, 0);
+  store.AddWeight(1, 1, 2, 2.0f, 0);
+  EXPECT_FLOAT_EQ(store.Weight(0, 1, 2), 1.0f);
+  EXPECT_FLOAT_EQ(store.Weight(1, 1, 2), 2.0f);
+  EXPECT_FLOAT_EQ(store.Weight(2, 1, 2), 0.0f);
+  EXPECT_EQ(store.TotalEdges(), 2u);
+}
+
+TEST(EdgeStoreTest, NeighborsAndDegrees) {
+  EdgeStore store;
+  store.AddWeight(0, 5, 6, 0.5f, 0);
+  store.AddWeight(0, 5, 7, 1.5f, 0);
+  EXPECT_EQ(store.Neighbors(0, 5).size(), 2u);
+  EXPECT_DOUBLE_EQ(store.WeightedDegree(0, 5), 2.0);
+  EXPECT_DOUBLE_EQ(store.WeightedDegree(0, 6), 0.5);
+  EXPECT_TRUE(store.Neighbors(0, 99).empty());
+}
+
+TEST(EdgeStoreTest, TtlExpiryRemovesStaleEdges) {
+  EdgeStore store;
+  store.AddWeight(0, 1, 2, 1.0f, /*now=*/100);
+  store.AddWeight(0, 3, 4, 1.0f, /*now=*/500);
+  size_t removed = store.ExpireBefore(/*cutoff=*/300);
+  EXPECT_EQ(removed, 1u);
+  EXPECT_FLOAT_EQ(store.Weight(0, 1, 2), 0.0f);
+  EXPECT_FLOAT_EQ(store.Weight(0, 3, 4), 1.0f);
+  EXPECT_EQ(store.NumEdges(0), 1u);
+}
+
+TEST(EdgeStoreTest, RefreshedEdgeSurvivesExpiry) {
+  EdgeStore store;
+  store.AddWeight(0, 1, 2, 1.0f, 100);
+  store.AddWeight(0, 1, 2, 1.0f, 400);  // refresh
+  EXPECT_EQ(store.ExpireBefore(300), 0u);
+  EXPECT_FLOAT_EQ(store.Weight(0, 1, 2), 2.0f);
+}
+
+TEST(EdgeStoreTest, ConnectedUsers) {
+  EdgeStore store;
+  store.AddWeight(0, 1, 5, 1.0f, 0);
+  store.AddWeight(2, 3, 5, 1.0f, 0);
+  auto users = store.ConnectedUsers();
+  EXPECT_EQ(users, (std::vector<UserId>{1, 3, 5}));
+}
+
+TEST(EdgeStoreDeathTest, RejectsSelfLoopAndBadType) {
+  EdgeStore store;
+  EXPECT_DEATH(store.AddWeight(0, 1, 1, 1.0f, 0), "CHECK failed");
+  EXPECT_DEATH(store.AddWeight(-1, 1, 2, 1.0f, 0), "CHECK failed");
+  EXPECT_DEATH(store.AddWeight(kNumEdgeTypes, 1, 2, 1.0f, 0),
+               "CHECK failed");
+  EXPECT_DEATH(store.AddWeight(0, 1, 2, 0.0f, 0), "CHECK failed");
+}
+
+TEST(EdgeStoreTest, ExpiryCountsEachUndirectedEdgeOnce) {
+  EdgeStore store;
+  for (UserId u = 0; u < 4; ++u) {
+    for (UserId v = u + 1; v < 4; ++v) {
+      store.AddWeight(0, u, v, 1.0f, 10);
+    }
+  }
+  EXPECT_EQ(store.NumEdges(0), 6u);
+  EXPECT_EQ(store.ExpireBefore(100), 6u);
+  EXPECT_EQ(store.NumEdges(0), 0u);
+}
+
+}  // namespace
+}  // namespace turbo::storage

@@ -1,0 +1,116 @@
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "storage/kv_store.h"
+#include "storage/lru_cache.h"
+
+namespace turbo::storage {
+namespace {
+
+TEST(KvStoreTest, PutGetRoundTrip) {
+  KvStore<int, std::string> kv;
+  kv.Put(1, "one");
+  auto v = kv.Get(1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "one");
+  EXPECT_FALSE(kv.Get(2).has_value());
+  EXPECT_TRUE(kv.Contains(1));
+  EXPECT_EQ(kv.size(), 1u);
+}
+
+TEST(KvStoreTest, OverwriteReplacesValue) {
+  KvStore<int, int> kv;
+  kv.Put(1, 10);
+  kv.Put(1, 20);
+  EXPECT_EQ(*kv.Get(1), 20);
+  EXPECT_EQ(kv.size(), 1u);
+}
+
+TEST(KvStoreTest, ChargesClock) {
+  KvStore<int, int> kv(MediumCost{200.0, 5.0});
+  kv.Put(1, 10);
+  SimClock clock;
+  kv.Get(1, &clock);
+  EXPECT_DOUBLE_EQ(clock.ElapsedMicros(), 205.0);
+  kv.Get(2, &clock);  // miss: overhead only
+  EXPECT_DOUBLE_EQ(clock.ElapsedMicros(), 405.0);
+}
+
+TEST(LruCacheTest, GetMissThenHit) {
+  LruCache<int, int> cache(2);
+  EXPECT_FALSE(cache.Get(1).has_value());
+  cache.Put(1, 11);
+  auto v = cache.Get(1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 11);
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 1);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 11);
+  cache.Put(2, 22);
+  cache.Get(1);       // 1 is now most recent
+  cache.Put(3, 33);   // evicts 2
+  EXPECT_TRUE(cache.Get(1).has_value());
+  EXPECT_FALSE(cache.Get(2).has_value());
+  EXPECT_TRUE(cache.Get(3).has_value());
+  EXPECT_EQ(cache.evictions(), 1);
+}
+
+TEST(LruCacheTest, PutRefreshesRecency) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 11);
+  cache.Put(2, 22);
+  cache.Put(1, 111);  // overwrite refreshes 1
+  cache.Put(3, 33);   // evicts 2
+  EXPECT_EQ(*cache.Get(1), 111);
+  EXPECT_FALSE(cache.Get(2).has_value());
+}
+
+TEST(LruCacheTest, EraseAndClear) {
+  LruCache<int, int> cache(4);
+  cache.Put(1, 1);
+  cache.Put(2, 2);
+  cache.Erase(1);
+  EXPECT_FALSE(cache.Get(1).has_value());
+  EXPECT_EQ(cache.size(), 1u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LruCacheTest, HitRate) {
+  LruCache<int, int> cache(4);
+  cache.Put(1, 1);
+  cache.Get(1);
+  cache.Get(1);
+  cache.Get(9);
+  EXPECT_NEAR(cache.hit_rate(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(LruCacheTest, CapacityNeverExceeded) {
+  LruCache<int, int> cache(3);
+  for (int i = 0; i < 100; ++i) cache.Put(i, i);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.evictions(), 97);
+}
+
+TEST(LruCacheTest, CacheIsCheaperThanSql) {
+  LruCache<int, int> cache(4);
+  KvStore<int, int> db(MediumCost::NetworkedSql());
+  db.Put(1, 42);
+  SimClock cold, warm;
+  // Cold path: miss + db + backfill.
+  auto hit = cache.Get(1, &cold);
+  EXPECT_FALSE(hit.has_value());
+  auto v = db.Get(1, &cold);
+  cache.Put(1, *v, &cold);
+  // Warm path: hit only.
+  EXPECT_TRUE(cache.Get(1, &warm).has_value());
+  EXPECT_GT(cold.ElapsedMicros(), 5.0 * warm.ElapsedMicros());
+}
+
+}  // namespace
+}  // namespace turbo::storage

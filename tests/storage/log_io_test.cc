@@ -1,0 +1,97 @@
+#include "storage/log_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace turbo::storage {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(LogIoTest, ParseValidLine) {
+  auto log = ParseLogLine("42,IPv4,1234,3600");
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  EXPECT_EQ(log.value().uid, 42u);
+  EXPECT_EQ(log.value().type, BehaviorType::kIpv4);
+  EXPECT_EQ(log.value().value, 1234u);
+  EXPECT_EQ(log.value().time, 3600);
+}
+
+TEST(LogIoTest, ParseTrimsWhitespace) {
+  auto log = ParseLogLine(" 1 , DeviceId , 7 , 0 ");
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(log.value().type, BehaviorType::kDeviceId);
+}
+
+TEST(LogIoTest, ParseRejectsBadInput) {
+  EXPECT_FALSE(ParseLogLine("1,IPv4,2").ok());            // 3 fields
+  EXPECT_FALSE(ParseLogLine("1,NoSuchType,2,3").ok());    // bad type
+  EXPECT_FALSE(ParseLogLine("x,IPv4,2,3").ok());          // bad uid
+  EXPECT_FALSE(ParseLogLine("1,IPv4,0,3").ok());          // reserved value
+}
+
+TEST(LogIoTest, TypeNamesRoundTrip) {
+  for (int t = 0; t < kNumBehaviorTypes; ++t) {
+    const auto bt = static_cast<BehaviorType>(t);
+    auto back = BehaviorTypeFromName(std::string(BehaviorTypeName(bt)));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), bt);
+  }
+  EXPECT_FALSE(BehaviorTypeFromName("ipv4").ok());  // case-sensitive
+}
+
+TEST(LogIoTest, WriteThenReadRoundTrips) {
+  BehaviorLogList logs = {
+      {1, BehaviorType::kDeviceId, 100, 10},
+      {2, BehaviorType::kGps100, 200, 20},
+      {1, BehaviorType::kWorkplace, 300, 30},
+  };
+  const auto path = TempPath("roundtrip.csv");
+  ASSERT_TRUE(WriteLogsCsv(logs, path).ok());
+  auto back = ReadLogsCsv(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back.value().size(), 3u);
+  EXPECT_EQ(back.value()[1], logs[1]);
+  std::remove(path.c_str());
+}
+
+TEST(LogIoTest, ReadSkipsCommentsAndHeader) {
+  const auto path = TempPath("comments.csv");
+  {
+    std::ofstream out(path);
+    out << "uid,type,value,timestamp\n"
+        << "# a comment\n"
+        << "\n"
+        << "5,IMEI,9,100\n";
+  }
+  auto logs = ReadLogsCsv(path);
+  ASSERT_TRUE(logs.ok());
+  ASSERT_EQ(logs.value().size(), 1u);
+  EXPECT_EQ(logs.value()[0].uid, 5u);
+  std::remove(path.c_str());
+}
+
+TEST(LogIoTest, ReadReportsLineNumberOnError) {
+  const auto path = TempPath("bad.csv");
+  {
+    std::ofstream out(path);
+    out << "1,IPv4,2,3\n"
+        << "oops\n";
+  }
+  auto logs = ReadLogsCsv(path);
+  ASSERT_FALSE(logs.ok());
+  EXPECT_NE(logs.status().message().find(":2:"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(LogIoTest, MissingFileIsNotFound) {
+  auto logs = ReadLogsCsv("/nonexistent/nope.csv");
+  EXPECT_EQ(logs.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace turbo::storage

@@ -1,0 +1,55 @@
+#include "storage/sim_clock.h"
+
+#include <gtest/gtest.h>
+
+namespace turbo::storage {
+namespace {
+
+TEST(SimClockTest, StartsAtZero) {
+  SimClock clock;
+  EXPECT_DOUBLE_EQ(clock.ElapsedMicros(), 0.0);
+  EXPECT_EQ(clock.queries(), 0);
+  EXPECT_EQ(clock.rows(), 0);
+}
+
+TEST(SimClockTest, ChargeQueryAccumulates) {
+  SimClock clock;
+  MediumCost cost{100.0, 2.0};
+  clock.ChargeQuery(cost, 10);
+  clock.ChargeQuery(cost, 0);
+  EXPECT_DOUBLE_EQ(clock.ElapsedMicros(), 100 + 20 + 100);
+  EXPECT_EQ(clock.queries(), 2);
+  EXPECT_EQ(clock.rows(), 10);
+}
+
+TEST(SimClockTest, UnitConversions) {
+  SimClock clock;
+  clock.ChargeMicros(2.5e6);
+  EXPECT_DOUBLE_EQ(clock.ElapsedMillis(), 2500.0);
+  EXPECT_DOUBLE_EQ(clock.ElapsedSeconds(), 2.5);
+}
+
+TEST(SimClockTest, ResetClears) {
+  SimClock clock;
+  clock.ChargeQuery(MediumCost::NetworkedSql(), 100);
+  clock.Reset();
+  EXPECT_DOUBLE_EQ(clock.ElapsedMicros(), 0.0);
+  EXPECT_EQ(clock.queries(), 0);
+}
+
+TEST(SimClockTest, MediaHaveSensibleOrdering) {
+  // A 1000-row scan should be much cheaper on the in-memory medium.
+  SimClock sql, redis;
+  sql.ChargeQuery(MediumCost::NetworkedSql(), 1000);
+  redis.ChargeQuery(MediumCost::InMemoryCache(), 1000);
+  EXPECT_GT(sql.ElapsedMicros(), 10.0 * redis.ElapsedMicros());
+}
+
+TEST(SimClockDeathTest, NegativeChargesRejected) {
+  SimClock clock;
+  EXPECT_DEATH(clock.ChargeQuery(MediumCost::Free(), -1), "CHECK failed");
+  EXPECT_DEATH(clock.ChargeMicros(-0.5), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace turbo::storage

@@ -1,0 +1,184 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace turbo {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextUintInRange) {
+  Rng rng(7);
+  for (uint64_t n : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.NextUint(n), n);
+  }
+}
+
+TEST(RngTest, NextUintCoversAllValues) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextUint(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextIntInclusiveBounds) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleUniformMoments) {
+  Rng rng(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+  EXPECT_NEAR(sq / n - (sum / n) * (sum / n), 1.0 / 12.0, 0.005);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.NextGaussian();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.NextExponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(RngTest, PoissonMeanSmallLambda) {
+  Rng rng(19);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.NextPoisson(2.5);
+  EXPECT_NEAR(sum / n, 2.5, 0.1);
+}
+
+TEST(RngTest, PoissonMeanLargeLambda) {
+  Rng rng(23);
+  double sum = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) sum += rng.NextPoisson(100.0);
+  EXPECT_NEAR(sum / n, 100.0, 1.5);
+}
+
+TEST(RngTest, ZipfSkewsTowardSmallRanks) {
+  Rng rng(29);
+  int low = 0, high = 0;
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t v = rng.NextZipf(1000, 1.2);
+    ASSERT_LT(v, 1000u);
+    if (v < 10) ++low;
+    if (v >= 500) ++high;
+  }
+  EXPECT_GT(low, high * 3);
+}
+
+TEST(RngTest, ZipfZeroExponentIsUniform) {
+  Rng rng(31);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.NextZipf(100, 0.0));
+  EXPECT_NEAR(sum / n, 49.5, 1.5);
+}
+
+TEST(RngTest, WeightedSamplingProportions) {
+  Rng rng(37);
+  std::vector<double> w = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.NextWeighted(w)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.02);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.02);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(41);
+  for (size_t k : {0u, 1u, 5u, 50u, 100u}) {
+    auto s = rng.SampleWithoutReplacement(100, k);
+    EXPECT_EQ(s.size(), k);
+    std::set<size_t> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), k);
+    for (size_t v : s) EXPECT_LT(v, 100u);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementSmallKUnbiased) {
+  Rng rng(43);
+  std::vector<int> counts(20, 0);
+  for (int i = 0; i < 20000; ++i) {
+    for (size_t v : rng.SampleWithoutReplacement(20, 3)) ++counts[v];
+  }
+  // Each index expected 3000 times.
+  for (int c : counts) EXPECT_NEAR(c, 3000, 300);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(47);
+  std::vector<int> v = {0, 1, 2, 3, 4, 5, 6, 7};
+  auto orig = v;
+  rng.Shuffle(&v);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+}
+
+TEST(RngTest, SplitStreamsIndependent) {
+  Rng a(55);
+  Rng b = a.Split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BernoulliProbability) {
+  Rng rng(59);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += rng.NextBool(0.3);
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+}  // namespace
+}  // namespace turbo

@@ -1,0 +1,60 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace turbo {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  auto p = Split("a,b,c", ',');
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p[0], "a");
+  EXPECT_EQ(p[2], "c");
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  auto p = Split("a,,c,", ',');
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_EQ(p[1], "");
+  EXPECT_EQ(p[3], "");
+}
+
+TEST(SplitTest, EmptyStringYieldsOneField) {
+  auto p = Split("", ',');
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0], "");
+}
+
+TEST(JoinTest, RoundTripsWithSplit) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, "|"), "x|y|z");
+  EXPECT_EQ(Split(Join(parts, "|"), '|'), parts);
+}
+
+TEST(JoinTest, SingleAndEmpty) {
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(TrimTest, TrimsBothEnds) {
+  EXPECT_EQ(Trim("  hi \t\n"), "hi");
+  EXPECT_EQ(Trim("hi"), "hi");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s-%.2f", 3, "x", 1.5), "3-x-1.50");
+  EXPECT_EQ(StrFormat("no args"), "no args");
+}
+
+TEST(WithThousandsTest, GroupsDigits) {
+  EXPECT_EQ(WithThousands(0), "0");
+  EXPECT_EQ(WithThousands(999), "999");
+  EXPECT_EQ(WithThousands(1000), "1,000");
+  EXPECT_EQ(WithThousands(1234567), "1,234,567");
+  EXPECT_EQ(WithThousands(-1234567), "-1,234,567");
+}
+
+}  // namespace
+}  // namespace turbo

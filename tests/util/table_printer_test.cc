@@ -1,0 +1,47 @@
+#include "util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace turbo {
+namespace {
+
+TEST(TablePrinterTest, RendersHeaderAndRows) {
+  TablePrinter t({"Method", "AUC"});
+  t.AddRow({"HAG", "83.13"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("Method"), std::string::npos);
+  EXPECT_NE(s.find("83.13"), std::string::npos);
+  EXPECT_NE(s.find("+"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ColumnsAlign) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"longer-name", "1"});
+  t.AddRow({"x", "22"});
+  std::string s = t.ToString();
+  // Every line should have the same length.
+  size_t first_len = s.find('\n');
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t nl = s.find('\n', pos);
+    if (nl == std::string::npos) break;
+    EXPECT_EQ(nl - pos, first_len);
+    pos = nl + 1;
+  }
+}
+
+TEST(TablePrinterTest, NumericRowFormatsPrecision) {
+  TablePrinter t({"Method", "P", "R"});
+  t.AddRow("LR", {89.586, 41.449}, 2);
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("89.59"), std::string::npos);
+  EXPECT_NE(s.find("41.45"), std::string::npos);
+}
+
+TEST(TablePrinterDeathTest, RowWidthMismatchAborts) {
+  TablePrinter t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace turbo
