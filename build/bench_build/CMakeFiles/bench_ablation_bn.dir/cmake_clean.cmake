@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_bn"
+  "../bench/bench_ablation_bn.pdb"
+  "CMakeFiles/bench_ablation_bn.dir/bench_ablation_bn.cc.o"
+  "CMakeFiles/bench_ablation_bn.dir/bench_ablation_bn.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

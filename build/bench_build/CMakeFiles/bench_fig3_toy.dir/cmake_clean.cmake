@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_toy"
+  "../bench/bench_fig3_toy.pdb"
+  "CMakeFiles/bench_fig3_toy.dir/bench_fig3_toy.cc.o"
+  "CMakeFiles/bench_fig3_toy.dir/bench_fig3_toy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_toy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_empirical"
+  "../bench/bench_fig4_empirical.pdb"
+  "CMakeFiles/bench_fig4_empirical.dir/bench_fig4_empirical.cc.o"
+  "CMakeFiles/bench_fig4_empirical.dir/bench_fig4_empirical.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_empirical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig8_latency.cc" "bench_build/CMakeFiles/bench_fig8_latency.dir/bench_fig8_latency.cc.o" "gcc" "bench_build/CMakeFiles/bench_fig8_latency.dir/bench_fig8_latency.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench_build/CMakeFiles/turbo_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graphfe/CMakeFiles/turbo_graphfe.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/turbo_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/turbo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnn/CMakeFiles/turbo_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/turbo_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/turbo_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/turbo_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/turbo_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/turbo_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/turbo_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/bn/CMakeFiles/turbo_bn.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/turbo_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/turbo_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/turbo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_influence"
+  "../bench/bench_fig9_influence.pdb"
+  "CMakeFiles/bench_fig9_influence.dir/bench_fig9_influence.cc.o"
+  "CMakeFiles/bench_fig9_influence.dir/bench_fig9_influence.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_influence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_online_ab"
+  "../bench/bench_online_ab.pdb"
+  "CMakeFiles/bench_online_ab.dir/bench_online_ab.cc.o"
+  "CMakeFiles/bench_online_ab.dir/bench_online_ab.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_online_ab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

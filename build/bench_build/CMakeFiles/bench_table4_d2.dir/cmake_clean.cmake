@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_d2"
+  "../bench/bench_table4_d2.pdb"
+  "CMakeFiles/bench_table4_d2.dir/bench_table4_d2.cc.o"
+  "CMakeFiles/bench_table4_d2.dir/bench_table4_d2.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_d2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbo_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/turbo_bench_common.dir/bench_common.cc.o.d"
+  "libturbo_bench_common.a"
+  "libturbo_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbo_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

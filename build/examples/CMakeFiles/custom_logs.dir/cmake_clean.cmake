@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_logs.dir/custom_logs.cpp.o"
+  "CMakeFiles/custom_logs.dir/custom_logs.cpp.o.d"
+  "custom_logs"
+  "custom_logs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_logs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fraud_ring_study.dir/fraud_ring_study.cpp.o"
+  "CMakeFiles/fraud_ring_study.dir/fraud_ring_study.cpp.o.d"
+  "fraud_ring_study"
+  "fraud_ring_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fraud_ring_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

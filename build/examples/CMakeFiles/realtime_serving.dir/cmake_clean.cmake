@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realtime_serving.dir/realtime_serving.cpp.o"
+  "CMakeFiles/realtime_serving.dir/realtime_serving.cpp.o.d"
+  "realtime_serving"
+  "realtime_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realtime_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

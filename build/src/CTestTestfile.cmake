@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("la")
+subdirs("autograd")
+subdirs("storage")
+subdirs("datagen")
+subdirs("bn")
+subdirs("metrics")
+subdirs("ml")
+subdirs("features")
+subdirs("gnn")
+subdirs("core")
+subdirs("graphfe")
+subdirs("analysis")
+subdirs("server")

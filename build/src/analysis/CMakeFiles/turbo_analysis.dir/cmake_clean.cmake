@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbo_analysis.dir/empirical.cc.o"
+  "CMakeFiles/turbo_analysis.dir/empirical.cc.o.d"
+  "libturbo_analysis.a"
+  "libturbo_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbo_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

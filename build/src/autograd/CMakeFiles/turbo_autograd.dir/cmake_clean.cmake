@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbo_autograd.dir/gradcheck.cc.o"
+  "CMakeFiles/turbo_autograd.dir/gradcheck.cc.o.d"
+  "CMakeFiles/turbo_autograd.dir/ops.cc.o"
+  "CMakeFiles/turbo_autograd.dir/ops.cc.o.d"
+  "CMakeFiles/turbo_autograd.dir/optimizer.cc.o"
+  "CMakeFiles/turbo_autograd.dir/optimizer.cc.o.d"
+  "CMakeFiles/turbo_autograd.dir/tensor.cc.o"
+  "CMakeFiles/turbo_autograd.dir/tensor.cc.o.d"
+  "libturbo_autograd.a"
+  "libturbo_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbo_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bn/builder.cc" "src/bn/CMakeFiles/turbo_bn.dir/builder.cc.o" "gcc" "src/bn/CMakeFiles/turbo_bn.dir/builder.cc.o.d"
+  "/root/repo/src/bn/network.cc" "src/bn/CMakeFiles/turbo_bn.dir/network.cc.o" "gcc" "src/bn/CMakeFiles/turbo_bn.dir/network.cc.o.d"
+  "/root/repo/src/bn/sampler.cc" "src/bn/CMakeFiles/turbo_bn.dir/sampler.cc.o" "gcc" "src/bn/CMakeFiles/turbo_bn.dir/sampler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/turbo_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/turbo_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/turbo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

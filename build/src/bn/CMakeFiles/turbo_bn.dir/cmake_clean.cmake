@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbo_bn.dir/builder.cc.o"
+  "CMakeFiles/turbo_bn.dir/builder.cc.o.d"
+  "CMakeFiles/turbo_bn.dir/network.cc.o"
+  "CMakeFiles/turbo_bn.dir/network.cc.o.d"
+  "CMakeFiles/turbo_bn.dir/sampler.cc.o"
+  "CMakeFiles/turbo_bn.dir/sampler.cc.o.d"
+  "libturbo_bn.a"
+  "libturbo_bn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbo_bn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

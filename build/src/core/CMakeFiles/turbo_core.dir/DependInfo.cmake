@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/hag.cc" "src/core/CMakeFiles/turbo_core.dir/hag.cc.o" "gcc" "src/core/CMakeFiles/turbo_core.dir/hag.cc.o.d"
+  "/root/repo/src/core/influence.cc" "src/core/CMakeFiles/turbo_core.dir/influence.cc.o" "gcc" "src/core/CMakeFiles/turbo_core.dir/influence.cc.o.d"
+  "/root/repo/src/core/model_store.cc" "src/core/CMakeFiles/turbo_core.dir/model_store.cc.o" "gcc" "src/core/CMakeFiles/turbo_core.dir/model_store.cc.o.d"
+  "/root/repo/src/core/turbo.cc" "src/core/CMakeFiles/turbo_core.dir/turbo.cc.o" "gcc" "src/core/CMakeFiles/turbo_core.dir/turbo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gnn/CMakeFiles/turbo_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/turbo_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/turbo_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/bn/CMakeFiles/turbo_bn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/turbo_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/turbo_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/turbo_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/turbo_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/turbo_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/turbo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

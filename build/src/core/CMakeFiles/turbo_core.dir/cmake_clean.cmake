@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbo_core.dir/hag.cc.o"
+  "CMakeFiles/turbo_core.dir/hag.cc.o.d"
+  "CMakeFiles/turbo_core.dir/influence.cc.o"
+  "CMakeFiles/turbo_core.dir/influence.cc.o.d"
+  "CMakeFiles/turbo_core.dir/model_store.cc.o"
+  "CMakeFiles/turbo_core.dir/model_store.cc.o.d"
+  "CMakeFiles/turbo_core.dir/turbo.cc.o"
+  "CMakeFiles/turbo_core.dir/turbo.cc.o.d"
+  "libturbo_core.a"
+  "libturbo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

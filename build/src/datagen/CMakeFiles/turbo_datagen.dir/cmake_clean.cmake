@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbo_datagen.dir/scenario.cc.o"
+  "CMakeFiles/turbo_datagen.dir/scenario.cc.o.d"
+  "libturbo_datagen.a"
+  "libturbo_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbo_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

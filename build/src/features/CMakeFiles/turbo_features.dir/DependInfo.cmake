@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/features/feature_store.cc" "src/features/CMakeFiles/turbo_features.dir/feature_store.cc.o" "gcc" "src/features/CMakeFiles/turbo_features.dir/feature_store.cc.o.d"
+  "/root/repo/src/features/stat_features.cc" "src/features/CMakeFiles/turbo_features.dir/stat_features.cc.o" "gcc" "src/features/CMakeFiles/turbo_features.dir/stat_features.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/turbo_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/turbo_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/turbo_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/turbo_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/turbo_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/turbo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbo_features.dir/feature_store.cc.o"
+  "CMakeFiles/turbo_features.dir/feature_store.cc.o.d"
+  "CMakeFiles/turbo_features.dir/stat_features.cc.o"
+  "CMakeFiles/turbo_features.dir/stat_features.cc.o.d"
+  "libturbo_features.a"
+  "libturbo_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbo_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

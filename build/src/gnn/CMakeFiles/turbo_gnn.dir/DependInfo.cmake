@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gnn/gat.cc" "src/gnn/CMakeFiles/turbo_gnn.dir/gat.cc.o" "gcc" "src/gnn/CMakeFiles/turbo_gnn.dir/gat.cc.o.d"
+  "/root/repo/src/gnn/gat_ops.cc" "src/gnn/CMakeFiles/turbo_gnn.dir/gat_ops.cc.o" "gcc" "src/gnn/CMakeFiles/turbo_gnn.dir/gat_ops.cc.o.d"
+  "/root/repo/src/gnn/gcn.cc" "src/gnn/CMakeFiles/turbo_gnn.dir/gcn.cc.o" "gcc" "src/gnn/CMakeFiles/turbo_gnn.dir/gcn.cc.o.d"
+  "/root/repo/src/gnn/graph_batch.cc" "src/gnn/CMakeFiles/turbo_gnn.dir/graph_batch.cc.o" "gcc" "src/gnn/CMakeFiles/turbo_gnn.dir/graph_batch.cc.o.d"
+  "/root/repo/src/gnn/sage.cc" "src/gnn/CMakeFiles/turbo_gnn.dir/sage.cc.o" "gcc" "src/gnn/CMakeFiles/turbo_gnn.dir/sage.cc.o.d"
+  "/root/repo/src/gnn/trainer.cc" "src/gnn/CMakeFiles/turbo_gnn.dir/trainer.cc.o" "gcc" "src/gnn/CMakeFiles/turbo_gnn.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/autograd/CMakeFiles/turbo_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/bn/CMakeFiles/turbo_bn.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/turbo_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/turbo_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/turbo_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/turbo_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/turbo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

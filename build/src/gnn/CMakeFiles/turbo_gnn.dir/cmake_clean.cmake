@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbo_gnn.dir/gat.cc.o"
+  "CMakeFiles/turbo_gnn.dir/gat.cc.o.d"
+  "CMakeFiles/turbo_gnn.dir/gat_ops.cc.o"
+  "CMakeFiles/turbo_gnn.dir/gat_ops.cc.o.d"
+  "CMakeFiles/turbo_gnn.dir/gcn.cc.o"
+  "CMakeFiles/turbo_gnn.dir/gcn.cc.o.d"
+  "CMakeFiles/turbo_gnn.dir/graph_batch.cc.o"
+  "CMakeFiles/turbo_gnn.dir/graph_batch.cc.o.d"
+  "CMakeFiles/turbo_gnn.dir/sage.cc.o"
+  "CMakeFiles/turbo_gnn.dir/sage.cc.o.d"
+  "CMakeFiles/turbo_gnn.dir/trainer.cc.o"
+  "CMakeFiles/turbo_gnn.dir/trainer.cc.o.d"
+  "libturbo_gnn.a"
+  "libturbo_gnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbo_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

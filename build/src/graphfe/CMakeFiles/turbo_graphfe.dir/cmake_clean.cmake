@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbo_graphfe.dir/blp.cc.o"
+  "CMakeFiles/turbo_graphfe.dir/blp.cc.o.d"
+  "CMakeFiles/turbo_graphfe.dir/deepwalk.cc.o"
+  "CMakeFiles/turbo_graphfe.dir/deepwalk.cc.o.d"
+  "libturbo_graphfe.a"
+  "libturbo_graphfe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbo_graphfe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbo_la.dir/matrix.cc.o"
+  "CMakeFiles/turbo_la.dir/matrix.cc.o.d"
+  "CMakeFiles/turbo_la.dir/sparse.cc.o"
+  "CMakeFiles/turbo_la.dir/sparse.cc.o.d"
+  "libturbo_la.a"
+  "libturbo_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbo_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbo_metrics.dir/metrics.cc.o"
+  "CMakeFiles/turbo_metrics.dir/metrics.cc.o.d"
+  "libturbo_metrics.a"
+  "libturbo_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbo_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/gbdt.cc" "src/ml/CMakeFiles/turbo_ml.dir/gbdt.cc.o" "gcc" "src/ml/CMakeFiles/turbo_ml.dir/gbdt.cc.o.d"
+  "/root/repo/src/ml/linear.cc" "src/ml/CMakeFiles/turbo_ml.dir/linear.cc.o" "gcc" "src/ml/CMakeFiles/turbo_ml.dir/linear.cc.o.d"
+  "/root/repo/src/ml/mlp.cc" "src/ml/CMakeFiles/turbo_ml.dir/mlp.cc.o" "gcc" "src/ml/CMakeFiles/turbo_ml.dir/mlp.cc.o.d"
+  "/root/repo/src/ml/scaler.cc" "src/ml/CMakeFiles/turbo_ml.dir/scaler.cc.o" "gcc" "src/ml/CMakeFiles/turbo_ml.dir/scaler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/turbo_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/turbo_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/turbo_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/turbo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

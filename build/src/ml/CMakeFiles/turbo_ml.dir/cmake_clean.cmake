@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbo_ml.dir/gbdt.cc.o"
+  "CMakeFiles/turbo_ml.dir/gbdt.cc.o.d"
+  "CMakeFiles/turbo_ml.dir/linear.cc.o"
+  "CMakeFiles/turbo_ml.dir/linear.cc.o.d"
+  "CMakeFiles/turbo_ml.dir/mlp.cc.o"
+  "CMakeFiles/turbo_ml.dir/mlp.cc.o.d"
+  "CMakeFiles/turbo_ml.dir/scaler.cc.o"
+  "CMakeFiles/turbo_ml.dir/scaler.cc.o.d"
+  "libturbo_ml.a"
+  "libturbo_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbo_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbo_server.dir/bn_server.cc.o"
+  "CMakeFiles/turbo_server.dir/bn_server.cc.o.d"
+  "CMakeFiles/turbo_server.dir/latency.cc.o"
+  "CMakeFiles/turbo_server.dir/latency.cc.o.d"
+  "CMakeFiles/turbo_server.dir/prediction_server.cc.o"
+  "CMakeFiles/turbo_server.dir/prediction_server.cc.o.d"
+  "CMakeFiles/turbo_server.dir/scorecard.cc.o"
+  "CMakeFiles/turbo_server.dir/scorecard.cc.o.d"
+  "libturbo_server.a"
+  "libturbo_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbo_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

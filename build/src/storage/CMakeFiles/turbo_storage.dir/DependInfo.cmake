@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/edge_store.cc" "src/storage/CMakeFiles/turbo_storage.dir/edge_store.cc.o" "gcc" "src/storage/CMakeFiles/turbo_storage.dir/edge_store.cc.o.d"
+  "/root/repo/src/storage/log_io.cc" "src/storage/CMakeFiles/turbo_storage.dir/log_io.cc.o" "gcc" "src/storage/CMakeFiles/turbo_storage.dir/log_io.cc.o.d"
+  "/root/repo/src/storage/log_store.cc" "src/storage/CMakeFiles/turbo_storage.dir/log_store.cc.o" "gcc" "src/storage/CMakeFiles/turbo_storage.dir/log_store.cc.o.d"
+  "/root/repo/src/storage/sim_clock.cc" "src/storage/CMakeFiles/turbo_storage.dir/sim_clock.cc.o" "gcc" "src/storage/CMakeFiles/turbo_storage.dir/sim_clock.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/turbo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

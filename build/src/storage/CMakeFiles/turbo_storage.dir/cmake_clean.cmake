@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbo_storage.dir/edge_store.cc.o"
+  "CMakeFiles/turbo_storage.dir/edge_store.cc.o.d"
+  "CMakeFiles/turbo_storage.dir/log_io.cc.o"
+  "CMakeFiles/turbo_storage.dir/log_io.cc.o.d"
+  "CMakeFiles/turbo_storage.dir/log_store.cc.o"
+  "CMakeFiles/turbo_storage.dir/log_store.cc.o.d"
+  "CMakeFiles/turbo_storage.dir/sim_clock.cc.o"
+  "CMakeFiles/turbo_storage.dir/sim_clock.cc.o.d"
+  "libturbo_storage.a"
+  "libturbo_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbo_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbo_util.dir/rng.cc.o"
+  "CMakeFiles/turbo_util.dir/rng.cc.o.d"
+  "CMakeFiles/turbo_util.dir/status.cc.o"
+  "CMakeFiles/turbo_util.dir/status.cc.o.d"
+  "CMakeFiles/turbo_util.dir/string_util.cc.o"
+  "CMakeFiles/turbo_util.dir/string_util.cc.o.d"
+  "CMakeFiles/turbo_util.dir/table_printer.cc.o"
+  "CMakeFiles/turbo_util.dir/table_printer.cc.o.d"
+  "CMakeFiles/turbo_util.dir/time_util.cc.o"
+  "CMakeFiles/turbo_util.dir/time_util.cc.o.d"
+  "libturbo_util.a"
+  "libturbo_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbo_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/empirical_test.cc" "tests/analysis/CMakeFiles/analysis_test.dir/empirical_test.cc.o" "gcc" "tests/analysis/CMakeFiles/analysis_test.dir/empirical_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/turbo_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/bn/CMakeFiles/turbo_bn.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/turbo_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/turbo_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/turbo_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/turbo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

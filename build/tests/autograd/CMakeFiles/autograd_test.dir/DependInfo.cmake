@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/autograd/gradcheck_test.cc" "tests/autograd/CMakeFiles/autograd_test.dir/gradcheck_test.cc.o" "gcc" "tests/autograd/CMakeFiles/autograd_test.dir/gradcheck_test.cc.o.d"
+  "/root/repo/tests/autograd/ops_property_test.cc" "tests/autograd/CMakeFiles/autograd_test.dir/ops_property_test.cc.o" "gcc" "tests/autograd/CMakeFiles/autograd_test.dir/ops_property_test.cc.o.d"
+  "/root/repo/tests/autograd/optimizer_test.cc" "tests/autograd/CMakeFiles/autograd_test.dir/optimizer_test.cc.o" "gcc" "tests/autograd/CMakeFiles/autograd_test.dir/optimizer_test.cc.o.d"
+  "/root/repo/tests/autograd/tensor_test.cc" "tests/autograd/CMakeFiles/autograd_test.dir/tensor_test.cc.o" "gcc" "tests/autograd/CMakeFiles/autograd_test.dir/tensor_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/autograd/CMakeFiles/turbo_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/turbo_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/turbo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

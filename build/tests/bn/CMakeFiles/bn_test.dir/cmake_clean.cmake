@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bn_test.dir/builder_property_test.cc.o"
+  "CMakeFiles/bn_test.dir/builder_property_test.cc.o.d"
+  "CMakeFiles/bn_test.dir/builder_test.cc.o"
+  "CMakeFiles/bn_test.dir/builder_test.cc.o.d"
+  "CMakeFiles/bn_test.dir/network_test.cc.o"
+  "CMakeFiles/bn_test.dir/network_test.cc.o.d"
+  "CMakeFiles/bn_test.dir/sampler_test.cc.o"
+  "CMakeFiles/bn_test.dir/sampler_test.cc.o.d"
+  "bn_test"
+  "bn_test.pdb"
+  "bn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

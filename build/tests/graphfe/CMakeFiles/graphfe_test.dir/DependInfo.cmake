@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graphfe/blp_test.cc" "tests/graphfe/CMakeFiles/graphfe_test.dir/blp_test.cc.o" "gcc" "tests/graphfe/CMakeFiles/graphfe_test.dir/blp_test.cc.o.d"
+  "/root/repo/tests/graphfe/deepwalk_test.cc" "tests/graphfe/CMakeFiles/graphfe_test.dir/deepwalk_test.cc.o" "gcc" "tests/graphfe/CMakeFiles/graphfe_test.dir/deepwalk_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graphfe/CMakeFiles/turbo_graphfe.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/turbo_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/turbo_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/turbo_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/turbo_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/turbo_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/turbo_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/turbo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphfe_test.dir/blp_test.cc.o"
+  "CMakeFiles/graphfe_test.dir/blp_test.cc.o.d"
+  "CMakeFiles/graphfe_test.dir/deepwalk_test.cc.o"
+  "CMakeFiles/graphfe_test.dir/deepwalk_test.cc.o.d"
+  "graphfe_test"
+  "graphfe_test.pdb"
+  "graphfe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphfe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

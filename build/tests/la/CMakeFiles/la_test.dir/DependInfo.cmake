@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/la/matrix_test.cc" "tests/la/CMakeFiles/la_test.dir/matrix_test.cc.o" "gcc" "tests/la/CMakeFiles/la_test.dir/matrix_test.cc.o.d"
+  "/root/repo/tests/la/sparse_test.cc" "tests/la/CMakeFiles/la_test.dir/sparse_test.cc.o" "gcc" "tests/la/CMakeFiles/la_test.dir/sparse_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/turbo_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/turbo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ml/gbdt_test.cc" "tests/ml/CMakeFiles/ml_test.dir/gbdt_test.cc.o" "gcc" "tests/ml/CMakeFiles/ml_test.dir/gbdt_test.cc.o.d"
+  "/root/repo/tests/ml/linear_test.cc" "tests/ml/CMakeFiles/ml_test.dir/linear_test.cc.o" "gcc" "tests/ml/CMakeFiles/ml_test.dir/linear_test.cc.o.d"
+  "/root/repo/tests/ml/mlp_test.cc" "tests/ml/CMakeFiles/ml_test.dir/mlp_test.cc.o" "gcc" "tests/ml/CMakeFiles/ml_test.dir/mlp_test.cc.o.d"
+  "/root/repo/tests/ml/scaler_test.cc" "tests/ml/CMakeFiles/ml_test.dir/scaler_test.cc.o" "gcc" "tests/ml/CMakeFiles/ml_test.dir/scaler_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/turbo_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/turbo_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/turbo_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/turbo_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/turbo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

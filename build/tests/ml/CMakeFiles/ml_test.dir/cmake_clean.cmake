@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_test.dir/gbdt_test.cc.o"
+  "CMakeFiles/ml_test.dir/gbdt_test.cc.o.d"
+  "CMakeFiles/ml_test.dir/linear_test.cc.o"
+  "CMakeFiles/ml_test.dir/linear_test.cc.o.d"
+  "CMakeFiles/ml_test.dir/mlp_test.cc.o"
+  "CMakeFiles/ml_test.dir/mlp_test.cc.o.d"
+  "CMakeFiles/ml_test.dir/scaler_test.cc.o"
+  "CMakeFiles/ml_test.dir/scaler_test.cc.o.d"
+  "ml_test"
+  "ml_test.pdb"
+  "ml_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_test.dir/bn_server_test.cc.o"
+  "CMakeFiles/server_test.dir/bn_server_test.cc.o.d"
+  "CMakeFiles/server_test.dir/latency_test.cc.o"
+  "CMakeFiles/server_test.dir/latency_test.cc.o.d"
+  "CMakeFiles/server_test.dir/prediction_server_test.cc.o"
+  "CMakeFiles/server_test.dir/prediction_server_test.cc.o.d"
+  "CMakeFiles/server_test.dir/scorecard_test.cc.o"
+  "CMakeFiles/server_test.dir/scorecard_test.cc.o.d"
+  "server_test"
+  "server_test.pdb"
+  "server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/storage/edge_store_test.cc" "tests/storage/CMakeFiles/storage_test.dir/edge_store_test.cc.o" "gcc" "tests/storage/CMakeFiles/storage_test.dir/edge_store_test.cc.o.d"
+  "/root/repo/tests/storage/kv_lru_test.cc" "tests/storage/CMakeFiles/storage_test.dir/kv_lru_test.cc.o" "gcc" "tests/storage/CMakeFiles/storage_test.dir/kv_lru_test.cc.o.d"
+  "/root/repo/tests/storage/log_io_test.cc" "tests/storage/CMakeFiles/storage_test.dir/log_io_test.cc.o" "gcc" "tests/storage/CMakeFiles/storage_test.dir/log_io_test.cc.o.d"
+  "/root/repo/tests/storage/log_store_test.cc" "tests/storage/CMakeFiles/storage_test.dir/log_store_test.cc.o" "gcc" "tests/storage/CMakeFiles/storage_test.dir/log_store_test.cc.o.d"
+  "/root/repo/tests/storage/sim_clock_test.cc" "tests/storage/CMakeFiles/storage_test.dir/sim_clock_test.cc.o" "gcc" "tests/storage/CMakeFiles/storage_test.dir/sim_clock_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/turbo_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/turbo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_test.dir/edge_store_test.cc.o"
+  "CMakeFiles/storage_test.dir/edge_store_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/kv_lru_test.cc.o"
+  "CMakeFiles/storage_test.dir/kv_lru_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/log_io_test.cc.o"
+  "CMakeFiles/storage_test.dir/log_io_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/log_store_test.cc.o"
+  "CMakeFiles/storage_test.dir/log_store_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/sim_clock_test.cc.o"
+  "CMakeFiles/storage_test.dir/sim_clock_test.cc.o.d"
+  "storage_test"
+  "storage_test.pdb"
+  "storage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
