@@ -24,8 +24,12 @@ int main(int argc, char** argv) {
   auto ds = datagen::GenerateScenario(datagen::ScenarioConfig::D1Like(users));
   storage::EdgeStore edges;
   bn::BnBuilder(bn::BnConfig{}, &edges).BuildFromLogs(ds.logs);
-  auto net = bn::BehaviorNetwork::FromEdgeStore(
-      edges, static_cast<int>(ds.users.size()));
+  // Raw co-occurrence weights (no normalization): the empirical study
+  // reads the accumulated weights themselves.
+  bn::SnapshotOptions raw;
+  raw.normalize = false;
+  bn::GraphView net(bn::BnSnapshot::Build(
+      edges, static_cast<int>(ds.users.size()), raw));
   auto labels = ds.Labels();
 
   // --- 4a-b ---

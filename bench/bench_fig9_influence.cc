@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
   bn::SamplerConfig scfg;
   scfg.num_hops = 1;
   scfg.fanout = 3;
-  bn::SubgraphSampler sampler(&data->network, scfg);
+  bn::SubgraphSampler sampler(data->network, scfg);
   auto sg = sampler.Sample(ring);
   auto batch = gnn::MakeGraphBatch(sg, data->features);
   const size_t show = std::min<size_t>(batch.num_nodes(), 14);

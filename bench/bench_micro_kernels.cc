@@ -74,18 +74,34 @@ void BM_BnConstruction(benchmark::State& state) {
 }
 BENCHMARK(BM_BnConstruction)->Unit(benchmark::kMillisecond);
 
+const storage::EdgeStore& SharedEdges() {
+  static const storage::EdgeStore* edges = [] {
+    auto* e = new storage::EdgeStore();
+    bn::BnBuilder(bn::BnConfig{}, e).BuildFromLogs(SharedDataset().logs);
+    return e;
+  }();
+  return *edges;
+}
+
+void BM_SnapshotBuild(benchmark::State& state) {
+  const auto& ds = SharedDataset();
+  const auto& edges = SharedEdges();
+  bn::SnapshotOptions options;
+  options.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto snap = bn::BnSnapshot::Build(
+        edges, static_cast<int>(ds.users.size()), options);
+    benchmark::DoNotOptimize(snap->TotalEdges());
+    state.counters["bytes"] = static_cast<double>(snap->MemoryBytes());
+  }
+}
+BENCHMARK(BM_SnapshotBuild)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
 void BM_SubgraphSampling(benchmark::State& state) {
   const auto& ds = SharedDataset();
-  static storage::EdgeStore edges;
-  static bool built = false;
-  if (!built) {
-    bn::BnBuilder(bn::BnConfig{}, &edges).BuildFromLogs(ds.logs);
-    built = true;
-  }
-  auto net = bn::BehaviorNetwork::FromEdgeStore(
-                 edges, static_cast<int>(ds.users.size()))
-                 .Normalized();
-  bn::SubgraphSampler sampler(&net, bn::SamplerConfig{});
+  bn::GraphView net(bn::BnSnapshot::Build(
+      SharedEdges(), static_cast<int>(ds.users.size())));
+  bn::SubgraphSampler sampler(net, bn::SamplerConfig{});
   UserId uid = 0;
   for (auto _ : state) {
     auto sg = sampler.SampleOne(uid);

@@ -1,0 +1,154 @@
+// Snapshot concurrency benchmark: measures the lock-free read path of the
+// versioned CSR snapshot under increasing sampler-thread counts, plus the
+// parallel snapshot build itself. Writes BENCH_snapshot.json with
+// single- vs multi-thread sampling throughput so the scaling factor can
+// be tracked across machines (this box may be single-core; the absolute
+// speedup only shows up on real multi-core hardware).
+//
+//   ./bench_snapshot_concurrency [--users=N] [--avg_degree=D]
+//                                [--samples_per_thread=K]
+//                                [--out=BENCH_snapshot.json]
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "bn/sampler.h"
+#include "bn/snapshot.h"
+#include "storage/edge_store.h"
+#include "util/rng.h"
+
+namespace turbo::benchx {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Random multi-type graph with Zipf-skewed endpoint popularity, shaped
+// like a BN: a few hub users (shared device farms / public Wi-Fi) and a
+// long tail of low-degree users.
+storage::EdgeStore MakeGraph(int users, int avg_degree, Rng* rng) {
+  storage::EdgeStore edges;
+  const long target = static_cast<long>(users) * avg_degree / 2;
+  for (long i = 0; i < target; ++i) {
+    const int t = static_cast<int>(rng->NextUint(kNumEdgeTypes));
+    const UserId u = static_cast<UserId>(rng->NextZipf(users, 0.8));
+    UserId v = static_cast<UserId>(rng->NextUint(users));
+    if (u == v) v = (v + 1) % users;
+    edges.AddWeight(t, u, v, static_cast<float>(rng->NextDouble(0.1, 2.0)),
+                    /*now=*/0);
+  }
+  return edges;
+}
+
+struct SamplingRun {
+  int threads = 0;
+  size_t samples = 0;
+  double seconds = 0.0;
+  double per_second = 0.0;
+};
+
+// Every thread gets its own sampler (own RNG stream) over the SAME
+// shared snapshot — the production shape: one published version, many
+// concurrent sampling requests.
+SamplingRun RunSampling(const bn::GraphView& view, int threads,
+                        int samples_per_thread) {
+  bn::SamplerConfig cfg;  // defaults: 2 hops, fanout 25
+  const int n = view.num_nodes();
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int w = 0; w < threads; ++w) {
+    workers.emplace_back([&view, &cfg, n, samples_per_thread, w] {
+      bn::SubgraphSampler sampler(view, cfg, /*seed=*/1000 + w);
+      Rng targets(7 * (w + 1));
+      size_t touched = 0;
+      for (int i = 0; i < samples_per_thread; ++i) {
+        const UserId uid = static_cast<UserId>(targets.NextUint(n));
+        touched += sampler.SampleOne(uid).nodes.size();
+      }
+      TURBO_CHECK_GT(touched, 0u);
+    });
+  }
+  for (auto& w : workers) w.join();
+  SamplingRun run;
+  run.threads = threads;
+  run.samples = static_cast<size_t>(threads) * samples_per_thread;
+  run.seconds = SecondsSince(t0);
+  run.per_second = run.samples / run.seconds;
+  return run;
+}
+
+double TimeBuild(const storage::EdgeStore& edges, int users, int threads) {
+  bn::SnapshotOptions opt;
+  opt.num_threads = threads;
+  const auto t0 = std::chrono::steady_clock::now();
+  auto snap = bn::BnSnapshot::Build(edges, users, opt);
+  const double s = SecondsSince(t0);
+  TURBO_CHECK_GT(snap->TotalEdges(), 0u);
+  return s;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const int users = flags.GetInt("users", 20000);
+  const int avg_degree = flags.GetInt("avg_degree", 8);
+  const int samples_per_thread = flags.GetInt("samples_per_thread", 2000);
+  const std::string out = flags.GetString("out", "BENCH_snapshot.json");
+
+  Rng rng(42);
+  storage::EdgeStore edges = MakeGraph(users, avg_degree, &rng);
+  std::printf("graph: %d users, %zu undirected edges\n", users,
+              edges.TotalEdges());
+
+  const double build_1t = TimeBuild(edges, users, 1);
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  const double build_mt = TimeBuild(edges, users, 0);
+  std::printf("snapshot build: %.1f ms (1 thread) / %.1f ms (%d threads)\n",
+              build_1t * 1e3, build_mt * 1e3, hw);
+
+  bn::GraphView view(bn::BnSnapshot::Build(edges, users, {}, /*version=*/1));
+
+  std::vector<SamplingRun> runs;
+  for (int threads : {1, 2, 4, 8}) {
+    runs.push_back(RunSampling(view, threads, samples_per_thread));
+    std::printf("sampling: %d thread(s)  %zu subgraphs in %.2fs  "
+                "-> %.0f samples/s\n",
+                runs.back().threads, runs.back().samples,
+                runs.back().seconds, runs.back().per_second);
+  }
+  const double speedup = runs.back().per_second / runs.front().per_second;
+  std::printf("8-thread vs 1-thread throughput: %.2fx (on %d hw threads)\n",
+              speedup, hw);
+
+  std::ofstream f(out);
+  f << "{\n"
+    << "  \"bench\": \"snapshot_concurrency\",\n"
+    << "  \"users\": " << users << ",\n"
+    << "  \"undirected_edges\": " << edges.TotalEdges() << ",\n"
+    << "  \"hardware_threads\": " << hw << ",\n"
+    << "  \"build_ms_1_thread\": " << build_1t * 1e3 << ",\n"
+    << "  \"build_ms_hw_threads\": " << build_mt * 1e3 << ",\n"
+    << "  \"sampling\": [\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    f << "    {\"threads\": " << runs[i].threads
+      << ", \"samples\": " << runs[i].samples
+      << ", \"seconds\": " << runs[i].seconds
+      << ", \"samples_per_second\": " << runs[i].per_second << "}"
+      << (i + 1 < runs.size() ? ",\n" : "\n");
+  }
+  f << "  ],\n"
+    << "  \"throughput_speedup_8v1\": " << speedup << "\n"
+    << "}\n";
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace turbo::benchx
+
+int main(int argc, char** argv) { return turbo::benchx::Main(argc, argv); }

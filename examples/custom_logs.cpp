@@ -7,7 +7,7 @@
 #include <cstdio>
 
 #include "bn/builder.h"
-#include "bn/network.h"
+#include "bn/snapshot.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
 
@@ -45,9 +45,9 @@ int main() {
   }
   table.Print();
 
-  auto net = bn::BehaviorNetwork::FromEdgeStore(edges, 5);
+  // Snapshot build fuses the symmetric degree normalization.
+  bn::GraphView norm(bn::BnSnapshot::Build(edges, 5));
   std::printf("\nAfter symmetric degree normalization:\n");
-  auto norm = net.Normalized();
   for (const auto& e : norm.Neighbors(ip, 0)) {
     std::printf("  u0 - u%u : %.4f\n", e.id, e.weight);
   }

@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
   bn::SamplerConfig viz_cfg;
   viz_cfg.num_hops = 1;
   viz_cfg.fanout = 8;
-  bn::SubgraphSampler viz_sampler(&data->network, viz_cfg);
+  bn::SubgraphSampler viz_sampler(data->network,viz_cfg);
   auto viz = viz_sampler.Sample(ring);
   WriteDot(dot_path, viz, data->labels);
   std::printf("wrote %s (%zu nodes, %zu edges) — render with neato\n",
@@ -89,7 +89,7 @@ int main(int argc, char** argv) {
   bn::SamplerConfig case_cfg;
   case_cfg.num_hops = 2;
   case_cfg.fanout = 4;
-  bn::SubgraphSampler case_sampler(&data->network, case_cfg);
+  bn::SubgraphSampler case_sampler(data->network,case_cfg);
   auto sg = case_sampler.Sample(ring);
   auto batch = gnn::MakeGraphBatch(sg, data->features);
 

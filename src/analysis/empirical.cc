@@ -112,7 +112,7 @@ IntervalDistribution TemporalAggregation(const datagen::Dataset& ds,
 }
 
 std::vector<std::vector<UserId>> HopFrontiers(
-    const bn::BehaviorNetwork& net, UserId seed_node, int hops,
+    const bn::GraphView& net, UserId seed_node, int hops,
     int edge_type) {
   std::vector<std::vector<UserId>> frontiers;
   std::unordered_map<UserId, bool> visited;
@@ -121,7 +121,7 @@ std::vector<std::vector<UserId>> HopFrontiers(
   for (int h = 0; h < hops; ++h) {
     std::vector<UserId> next;
     for (UserId u : current) {
-      auto expand = [&](const std::vector<bn::NeighborEntry>& nbrs) {
+      auto expand = [&](const auto& nbrs) {
         for (const auto& e : nbrs) {
           if (visited.emplace(e.id, true).second) next.push_back(e.id);
         }
@@ -162,7 +162,7 @@ std::vector<UserId> SampleSeeds(const std::vector<int>& labels, int label,
 
 }  // namespace
 
-HopSeries HopFraudRatio(const bn::BehaviorNetwork& net,
+HopSeries HopFraudRatio(const bn::GraphView& net,
                         const std::vector<int>& labels, int hops,
                         int edge_type, int max_seeds, uint64_t seed) {
   HopSeries out;
@@ -189,7 +189,7 @@ HopSeries HopFraudRatio(const bn::BehaviorNetwork& net,
   return out;
 }
 
-HopSeries HopMeanDegree(const bn::BehaviorNetwork& net,
+HopSeries HopMeanDegree(const bn::GraphView& net,
                         const std::vector<int>& labels, int hops,
                         bool weighted, int max_seeds, uint64_t seed) {
   HopSeries out;

@@ -8,7 +8,7 @@
 #include <array>
 #include <vector>
 
-#include "bn/network.h"
+#include "bn/snapshot.h"
 #include "datagen/scenario.h"
 
 namespace turbo::analysis {
@@ -56,7 +56,7 @@ struct HopSeries {
 /// Fraud ratio among exactly-n-hop neighbors (union graph), n = 1..hops.
 /// `edge_type` < 0 uses the union of all types (Fig. 4d); otherwise a
 /// single type (Fig. 4e-g). `max_seeds` nodes per class are sampled.
-HopSeries HopFraudRatio(const bn::BehaviorNetwork& net,
+HopSeries HopFraudRatio(const bn::GraphView& net,
                         const std::vector<int>& labels, int hops,
                         int edge_type = -1, int max_seeds = 400,
                         uint64_t seed = 5);
@@ -64,7 +64,7 @@ HopSeries HopFraudRatio(const bn::BehaviorNetwork& net,
 // ---- Fig. 4h-i: structural difference ----
 /// Mean (weighted) degree of exactly-n-hop neighbors for fraud/normal
 /// seeds. `weighted` selects Fig. 4i (weighted degree) vs 4h.
-HopSeries HopMeanDegree(const bn::BehaviorNetwork& net,
+HopSeries HopMeanDegree(const bn::GraphView& net,
                         const std::vector<int>& labels, int hops,
                         bool weighted, int max_seeds = 400,
                         uint64_t seed = 6);
@@ -72,7 +72,7 @@ HopSeries HopMeanDegree(const bn::BehaviorNetwork& net,
 /// Exactly-n-hop frontiers around `seed_node` on the union graph
 /// (shared BFS helper; frontier[0] = 1-hop).
 std::vector<std::vector<UserId>> HopFrontiers(
-    const bn::BehaviorNetwork& net, UserId seed_node, int hops,
+    const bn::GraphView& net, UserId seed_node, int hops,
     int edge_type = -1);
 
 }  // namespace turbo::analysis

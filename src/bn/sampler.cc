@@ -4,10 +4,10 @@
 
 namespace turbo::bn {
 
-SubgraphSampler::SubgraphSampler(const BehaviorNetwork* net,
-                                 SamplerConfig config, uint64_t seed)
-    : net_(net), config_(config), rng_(seed) {
-  TURBO_CHECK(net_ != nullptr);
+SubgraphSampler::SubgraphSampler(GraphView view, SamplerConfig config,
+                                 uint64_t seed)
+    : view_(std::move(view)), config_(config), rng_(seed) {
+  TURBO_CHECK(view_.valid());
   TURBO_CHECK_GT(config_.num_hops, 0);
   TURBO_CHECK_GT(config_.fanout, 0);
 }
@@ -16,8 +16,9 @@ Subgraph SubgraphSampler::Sample(const std::vector<UserId>& targets) {
   TURBO_CHECK(!targets.empty());
   Subgraph sg;
   sg.num_targets = targets.size();
+  sg.snapshot_version = view_.version();
   for (UserId t : targets) {
-    TURBO_CHECK_LT(t, static_cast<UserId>(net_->num_nodes()));
+    TURBO_CHECK_LT(t, static_cast<UserId>(view_.num_nodes()));
     if (sg.local.emplace(t, static_cast<int>(sg.nodes.size())).second) {
       sg.nodes.push_back(t);
     }
@@ -31,7 +32,7 @@ Subgraph SubgraphSampler::Sample(const std::vector<UserId>& targets) {
     std::vector<UserId> next;
     for (UserId u : frontier) {
       for (int t = 0; t < kNumEdgeTypes; ++t) {
-        const auto& nbrs = net_->Neighbors(t, u);
+        const NeighborSpan nbrs = view_.Neighbors(t, u);
         candidates.assign(nbrs.begin(), nbrs.end());
         if (candidates.size() > static_cast<size_t>(config_.fanout)) {
           if (config_.top_by_weight) {
@@ -69,11 +70,12 @@ Subgraph SubgraphSampler::Sample(const std::vector<UserId>& targets) {
     auto& out = sg.edges[t];
     for (size_t li = 0; li < sg.nodes.size(); ++li) {
       const UserId u = sg.nodes[li];
-      for (const auto& e : net_->Neighbors(t, u)) {
-        auto it = sg.local.find(e.id);
+      const NeighborSpan nbrs = view_.Neighbors(t, u);
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        auto it = sg.local.find(nbrs.id(i));
         if (it == sg.local.end()) continue;
         out.push_back({static_cast<uint32_t>(li),
-                       static_cast<uint32_t>(it->second), e.weight});
+                       static_cast<uint32_t>(it->second), nbrs.weight(i)});
       }
     }
   }

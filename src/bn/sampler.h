@@ -5,6 +5,11 @@
 // per-node, per-type fanout cap and returns the induced typed subgraph
 // with local node indices — everything HAG needs to compute the targets'
 // representations inductively.
+//
+// The sampler reads through a GraphView and therefore holds a reference
+// on the underlying immutable BnSnapshot: any number of samplers can run
+// concurrently on the same snapshot while the BN server publishes newer
+// versions.
 #pragma once
 
 #include <array>
@@ -12,7 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "bn/network.h"
+#include "bn/snapshot.h"
 #include "la/sparse.h"
 #include "util/rng.h"
 
@@ -34,6 +39,8 @@ struct Subgraph {
   std::unordered_map<UserId, int> local;
   /// Induced typed edges in local indices (both directions present).
   std::array<std::vector<la::Triplet>, kNumEdgeTypes> edges;
+  /// Version of the snapshot this subgraph was sampled from.
+  uint64_t snapshot_version = 0;
 
   size_t NumEdges() const {
     size_t s = 0;
@@ -44,17 +51,17 @@ struct Subgraph {
 
 class SubgraphSampler {
  public:
-  SubgraphSampler(const BehaviorNetwork* net, SamplerConfig config,
-                  uint64_t seed = 1);
+  SubgraphSampler(GraphView view, SamplerConfig config, uint64_t seed = 1);
 
   /// Samples the union computation subgraph of `targets`.
   Subgraph Sample(const std::vector<UserId>& targets);
   Subgraph SampleOne(UserId target) { return Sample({target}); }
 
   const SamplerConfig& config() const { return config_; }
+  const GraphView& view() const { return view_; }
 
  private:
-  const BehaviorNetwork* net_;
+  GraphView view_;
   SamplerConfig config_;
   Rng rng_;
 };

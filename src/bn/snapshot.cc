@@ -1,0 +1,176 @@
+#include "bn/snapshot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <unordered_map>
+
+namespace turbo::bn {
+
+namespace {
+
+/// Runs fn(begin, end) over contiguous chunks of [0, n) on `num_threads`
+/// threads (inline when one thread suffices). The build passes below are
+/// embarrassingly parallel over nodes: every (type, node) row is written
+/// by exactly one chunk and the EdgeStore is only read.
+template <typename Fn>
+void ParallelOverNodes(int num_threads, int n, const Fn& fn) {
+  if (num_threads <= 1 || n < 2 * num_threads) {
+    fn(0, n);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  const int chunk = (n + num_threads - 1) / num_threads;
+  for (int t = 0; t < num_threads; ++t) {
+    const int begin = t * chunk;
+    const int end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    workers.emplace_back([&fn, begin, end] { fn(begin, end); });
+  }
+  for (auto& w : workers) w.join();
+}
+
+int ResolveThreads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+std::shared_ptr<const BnSnapshot> BnSnapshot::Build(
+    const storage::EdgeStore& store, int num_nodes,
+    const SnapshotOptions& options, uint64_t version) {
+  TURBO_CHECK_GT(num_nodes, 0);
+  auto snap = std::shared_ptr<BnSnapshot>(new BnSnapshot());
+  snap->num_nodes_ = num_nodes;
+  snap->version_ = version;
+  snap->normalized_ = options.normalize;
+  const int threads = ResolveThreads(options.num_threads);
+
+  // Weighted degree per (type, node), needed by the fused normalization.
+  std::array<std::vector<double>, kNumEdgeTypes> wdeg;
+
+  // Pass 1 — degrees: per-row counts (into the offsets array, shifted by
+  // one so the prefix sum below lands begin offsets at offsets[u]) and
+  // weighted degrees.
+  for (int t = 0; t < kNumEdgeTypes; ++t) {
+    snap->csr_[t].offsets.assign(static_cast<size_t>(num_nodes) + 1, 0);
+    if (options.normalize) wdeg[t].assign(num_nodes, 0.0);
+  }
+  ParallelOverNodes(threads, num_nodes, [&](int begin, int end) {
+    for (int t = 0; t < kNumEdgeTypes; ++t) {
+      TypeCsr& csr = snap->csr_[t];
+      for (int u = begin; u < end; ++u) {
+        const auto& nbrs = store.Neighbors(t, static_cast<UserId>(u));
+        csr.offsets[u + 1] = nbrs.size();
+        if (options.normalize) {
+          double s = 0.0;
+          for (const auto& [v, e] : nbrs) s += e.weight;
+          wdeg[t][u] = s;
+        }
+      }
+    }
+  });
+  for (int t = 0; t < kNumEdgeTypes; ++t) {
+    TypeCsr& csr = snap->csr_[t];
+    for (int u = 0; u < num_nodes; ++u) csr.offsets[u + 1] += csr.offsets[u];
+    csr.neighbor.resize(csr.offsets[num_nodes]);
+    csr.weight.resize(csr.offsets[num_nodes]);
+  }
+
+  // Pass 2 — fill: each row is sorted by neighbor id and written into its
+  // pre-sized slice; normalization is applied in place of a second copy.
+  ParallelOverNodes(threads, num_nodes, [&](int begin, int end) {
+    std::vector<std::pair<UserId, float>> row;
+    for (int t = 0; t < kNumEdgeTypes; ++t) {
+      TypeCsr& csr = snap->csr_[t];
+      for (int u = begin; u < end; ++u) {
+        const auto& nbrs = store.Neighbors(t, static_cast<UserId>(u));
+        row.clear();
+        row.reserve(nbrs.size());
+        for (const auto& [v, e] : nbrs) {
+          TURBO_CHECK_LT(v, static_cast<UserId>(num_nodes));
+          row.push_back({v, e.weight});
+        }
+        std::sort(row.begin(), row.end());
+        size_t k = csr.offsets[u];
+        for (const auto& [v, w] : row) {
+          csr.neighbor[k] = v;
+          float out = w;
+          if (options.normalize) {
+            const double d = wdeg[t][u] * wdeg[t][v];
+            out = d > 0.0 ? static_cast<float>(w / std::sqrt(d)) : 0.0f;
+          }
+          csr.weight[k] = out;
+          ++k;
+        }
+      }
+    }
+  });
+  return snap;
+}
+
+double BnSnapshot::WeightedDegree(int edge_type, UserId u) const {
+  const NeighborSpan span = Neighbors(edge_type, u);
+  double s = 0.0;
+  for (size_t i = 0; i < span.size(); ++i) s += span.weight(i);
+  return s;
+}
+
+size_t BnSnapshot::TotalEdges() const {
+  size_t s = 0;
+  for (int t = 0; t < kNumEdgeTypes; ++t) s += NumEdges(t);
+  return s;
+}
+
+size_t BnSnapshot::MemoryBytes() const {
+  size_t s = 0;
+  for (const TypeCsr& csr : csr_) {
+    s += csr.offsets.capacity() * sizeof(size_t);
+    s += csr.neighbor.capacity() * sizeof(UserId);
+    s += csr.weight.capacity() * sizeof(float);
+  }
+  return s;
+}
+
+double GraphView::WeightedDegree(int edge_type, UserId u) const {
+  const NeighborSpan span = Neighbors(edge_type, u);
+  double s = 0.0;
+  for (size_t i = 0; i < span.size(); ++i) s += span.weight(i);
+  return s;
+}
+
+std::vector<NeighborEntry> GraphView::UnionNeighbors(UserId u) const {
+  TURBO_CHECK(valid());
+  std::unordered_map<UserId, float> merged;
+  for (int t = 0; t < kNumEdgeTypes; ++t) {
+    const NeighborSpan span = Neighbors(t, u);
+    for (size_t i = 0; i < span.size(); ++i) {
+      merged[span.id(i)] += span.weight(i);
+    }
+  }
+  std::vector<NeighborEntry> out;
+  out.reserve(merged.size());
+  for (const auto& [v, w] : merged) out.push_back({v, w});
+  std::sort(out.begin(), out.end(),
+            [](const NeighborEntry& a, const NeighborEntry& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+double GraphView::UnionWeightedDegree(UserId u) const {
+  double s = 0.0;
+  for (const auto& e : UnionNeighbors(u)) s += e.weight;
+  return s;
+}
+
+size_t GraphView::TotalEdges() const {
+  size_t s = 0;
+  for (int t = 0; t < kNumEdgeTypes; ++t) s += NumEdges(t);
+  return s;
+}
+
+}  // namespace turbo::bn

@@ -1,0 +1,265 @@
+// Immutable, versioned CSR snapshot of the Behavior Network — the read
+// side of the BN server (Figure 2) and of every offline consumer
+// (sampling, analysis, GNN batch construction).
+//
+// Layout: one CSR block per edge type — a flat offsets array
+// (num_nodes + 1 entries) indexing into parallel neighbor-id and weight
+// arrays, neighbors sorted by id within each row. Compared to the
+// previous vector<vector<NeighborEntry>> adjacency this removes one
+// pointer indirection per row, keeps each row contiguous in memory, and
+// makes the whole snapshot trivially shareable across threads.
+//
+// The per-type symmetric degree normalization of Section III-A
+//   w'_r(u,v) = w_r(u,v) / sqrt(deg'_r(u) * deg'_r(v))
+// is fused into the build (a degree pass followed by a fill pass over the
+// live EdgeStore — no intermediate adjacency copy). Build() parallelizes
+// both passes over node ranges.
+//
+// A BnSnapshot is immutable after Build() and carries a monotonically
+// increasing version id assigned by its publisher. Consumers read through
+// GraphView, a two-word value type (snapshot pointer + per-type mask)
+// whose WithTypeMasked() is a zero-copy mask flip — the Fig. 7 edge-type
+// ablation no longer deep-copies the graph.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <memory>
+#include <vector>
+
+#include "storage/behavior_log.h"
+#include "storage/edge_store.h"
+
+namespace turbo::bn {
+
+struct NeighborEntry {
+  UserId id;
+  float weight;
+};
+
+/// Non-owning view over one CSR adjacency row: parallel id/weight arrays.
+/// Iteration yields NeighborEntry values, so range-for code written
+/// against the old adjacency-list API keeps working.
+class NeighborSpan {
+ public:
+  NeighborSpan() = default;
+  NeighborSpan(const UserId* ids, const float* weights, size_t size)
+      : ids_(ids), weights_(weights), size_(size) {}
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  UserId id(size_t i) const { return ids_[i]; }
+  float weight(size_t i) const { return weights_[i]; }
+  const UserId* ids() const { return ids_; }
+  const float* weights() const { return weights_; }
+  NeighborEntry operator[](size_t i) const { return {ids_[i], weights_[i]}; }
+
+  class Iterator {
+   public:
+    using iterator_category = std::random_access_iterator_tag;
+    using value_type = NeighborEntry;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const NeighborEntry*;
+    using reference = NeighborEntry;
+
+    Iterator() = default;
+    Iterator(const NeighborSpan* span, size_t i) : span_(span), i_(i) {}
+    NeighborEntry operator*() const { return (*span_)[i_]; }
+    Iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    Iterator operator++(int) {
+      Iterator tmp = *this;
+      ++i_;
+      return tmp;
+    }
+    Iterator& operator--() {
+      --i_;
+      return *this;
+    }
+    Iterator operator--(int) {
+      Iterator tmp = *this;
+      --i_;
+      return tmp;
+    }
+    Iterator& operator+=(difference_type d) {
+      i_ += d;
+      return *this;
+    }
+    Iterator& operator-=(difference_type d) {
+      i_ -= d;
+      return *this;
+    }
+    friend Iterator operator+(Iterator it, difference_type d) {
+      it += d;
+      return it;
+    }
+    friend Iterator operator+(difference_type d, Iterator it) {
+      it += d;
+      return it;
+    }
+    friend Iterator operator-(Iterator it, difference_type d) {
+      it -= d;
+      return it;
+    }
+    difference_type operator-(const Iterator& o) const {
+      return static_cast<difference_type>(i_) -
+             static_cast<difference_type>(o.i_);
+    }
+    NeighborEntry operator[](difference_type d) const {
+      return (*span_)[i_ + d];
+    }
+    bool operator==(const Iterator& o) const { return i_ == o.i_; }
+    bool operator!=(const Iterator& o) const { return i_ != o.i_; }
+    bool operator<(const Iterator& o) const { return i_ < o.i_; }
+    bool operator>(const Iterator& o) const { return i_ > o.i_; }
+    bool operator<=(const Iterator& o) const { return i_ <= o.i_; }
+    bool operator>=(const Iterator& o) const { return i_ >= o.i_; }
+
+   private:
+    const NeighborSpan* span_ = nullptr;
+    size_t i_ = 0;
+  };
+
+  Iterator begin() const { return {this, 0}; }
+  Iterator end() const { return {this, size_}; }
+
+ private:
+  const UserId* ids_ = nullptr;
+  const float* weights_ = nullptr;
+  size_t size_ = 0;
+};
+
+struct SnapshotOptions {
+  /// Fuse the per-type symmetric degree normalization into the build.
+  bool normalize = true;
+  /// Threads for the build passes; 0 = hardware concurrency.
+  int num_threads = 0;
+};
+
+class BnSnapshot {
+ public:
+  /// Snapshots the store into per-type CSR arrays. `num_nodes` fixes the
+  /// node-id space (uids are dense in the datasets); `version` is the
+  /// publisher-assigned snapshot id.
+  static std::shared_ptr<const BnSnapshot> Build(
+      const storage::EdgeStore& store, int num_nodes,
+      const SnapshotOptions& options = {}, uint64_t version = 0);
+
+  int num_nodes() const { return num_nodes_; }
+  uint64_t version() const { return version_; }
+  bool normalized() const { return normalized_; }
+
+  NeighborSpan Neighbors(int edge_type, UserId u) const {
+    TURBO_CHECK_GE(edge_type, 0);
+    TURBO_CHECK_LT(edge_type, kNumEdgeTypes);
+    TURBO_CHECK_LT(u, static_cast<UserId>(num_nodes_));
+    const TypeCsr& csr = csr_[edge_type];
+    const size_t begin = csr.offsets[u];
+    return {csr.neighbor.data() + begin, csr.weight.data() + begin,
+            csr.offsets[u + 1] - begin};
+  }
+
+  size_t Degree(int edge_type, UserId u) const {
+    return Neighbors(edge_type, u).size();
+  }
+  double WeightedDegree(int edge_type, UserId u) const;
+
+  /// Undirected edge count per type and total (each edge stored twice).
+  size_t NumEdges(int edge_type) const {
+    TURBO_CHECK_GE(edge_type, 0);
+    TURBO_CHECK_LT(edge_type, kNumEdgeTypes);
+    return csr_[edge_type].neighbor.size() / 2;
+  }
+  size_t TotalEdges() const;
+
+  /// Bytes held by the CSR arrays (capacity planning / bench reporting).
+  size_t MemoryBytes() const;
+
+ private:
+  struct TypeCsr {
+    std::vector<size_t> offsets;  // num_nodes + 1
+    std::vector<UserId> neighbor;
+    std::vector<float> weight;
+  };
+
+  BnSnapshot() = default;
+
+  int num_nodes_ = 0;
+  uint64_t version_ = 0;
+  bool normalized_ = false;
+  std::array<TypeCsr, kNumEdgeTypes> csr_;
+};
+
+/// Lightweight read handle: a shared snapshot plus a per-type enable
+/// mask. Copying a view is two words plus a refcount bump; the snapshot
+/// stays alive as long as any view (or sampler holding one) references
+/// it, which is what makes the RCU-style publish in BnServer safe.
+class GraphView {
+ public:
+  GraphView() = default;
+  explicit GraphView(std::shared_ptr<const BnSnapshot> snapshot)
+      : snapshot_(std::move(snapshot)) {
+    mask_.fill(true);
+  }
+
+  bool valid() const { return snapshot_ != nullptr; }
+  const std::shared_ptr<const BnSnapshot>& snapshot() const {
+    return snapshot_;
+  }
+
+  int num_nodes() const { return snapshot_ ? snapshot_->num_nodes() : 0; }
+  uint64_t version() const { return snapshot_ ? snapshot_->version() : 0; }
+
+  /// Zero-copy type ablation (Fig. 7): flips one mask bit.
+  GraphView WithTypeMasked(int edge_type) const {
+    TURBO_CHECK_GE(edge_type, 0);
+    TURBO_CHECK_LT(edge_type, kNumEdgeTypes);
+    GraphView out = *this;
+    out.mask_[edge_type] = false;
+    return out;
+  }
+
+  bool type_enabled(int edge_type) const {
+    TURBO_CHECK_GE(edge_type, 0);
+    TURBO_CHECK_LT(edge_type, kNumEdgeTypes);
+    return mask_[edge_type];
+  }
+
+  NeighborSpan Neighbors(int edge_type, UserId u) const {
+    TURBO_CHECK(valid());
+    TURBO_CHECK_GE(edge_type, 0);
+    TURBO_CHECK_LT(edge_type, kNumEdgeTypes);
+    if (!mask_[edge_type]) return {};
+    return snapshot_->Neighbors(edge_type, u);
+  }
+
+  size_t Degree(int edge_type, UserId u) const {
+    return Neighbors(edge_type, u).size();
+  }
+  double WeightedDegree(int edge_type, UserId u) const;
+
+  /// Union of neighbors across enabled edge types (deduplicated, weights
+  /// summed) — the homogeneous view used by homophily analysis and the
+  /// single-relation GNN baselines.
+  std::vector<NeighborEntry> UnionNeighbors(UserId u) const;
+  size_t UnionDegree(UserId u) const { return UnionNeighbors(u).size(); }
+  double UnionWeightedDegree(UserId u) const;
+
+  size_t NumEdges(int edge_type) const {
+    TURBO_CHECK(valid());
+    TURBO_CHECK_GE(edge_type, 0);
+    TURBO_CHECK_LT(edge_type, kNumEdgeTypes);
+    return mask_[edge_type] ? snapshot_->NumEdges(edge_type) : 0;
+  }
+  size_t TotalEdges() const;
+
+ private:
+  std::shared_ptr<const BnSnapshot> snapshot_;
+  std::array<bool, kNumEdgeTypes> mask_{};
+};
+
+}  // namespace turbo::bn

@@ -78,12 +78,16 @@ std::unique_ptr<PreparedData> PrepareData(datagen::Dataset dataset,
   // (Section V, exercised by server::BnServer); the paper's offline BN
   // keeps the full 18-month edge set (Table II).
 
-  auto network =
-      bn::BehaviorNetwork::FromEdgeStore(data->edges, static_cast<int>(n));
+  // Snapshot build fuses the per-type degree normalization; masking is a
+  // zero-copy view over the same CSR arrays (per-type degrees are
+  // independent across types, so mask-then-normalize and
+  // normalize-then-mask coincide).
+  bn::GraphView network(
+      bn::BnSnapshot::Build(data->edges, static_cast<int>(n)));
   if (config.mask_edge_type >= 0) {
     network = network.WithTypeMasked(config.mask_edge_type);
   }
-  data->network = network.Normalized();
+  data->network = network;
 
   // Node features: profile/transaction (+ behavior statistics as of the
   // audit moment).
@@ -116,7 +120,7 @@ std::unique_ptr<PreparedData> PrepareData(datagen::Dataset dataset,
 gnn::GraphBatch MakeBatch(const PreparedData& data,
                           const std::vector<UserId>& targets,
                           const bn::SamplerConfig& sampler_cfg) {
-  bn::SubgraphSampler sampler(&data.network, sampler_cfg);
+  bn::SubgraphSampler sampler(data.network, sampler_cfg);
   auto sg = sampler.Sample(targets);
   return gnn::MakeGraphBatch(sg, data.features);
 }

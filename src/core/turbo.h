@@ -13,8 +13,8 @@
 #include <vector>
 
 #include "bn/builder.h"
-#include "bn/network.h"
 #include "bn/sampler.h"
+#include "bn/snapshot.h"
 #include "core/hag.h"
 #include "datagen/scenario.h"
 #include "features/feature_store.h"
@@ -44,7 +44,7 @@ struct PreparedData {
   datagen::Dataset dataset;
   storage::LogStore logs;
   storage::EdgeStore edges;
-  bn::BehaviorNetwork network;  // degree-normalized, post-masking
+  bn::GraphView network;  // degree-normalized CSR view, post-masking
   la::Matrix features;          // standardized [n, d]
   std::vector<int> labels;      // per uid
   std::vector<UserId> train_uids;

@@ -45,8 +45,8 @@ struct GraphBatch {
 
 /// Assembles a batch from a sampled subgraph; `all_features` is indexed by
 /// global user id (rows). Subgraph edge weights are used as-is — pass a
-/// subgraph sampled from a Normalized() BehaviorNetwork to match the
-/// paper's pipeline.
+/// subgraph sampled from a degree-normalized BnSnapshot (the default
+/// Build() option) to match the paper's pipeline.
 GraphBatch MakeGraphBatch(const bn::Subgraph& sg,
                           const la::Matrix& all_features);
 

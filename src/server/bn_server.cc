@@ -46,24 +46,45 @@ void BnServer::AdvanceTo(SimTime now) {
 }
 
 void BnServer::RefreshSnapshot() {
-  snapshot_ = bn::BehaviorNetwork::FromEdgeStore(edges_, config_.num_users)
-                  .Normalized();
+  // Build off to the side, then publish with one atomic pointer swap.
+  // Readers that loaded the previous snapshot keep serving from it; its
+  // memory is reclaimed when the last of them drops the shared_ptr.
+  bn::SnapshotOptions options;
+  options.normalize = true;
+  options.num_threads = config_.snapshot_build_threads;
+  auto next = bn::BnSnapshot::Build(edges_, config_.num_users, options,
+                                    ++next_version_);
+  snapshot_.store(std::move(next), std::memory_order_release);
   last_snapshot_ = now_;
 }
 
-const bn::BehaviorNetwork& BnServer::snapshot() const {
-  TURBO_CHECK_MSG(snapshot_.has_value(),
+std::shared_ptr<const bn::BnSnapshot> BnServer::snapshot() const {
+  auto snap = snapshot_.load(std::memory_order_acquire);
+  TURBO_CHECK_MSG(snap != nullptr,
                   "BnServer::AdvanceTo must run before sampling");
-  return *snapshot_;
+  return snap;
 }
 
-bn::Subgraph BnServer::SampleSubgraph(UserId uid) {
+bn::GraphView BnServer::view() const { return bn::GraphView(snapshot()); }
+
+uint64_t BnServer::snapshot_version() const {
+  auto snap = snapshot_.load(std::memory_order_acquire);
+  return snap ? snap->version() : 0;
+}
+
+bn::Subgraph BnServer::SampleSubgraph(UserId uid) const {
   return SampleSubgraph(std::vector<UserId>{uid});
 }
 
-bn::Subgraph BnServer::SampleSubgraph(const std::vector<UserId>& uids) {
-  bn::SubgraphSampler sampler(&snapshot(), config_.sampler,
-                              /*seed=*/static_cast<uint64_t>(now_) + 1);
+bn::Subgraph BnServer::SampleSubgraph(
+    const std::vector<UserId>& uids) const {
+  bn::GraphView v = view();
+  const uint64_t seq =
+      sample_seq_.fetch_add(1, std::memory_order_relaxed);
+  // Seed mixes the snapshot version with a per-request counter so that
+  // uniform sampling stays decorrelated across concurrent requests.
+  const uint64_t seed = (v.version() << 20) ^ (seq + 1);
+  bn::SubgraphSampler sampler(std::move(v), config_.sampler, seed);
   return sampler.Sample(uids);
 }
 

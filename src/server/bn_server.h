@@ -3,13 +3,23 @@
 // Section V), enforces the edge TTL, and serves computation-subgraph
 // sampling requests from a periodically refreshed, degree-normalized
 // snapshot.
+//
+// Concurrency contract: ingestion, AdvanceTo (window jobs, TTL expiry,
+// snapshot builds) are single-writer operations; SampleSubgraph and
+// view() are lock-free readers that may run from any number of threads
+// concurrently with the writer. The writer builds the next snapshot off
+// to the side and publishes it with an atomic shared_ptr swap (RCU
+// style); readers keep the version they loaded alive via the shared_ptr
+// held by their GraphView, so a snapshot is reclaimed only after the last
+// in-flight sampler drops it.
 #pragma once
 
-#include <optional>
+#include <atomic>
+#include <memory>
 
 #include "bn/builder.h"
-#include "bn/network.h"
 #include "bn/sampler.h"
+#include "bn/snapshot.h"
 #include "storage/log_store.h"
 
 namespace turbo::server {
@@ -26,13 +36,15 @@ struct BnServerConfig {
   /// last snapshot (the paper's jobs are likewise asynchronous to the
   /// request path).
   SimTime snapshot_refresh = kHour;
+  /// Threads for the snapshot build passes; 0 = hardware concurrency.
+  int snapshot_build_threads = 0;
 };
 
 class BnServer {
  public:
   explicit BnServer(BnServerConfig config);
 
-  /// Real-time log ingestion.
+  /// Real-time log ingestion (writer side).
   void Ingest(const BehaviorLog& log);
   void IngestBatch(const BehaviorLogList& logs);
 
@@ -41,15 +53,22 @@ class BnServer {
   /// daily, ...), TTL expiry (daily), and snapshot refreshes.
   void AdvanceTo(SimTime now);
 
-  /// Samples the computation subgraph for `uid` from the current
-  /// snapshot. Requires at least one AdvanceTo() call.
-  bn::Subgraph SampleSubgraph(UserId uid);
-  bn::Subgraph SampleSubgraph(const std::vector<UserId>& uids);
+  /// Samples the computation subgraph for `uid` from the last published
+  /// snapshot. Lock-free; callable from any thread concurrently with
+  /// AdvanceTo. Requires at least one AdvanceTo() call.
+  bn::Subgraph SampleSubgraph(UserId uid) const;
+  bn::Subgraph SampleSubgraph(const std::vector<UserId>& uids) const;
+
+  /// The last published snapshot as a read view (lock-free). The view
+  /// pins its snapshot version for as long as the caller holds it.
+  bn::GraphView view() const;
+  std::shared_ptr<const bn::BnSnapshot> snapshot() const;
+  /// Version id of the last published snapshot (0 = none yet).
+  uint64_t snapshot_version() const;
 
   SimTime now() const { return now_; }
   const storage::LogStore& logs() const { return logs_; }
   const storage::EdgeStore& edges() const { return edges_; }
-  const bn::BehaviorNetwork& snapshot() const;
   size_t jobs_run() const { return jobs_run_; }
   size_t edges_expired() const { return edges_expired_; }
 
@@ -64,7 +83,14 @@ class BnServer {
   std::vector<SimTime> last_job_end_;  // per window
   SimTime last_expiry_ = 0;
   SimTime last_snapshot_ = -1;
-  std::optional<bn::BehaviorNetwork> snapshot_;
+  // Published snapshot; written by RefreshSnapshot, read lock-free by
+  // samplers. The version counter below is written only by the writer
+  // thread before the corresponding publish.
+  std::atomic<std::shared_ptr<const bn::BnSnapshot>> snapshot_{nullptr};
+  uint64_t next_version_ = 0;
+  // Per-request seed disambiguator so concurrent uniform samplers on one
+  // snapshot do not share an RNG stream.
+  mutable std::atomic<uint64_t> sample_seq_{0};
   size_t jobs_run_ = 0;
   size_t edges_expired_ = 0;
 };

@@ -12,6 +12,11 @@ void EdgeStore::AddWeight(int edge_type, UserId u, UserId v, float w,
                           SimTime now) {
   TURBO_CHECK_GE(edge_type, 0);
   TURBO_CHECK_LT(edge_type, kNumEdgeTypes);
+  // A negative id cast to the unsigned UserId wraps past 2^31; without
+  // this guard EnsureSize would try to allocate billions of adjacency
+  // rows instead of aborting.
+  TURBO_CHECK_GE(static_cast<int32_t>(u), 0);
+  TURBO_CHECK_GE(static_cast<int32_t>(v), 0);
   TURBO_CHECK_NE(u, v);
   TURBO_CHECK_GT(w, 0.0f);
   auto& adj = by_type_[edge_type];

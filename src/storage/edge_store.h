@@ -52,7 +52,12 @@ class EdgeStore {
   using Adjacency = std::vector<std::unordered_map<UserId, EdgeInfo>>;
 
   void EnsureSize(Adjacency* adj, UserId u) {
-    if (adj->size() <= u) adj->resize(static_cast<size_t>(u) + 1);
+    // Explicit widening: comparing size() against a narrower id must not
+    // rely on implicit conversions (a signed id cast to UserId upstream
+    // would wrap to a huge value — AddWeight rejects those).
+    if (adj->size() <= static_cast<size_t>(u)) {
+      adj->resize(static_cast<size_t>(u) + 1);
+    }
   }
 
   std::array<Adjacency, kNumEdgeTypes> by_type_;

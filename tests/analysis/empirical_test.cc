@@ -20,8 +20,10 @@ class EmpiricalTest : public ::testing::Test {
     cfg.windows = {kHour, 6 * kHour, kDay};
     bn::BnBuilder builder(cfg, &edges);
     builder.BuildFromLogs(ds_->logs);
-    net_ = new bn::BehaviorNetwork(bn::BehaviorNetwork::FromEdgeStore(
-        edges, static_cast<int>(ds_->users.size())));
+    bn::SnapshotOptions raw;
+    raw.normalize = false;
+    net_ = new bn::GraphView(bn::BnSnapshot::Build(
+        edges, static_cast<int>(ds_->users.size()), raw));
   }
   static void TearDownTestSuite() {
     delete ds_;
@@ -30,11 +32,11 @@ class EmpiricalTest : public ::testing::Test {
     net_ = nullptr;
   }
   static datagen::Dataset* ds_;
-  static bn::BehaviorNetwork* net_;
+  static bn::GraphView* net_;
 };
 
 datagen::Dataset* EmpiricalTest::ds_ = nullptr;
-bn::BehaviorNetwork* EmpiricalTest::net_ = nullptr;
+bn::GraphView* EmpiricalTest::net_ = nullptr;
 
 // Observation 1 (Fig. 4a-b).
 TEST_F(EmpiricalTest, FraudActivitySpansAreShort) {

@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "bn/builder.h"
-#include "bn/network.h"
+#include "bn/snapshot.h"
 #include "datagen/scenario.h"
 
 namespace turbo::bn {
@@ -67,14 +67,16 @@ TEST_P(BnPropertyTest, NoSelfLoops) {
 }
 
 TEST_P(BnPropertyTest, NormalizationPreservesStructure) {
-  auto net = BehaviorNetwork::FromEdgeStore(
-      edges_, static_cast<int>(ds_.users.size()));
-  auto norm = net.Normalized();
+  SnapshotOptions raw_opts;
+  raw_opts.normalize = false;
+  auto net = BnSnapshot::Build(edges_, static_cast<int>(ds_.users.size()),
+                               raw_opts);
+  auto norm = BnSnapshot::Build(edges_, static_cast<int>(ds_.users.size()));
   for (int t = 0; t < kNumEdgeTypes; ++t) {
-    ASSERT_EQ(net.NumEdges(t), norm.NumEdges(t));
+    ASSERT_EQ(net->NumEdges(t), norm->NumEdges(t));
     for (UserId u = 0; u < 64 && u < ds_.users.size(); ++u) {
-      const auto& raw = net.Neighbors(t, u);
-      const auto& nrm = norm.Neighbors(t, u);
+      const auto raw = net->Neighbors(t, u);
+      const auto nrm = norm->Neighbors(t, u);
       ASSERT_EQ(raw.size(), nrm.size());
       for (size_t i = 0; i < raw.size(); ++i) {
         ASSERT_EQ(raw[i].id, nrm[i].id);

@@ -12,20 +12,27 @@ namespace {
 
 using storage::EdgeStore;
 
+// Raw (unnormalized) snapshot view over a store.
+GraphView MakeView(const EdgeStore& s, int num_nodes) {
+  SnapshotOptions raw;
+  raw.normalize = false;
+  return GraphView(BnSnapshot::Build(s, num_nodes, raw));
+}
+
 // A path 0-1-2-3-4 on type 0, plus a hub node 5 connected to 0..4 on
 // type 1 with increasing weights.
-BehaviorNetwork MakePathAndHub() {
+GraphView MakePathAndHub() {
   EdgeStore s;
   for (UserId u = 0; u < 4; ++u) s.AddWeight(0, u, u + 1, 1.0f, 0);
   for (UserId u = 0; u < 5; ++u) {
     s.AddWeight(1, 5, u, 0.1f * static_cast<float>(u + 1), 0);
   }
-  return BehaviorNetwork::FromEdgeStore(s, 6);
+  return MakeView(s, 6);
 }
 
 TEST(SamplerTest, TargetIsFirstNode) {
   auto net = MakePathAndHub();
-  SubgraphSampler sampler(&net, SamplerConfig{});
+  SubgraphSampler sampler(net, SamplerConfig{});
   auto sg = sampler.SampleOne(2);
   ASSERT_FALSE(sg.nodes.empty());
   EXPECT_EQ(sg.nodes[0], 2u);
@@ -37,7 +44,7 @@ TEST(SamplerTest, TwoHopsReachExactlyTwoHops) {
   auto net = MakePathAndHub();
   SamplerConfig cfg;
   cfg.num_hops = 2;
-  SubgraphSampler sampler(&net, cfg);
+  SubgraphSampler sampler(net, cfg);
   auto sg = sampler.SampleOne(0);
   std::set<UserId> nodes(sg.nodes.begin(), sg.nodes.end());
   // From 0: hop1 {1 (path), 5 (hub)}; hop2 {2 (path), all hub neighbors}.
@@ -53,7 +60,7 @@ TEST(SamplerTest, OneHopDoesNotReachTwoHops) {
   auto net = MakePathAndHub();
   SamplerConfig cfg;
   cfg.num_hops = 1;
-  SubgraphSampler sampler(&net, cfg);
+  SubgraphSampler sampler(net, cfg);
   auto sg = sampler.SampleOne(0);
   std::set<UserId> nodes(sg.nodes.begin(), sg.nodes.end());
   EXPECT_TRUE(nodes.count(1));
@@ -67,7 +74,7 @@ TEST(SamplerTest, FanoutCapsTopByWeight) {
   cfg.num_hops = 1;
   cfg.fanout = 2;
   cfg.top_by_weight = true;
-  SubgraphSampler sampler(&net, cfg);
+  SubgraphSampler sampler(net, cfg);
   auto sg = sampler.SampleOne(5);
   std::set<UserId> nodes(sg.nodes.begin(), sg.nodes.end());
   // Hub weights grow with id: top-2 are nodes 4 (0.5) and 3 (0.4).
@@ -83,10 +90,10 @@ TEST(SamplerTest, InducedEdgesIncludeIntraNeighborEdges) {
   s.AddWeight(0, 0, 1, 1.0f, 0);
   s.AddWeight(0, 1, 2, 1.0f, 0);
   s.AddWeight(0, 0, 2, 1.0f, 0);
-  auto net = BehaviorNetwork::FromEdgeStore(s, 3);
+  auto net = MakeView(s, 3);
   SamplerConfig cfg;
   cfg.num_hops = 1;
-  SubgraphSampler sampler(&net, cfg);
+  SubgraphSampler sampler(net, cfg);
   auto sg = sampler.SampleOne(0);
   EXPECT_EQ(sg.nodes.size(), 3u);
   EXPECT_EQ(sg.NumEdges(), 3u);  // full triangle
@@ -94,7 +101,7 @@ TEST(SamplerTest, InducedEdgesIncludeIntraNeighborEdges) {
 
 TEST(SamplerTest, EdgesUseLocalIndicesBothDirections) {
   auto net = MakePathAndHub();
-  SubgraphSampler sampler(&net, SamplerConfig{});
+  SubgraphSampler sampler(net, SamplerConfig{});
   auto sg = sampler.SampleOne(1);
   for (int t = 0; t < kNumEdgeTypes; ++t) {
     for (const auto& e : sg.edges[t]) {
@@ -115,7 +122,7 @@ TEST(SamplerTest, MultiTargetBatchUnion) {
   auto net = MakePathAndHub();
   SamplerConfig cfg;
   cfg.num_hops = 1;
-  SubgraphSampler sampler(&net, cfg);
+  SubgraphSampler sampler(net, cfg);
   auto sg = sampler.Sample({0, 4});
   EXPECT_EQ(sg.num_targets, 2u);
   EXPECT_EQ(sg.nodes[0], 0u);
@@ -128,8 +135,8 @@ TEST(SamplerTest, MultiTargetBatchUnion) {
 TEST(SamplerTest, IsolatedTargetYieldsSingleton) {
   EdgeStore s;
   s.AddWeight(0, 0, 1, 1.0f, 0);
-  auto net = BehaviorNetwork::FromEdgeStore(s, 4);
-  SubgraphSampler sampler(&net, SamplerConfig{});
+  auto net = MakeView(s, 4);
+  SubgraphSampler sampler(net, SamplerConfig{});
   auto sg = sampler.SampleOne(3);
   EXPECT_EQ(sg.nodes.size(), 1u);
   EXPECT_EQ(sg.NumEdges(), 0u);
@@ -140,12 +147,12 @@ TEST(SamplerTest, UniformSamplingIsDeterministicPerSeed) {
   EdgeStore store;
   BnBuilder builder(BnConfig{}, &store);
   builder.BuildFromLogs(ds.logs);
-  auto net = BehaviorNetwork::FromEdgeStore(store, 400);
+  auto net = MakeView(store, 400);
   SamplerConfig cfg;
   cfg.top_by_weight = false;
   cfg.fanout = 3;
-  SubgraphSampler s1(&net, cfg, /*seed=*/7);
-  SubgraphSampler s2(&net, cfg, /*seed=*/7);
+  SubgraphSampler s1(net, cfg, /*seed=*/7);
+  SubgraphSampler s2(net, cfg, /*seed=*/7);
   auto a = s1.SampleOne(10);
   auto b = s2.SampleOne(10);
   EXPECT_EQ(a.nodes, b.nodes);
@@ -158,9 +165,8 @@ TEST(SamplerTest, FraudTargetsSeeFraudRichNeighborhoods) {
   EdgeStore store;
   BnBuilder builder(BnConfig{}, &store);
   builder.BuildFromLogs(ds.logs);
-  auto net = BehaviorNetwork::FromEdgeStore(
-      store, static_cast<int>(ds.users.size()));
-  SubgraphSampler sampler(&net, SamplerConfig{});
+  auto net = MakeView(store, static_cast<int>(ds.users.size()));
+  SubgraphSampler sampler(net, SamplerConfig{});
   double fraud_ratio_at_fraud = 0.0, fraud_ratio_at_normal = 0.0;
   int nf = 0, nn = 0;
   for (const auto& u : ds.users) {

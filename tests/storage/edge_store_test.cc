@@ -77,6 +77,17 @@ TEST(EdgeStoreDeathTest, RejectsSelfLoopAndBadType) {
   EXPECT_DEATH(store.AddWeight(0, 1, 2, 0.0f, 0), "CHECK failed");
 }
 
+TEST(EdgeStoreDeathTest, RejectsWrappedNegativeIds) {
+  // Regression: a negative int cast to UserId wraps past 2^31; before the
+  // AddWeight guard this drove EnsureSize into a multi-gigabyte resize
+  // instead of an abort.
+  EdgeStore store;
+  EXPECT_DEATH(store.AddWeight(0, static_cast<UserId>(-1), 1, 1.0f, 0),
+               "CHECK failed");
+  EXPECT_DEATH(store.AddWeight(0, 1, static_cast<UserId>(-7), 1.0f, 0),
+               "CHECK failed");
+}
+
 TEST(EdgeStoreTest, ExpiryCountsEachUndirectedEdgeOnce) {
   EdgeStore store;
   for (UserId u = 0; u < 4; ++u) {
