@@ -5,9 +5,15 @@
 // be tracked across machines (this box may be single-core; the absolute
 // speedup only shows up on real multi-core hardware).
 //
+// Per-sample latencies additionally stream into an obs::MetricsRegistry
+// histogram (concurrently, from every sampler thread — doubling as a
+// live stress of the lock-free metric path); the registry dump is
+// written next to the BENCH json (--obs_out=OBS_snapshot.json).
+//
 //   ./bench_snapshot_concurrency [--users=N] [--avg_degree=D]
 //                                [--samples_per_thread=K]
 //                                [--out=BENCH_snapshot.json]
+//                                [--obs_out=OBS_snapshot.json]
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -17,8 +23,10 @@
 #include "bench/bench_common.h"
 #include "bn/sampler.h"
 #include "bn/snapshot.h"
+#include "obs/metrics.h"
 #include "storage/edge_store.h"
 #include "util/rng.h"
+#include "util/time_util.h"
 
 namespace turbo::benchx {
 namespace {
@@ -56,20 +64,31 @@ struct SamplingRun {
 // shared snapshot — the production shape: one published version, many
 // concurrent sampling requests.
 SamplingRun RunSampling(const bn::GraphView& view, int threads,
-                        int samples_per_thread) {
+                        int samples_per_thread,
+                        obs::MetricsRegistry* metrics) {
   bn::SamplerConfig cfg;  // defaults: 2 hops, fanout 25
   const int n = view.num_nodes();
+  obs::Histogram* sample_ms = metrics->GetHistogram("sample_ms");
+  obs::Histogram* sample_nodes = metrics->GetHistogram(
+      "sample_subgraph_nodes", obs::Histogram::DefaultSizeBuckets());
+  obs::Counter* samples_total = metrics->GetCounter("samples_total");
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::thread> workers;
   workers.reserve(threads);
   for (int w = 0; w < threads; ++w) {
-    workers.emplace_back([&view, &cfg, n, samples_per_thread, w] {
+    workers.emplace_back([&view, &cfg, n, samples_per_thread, w, sample_ms,
+                          sample_nodes, samples_total] {
       bn::SubgraphSampler sampler(view, cfg, /*seed=*/1000 + w);
       Rng targets(7 * (w + 1));
       size_t touched = 0;
       for (int i = 0; i < samples_per_thread; ++i) {
         const UserId uid = static_cast<UserId>(targets.NextUint(n));
-        touched += sampler.SampleOne(uid).nodes.size();
+        Stopwatch sw;
+        const auto sg = sampler.SampleOne(uid);
+        sample_ms->Observe(sw.ElapsedMillis());
+        sample_nodes->Observe(static_cast<double>(sg.nodes.size()));
+        samples_total->Increment();
+        touched += sg.nodes.size();
       }
       TURBO_CHECK_GT(touched, 0u);
     });
@@ -83,13 +102,17 @@ SamplingRun RunSampling(const bn::GraphView& view, int threads,
   return run;
 }
 
-double TimeBuild(const storage::EdgeStore& edges, int users, int threads) {
+double TimeBuild(const storage::EdgeStore& edges, int users, int threads,
+                 obs::MetricsRegistry* metrics) {
   bn::SnapshotOptions opt;
   opt.num_threads = threads;
   const auto t0 = std::chrono::steady_clock::now();
   auto snap = bn::BnSnapshot::Build(edges, users, opt);
   const double s = SecondsSince(t0);
   TURBO_CHECK_GT(snap->TotalEdges(), 0u);
+  metrics->GetHistogram("snapshot_build_ms")->Observe(s * 1e3);
+  metrics->GetGauge("snapshot_memory_bytes")
+      ->Set(static_cast<double>(snap->MemoryBytes()));
   return s;
 }
 
@@ -99,15 +122,18 @@ int Main(int argc, char** argv) {
   const int avg_degree = flags.GetInt("avg_degree", 8);
   const int samples_per_thread = flags.GetInt("samples_per_thread", 2000);
   const std::string out = flags.GetString("out", "BENCH_snapshot.json");
+  const std::string obs_out =
+      flags.GetString("obs_out", "OBS_snapshot.json");
+  obs::MetricsRegistry metrics;
 
   Rng rng(42);
   storage::EdgeStore edges = MakeGraph(users, avg_degree, &rng);
   std::printf("graph: %d users, %zu undirected edges\n", users,
               edges.TotalEdges());
 
-  const double build_1t = TimeBuild(edges, users, 1);
+  const double build_1t = TimeBuild(edges, users, 1, &metrics);
   const int hw = static_cast<int>(std::thread::hardware_concurrency());
-  const double build_mt = TimeBuild(edges, users, 0);
+  const double build_mt = TimeBuild(edges, users, 0, &metrics);
   std::printf("snapshot build: %.1f ms (1 thread) / %.1f ms (%d threads)\n",
               build_1t * 1e3, build_mt * 1e3, hw);
 
@@ -115,7 +141,8 @@ int Main(int argc, char** argv) {
 
   std::vector<SamplingRun> runs;
   for (int threads : {1, 2, 4, 8}) {
-    runs.push_back(RunSampling(view, threads, samples_per_thread));
+    runs.push_back(
+        RunSampling(view, threads, samples_per_thread, &metrics));
     std::printf("sampling: %d thread(s)  %zu subgraphs in %.2fs  "
                 "-> %.0f samples/s\n",
                 runs.back().threads, runs.back().samples,
@@ -145,6 +172,13 @@ int Main(int argc, char** argv) {
     << "  \"throughput_speedup_8v1\": " << speedup << "\n"
     << "}\n";
   std::printf("wrote %s\n", out.c_str());
+
+  std::printf("%s\n",
+              metrics.GetHistogram("sample_ms")
+                  ->Summary("per-sample latency").c_str());
+  std::ofstream obs_f(obs_out);
+  obs_f << metrics.RenderJson();
+  std::printf("wrote %s\n", obs_out.c_str());
   return 0;
 }
 

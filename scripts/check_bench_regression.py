@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Bench-regression gate for CI.
+
+Compares a freshly measured BENCH_snapshot.json against the committed
+baseline and fails (exit 1) when sampling throughput regressed more than
+the allowed fraction. Thread-for-thread comparison on samples_per_second;
+the worst ratio across thread counts decides.
+
+CI machines differ from the machine that recorded the baseline, so the
+default tolerance is deliberately loose (20%, the ISSUE 2 contract) and
+can be widened with --tolerance or BENCH_TOLERANCE for noisy runners.
+
+Usage: check_bench_regression.py BASELINE.json FRESH.json [--tolerance=0.2]
+"""
+import argparse
+import json
+import os
+import sys
+
+
+def load_sampling(path):
+    with open(path) as f:
+        data = json.load(f)
+    runs = data.get("sampling", [])
+    if not runs:
+        sys.exit(f"error: no 'sampling' runs in {path}")
+    return {run["threads"]: run["samples_per_second"] for run in runs}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("BENCH_TOLERANCE", "0.2")),
+        help="allowed fractional regression (default 0.2 = 20%%)",
+    )
+    args = parser.parse_args()
+
+    baseline = load_sampling(args.baseline)
+    fresh = load_sampling(args.fresh)
+
+    failed = False
+    for threads in sorted(baseline):
+        if threads not in fresh:
+            print(f"threads={threads}: missing from fresh run — FAIL")
+            failed = True
+            continue
+        base = baseline[threads]
+        now = fresh[threads]
+        ratio = now / base if base > 0 else float("inf")
+        status = "ok"
+        if ratio < 1.0 - args.tolerance:
+            status = "REGRESSION"
+            failed = True
+        print(
+            f"threads={threads}: baseline={base:.0f}/s fresh={now:.0f}/s "
+            f"ratio={ratio:.2f} [{status}]"
+        )
+
+    if failed:
+        print(
+            f"\nFAIL: sampling throughput regressed more than "
+            f"{args.tolerance:.0%} vs {args.baseline}"
+        )
+        return 1
+    print(f"\nPASS: throughput within {args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

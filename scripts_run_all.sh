@@ -1,6 +1,20 @@
-#!/bin/sh
-# Final recording run: full test suite + every bench, teeing to the
-# repository-root logs referenced by EXPERIMENTS.md.
-set -x
-ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt
-for b in build/bench/*; do $b; done 2>&1 | tee /root/repo/bench_output.txt
+#!/usr/bin/env bash
+# Final recording run: tier-1 verify (configure + build + full ctest, the
+# ROADMAP commands) followed by every bench, teeing to the repository-root
+# logs referenced by EXPERIMENTS.md. Fails fast on the first error.
+#
+#   BUILD_DIR=out ./scripts_run_all.sh     # build somewhere else
+set -euo pipefail
+
+BUILD_DIR="${BUILD_DIR:-build}"
+REPO_ROOT="$(cd "$(dirname "$0")" && pwd)"
+
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" 2>&1 \
+  | tee "$REPO_ROOT/test_output.txt"
+
+for b in "$BUILD_DIR"/bench/*; do
+  [ -x "$b" ] || continue
+  "$b"
+done 2>&1 | tee "$REPO_ROOT/bench_output.txt"

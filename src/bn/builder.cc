@@ -21,11 +21,11 @@ BnBuilder::BnBuilder(BnConfig config, storage::EdgeStore* edges)
                              config_.windows.end()));
 }
 
-void BnBuilder::ConnectBucket(int edge_type,
-                              const std::vector<UserId>& users,
-                              SimTime stamp) {
+size_t BnBuilder::ConnectBucket(int edge_type,
+                                const std::vector<UserId>& users,
+                                SimTime stamp) {
   const size_t n = users.size();
-  if (n < 2) return;
+  if (n < 2) return 0;
   const float w = config_.inverse_weighting
                       ? 1.0f / static_cast<float>(n)
                       : 1.0f;
@@ -35,7 +35,7 @@ void BnBuilder::ConnectBucket(int edge_type,
         edges_->AddWeight(edge_type, users[i], users[j], w, stamp);
       }
     }
-    return;
+    return n * (n - 1) / 2;
   }
   // Pathological bucket: connect a random subset, preserving the true 1/N.
   auto idx = rng_.SampleWithoutReplacement(
@@ -45,6 +45,7 @@ void BnBuilder::ConnectBucket(int edge_type,
       edges_->AddWeight(edge_type, users[idx[i]], users[idx[j]], w, stamp);
     }
   }
+  return idx.size() * (idx.size() - 1) / 2;
 }
 
 void BnBuilder::BuildFromLogs(const BehaviorLogList& logs) {
@@ -103,12 +104,13 @@ void BnBuilder::BuildFromLogs(const BehaviorLogList& logs) {
   }
 }
 
-void BnBuilder::RunWindowJob(const storage::LogStore& store, SimTime window,
-                             SimTime epoch_end) {
+size_t BnBuilder::RunWindowJob(const storage::LogStore& store,
+                               SimTime window, SimTime epoch_end) {
   TURBO_CHECK_GT(window, 0);
   const SimTime epoch_start = epoch_end - window;
   auto active = store.ActiveValues(epoch_start + 1, epoch_end);
   std::vector<UserId> bucket_users;
+  size_t updates = 0;
   for (const auto& key : active) {
     const int edge_type = EdgeTypeIndex(key.type);
     if (edge_type < 0) continue;
@@ -120,8 +122,9 @@ void BnBuilder::RunWindowJob(const storage::LogStore& store, SimTime window,
     bucket_users.erase(
         std::unique(bucket_users.begin(), bucket_users.end()),
         bucket_users.end());
-    ConnectBucket(edge_type, bucket_users, epoch_end);
+    updates += ConnectBucket(edge_type, bucket_users, epoch_end);
   }
+  return updates;
 }
 
 size_t BnBuilder::ExpireOld(SimTime now) {

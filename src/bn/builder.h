@@ -52,9 +52,10 @@ class BnBuilder {
 
   /// Online path: processes the epoch (epoch_end - window, epoch_end] of
   /// one window size, querying the log store for the active values — this
-  /// is the "hourly job for the 1-hour window" of Section V.
-  void RunWindowJob(const storage::LogStore& store, SimTime window,
-                    SimTime epoch_end);
+  /// is the "hourly job for the 1-hour window" of Section V. Returns the
+  /// number of edge-weight updates applied (observability).
+  size_t RunWindowJob(const storage::LogStore& store, SimTime window,
+                      SimTime epoch_end);
 
   /// Expires edges older than `now - edge_ttl`. Returns edges removed.
   size_t ExpireOld(SimTime now);
@@ -67,8 +68,9 @@ class BnBuilder {
     SimTime time;
   };
   /// Connects distinct users of one (type, value, window, epoch) bucket.
-  void ConnectBucket(int edge_type, const std::vector<UserId>& users,
-                     SimTime stamp);
+  /// Returns the number of pairwise weight updates applied.
+  size_t ConnectBucket(int edge_type, const std::vector<UserId>& users,
+                       SimTime stamp);
 
   BnConfig config_;
   storage::EdgeStore* edges_;

@@ -454,7 +454,8 @@ void Generator::EmitWarmupBackground(UserId uid) {
   // between registration and the burst.
   const auto& u = ds_.users[uid];
   const SimTime lo = u.registration_time;
-  const SimTime hi = std::max<SimTime>(lo + kDay, u.application_time - 2 * kDay);
+  const SimTime hi =
+      std::max<SimTime>(lo + kDay, u.application_time - 2 * kDay);
   int events = std::max(2, rng_.NextPoisson(cfg_.normal_events_mean / 3));
   for (int e = 0; e < events; ++e) {
     SimTime t = lo + static_cast<SimTime>(

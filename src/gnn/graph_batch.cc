@@ -39,7 +39,9 @@ GraphBatch MakeGraphBatch(const bn::Subgraph& sg,
   std::vector<la::Triplet> with_self = all_edges;
   std::vector<la::Triplet> self_structure;
   self_structure.reserve(total + n);
-  for (const auto& e : all_edges) self_structure.push_back({e.row, e.col, 1.0f});
+  for (const auto& e : all_edges) {
+    self_structure.push_back({e.row, e.col, 1.0f});
+  }
   for (uint32_t i = 0; i < n; ++i) {
     with_self.push_back({i, i, 1.0f});
     self_structure.push_back({i, i, 1.0f});

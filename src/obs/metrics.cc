@@ -1,0 +1,300 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace turbo::obs {
+
+namespace {
+
+uint64_t Bits(double v) { return std::bit_cast<uint64_t>(v); }
+double FromBits(uint64_t b) { return std::bit_cast<double>(b); }
+
+bool ValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(name[0])) && name[0] != '_') {
+    return false;
+  }
+  for (char c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Shortest %g rendering that survives JSON/Prometheus round-trips.
+std::string Num(double v) {
+  std::ostringstream oss;
+  oss << v;
+  return oss.str();
+}
+
+}  // namespace
+
+void Gauge::Set(double v) {
+  bits_.store(Bits(v), std::memory_order_relaxed);
+}
+
+void Gauge::Add(double delta) {
+  uint64_t cur = bits_.load(std::memory_order_relaxed);
+  while (!bits_.compare_exchange_weak(cur, Bits(FromBits(cur) + delta),
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+double Gauge::value() const {
+  return FromBits(bits_.load(std::memory_order_relaxed));
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      min_bits_(Bits(std::numeric_limits<double>::infinity())),
+      max_bits_(Bits(-std::numeric_limits<double>::infinity())) {
+  TURBO_CHECK(!bounds_.empty());
+  TURBO_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+  TURBO_CHECK(std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+              bounds_.end());
+  buckets_ =
+      std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::Observe(double v) {
+  TURBO_CHECK(!std::isnan(v));
+  const size_t b =
+      std::upper_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin();
+  // upper_bound leaves values equal to a bound in that bound's bucket
+  // only if bound >= v; Prometheus `le` semantics want v <= bound, so
+  // step back when v sits exactly on a bound.
+  const size_t bucket = (b > 0 && bounds_[b - 1] == v) ? b - 1 : b;
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t cur = sum_bits_.load(std::memory_order_relaxed);
+  while (!sum_bits_.compare_exchange_weak(cur, Bits(FromBits(cur) + v),
+                                          std::memory_order_relaxed)) {
+  }
+  cur = min_bits_.load(std::memory_order_relaxed);
+  while (FromBits(cur) > v &&
+         !min_bits_.compare_exchange_weak(cur, Bits(v),
+                                          std::memory_order_relaxed)) {
+  }
+  cur = max_bits_.load(std::memory_order_relaxed);
+  while (FromBits(cur) < v &&
+         !max_bits_.compare_exchange_weak(cur, Bits(v),
+                                          std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::Sum() const {
+  return FromBits(sum_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::Mean() const {
+  const uint64_t n = count();
+  return n == 0 ? 0.0 : Sum() / static_cast<double>(n);
+}
+
+double Histogram::Min() const {
+  return count() == 0 ? 0.0
+                      : FromBits(min_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::Max() const {
+  return count() == 0 ? 0.0
+                      : FromBits(max_bits_.load(std::memory_order_relaxed));
+}
+
+uint64_t Histogram::BucketCount(size_t i) const {
+  TURBO_CHECK_LE(i, bounds_.size());
+  return buckets_[i].load(std::memory_order_relaxed);
+}
+
+double Histogram::Percentile(double q) const {
+  TURBO_CHECK_GE(q, 0.0);
+  TURBO_CHECK_LE(q, 1.0);
+  // Snapshot the buckets once; concurrent writers may add samples while
+  // we walk, so derive the total from the same snapshot.
+  std::vector<uint64_t> snap(bounds_.size() + 1);
+  uint64_t total = 0;
+  for (size_t i = 0; i < snap.size(); ++i) {
+    snap[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += snap[i];
+  }
+  if (total == 0) return 0.0;
+  const double lo = Min();
+  const double hi = Max();
+  if (q <= 0.0) return lo;
+  if (q >= 1.0) return hi;
+  // Nearest-rank target within the snapshot.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(total))));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < snap.size(); ++i) {
+    if (snap[i] == 0) continue;
+    if (seen + snap[i] < rank) {
+      seen += snap[i];
+      continue;
+    }
+    // Interpolate within bucket i, clamped to the observed range.
+    double lower = i == 0 ? 0.0 : bounds_[i - 1];
+    double upper = i < bounds_.size() ? bounds_[i] : hi;
+    lower = std::max(lower, lo);
+    upper = std::min(std::max(upper, lower), hi);
+    const double frac =
+        static_cast<double>(rank - seen) / static_cast<double>(snap[i]);
+    return lower + frac * (upper - lower);
+  }
+  return hi;
+}
+
+std::string Histogram::Summary(const std::string& label) const {
+  return StrFormat(
+      "%-24s n=%llu mean=%.2fms p50=%.2fms p99=%.2fms p999=%.2fms "
+      "max=%.2fms",
+      label.c_str(), static_cast<unsigned long long>(count()), Mean(),
+      Percentile(0.5), Percentile(0.99), Percentile(0.999), Max());
+}
+
+std::vector<double> Histogram::ExponentialBuckets(double start,
+                                                  double factor,
+                                                  int count) {
+  TURBO_CHECK_GT(start, 0.0);
+  TURBO_CHECK_GT(factor, 1.0);
+  TURBO_CHECK_GT(count, 0);
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double b = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return bounds;
+}
+
+const std::vector<double>& Histogram::DefaultLatencyBucketsMs() {
+  static const std::vector<double> kBounds =
+      ExponentialBuckets(1e-3, 1.5, 50);
+  return kBounds;
+}
+
+const std::vector<double>& Histogram::DefaultSizeBuckets() {
+  static const std::vector<double> kBounds = ExponentialBuckets(1.0, 2.0, 21);
+  return kBounds;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  TURBO_CHECK_MSG(ValidMetricName(name), "bad metric name: " << name);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    TURBO_CHECK_MSG(!gauges_.count(name) && !histograms_.count(name),
+                    "metric " << name << " already registered as another "
+                              << "kind");
+    it = counters_.emplace(name, std::make_unique<Counter>()).first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  TURBO_CHECK_MSG(ValidMetricName(name), "bad metric name: " << name);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    TURBO_CHECK_MSG(!counters_.count(name) && !histograms_.count(name),
+                    "metric " << name << " already registered as another "
+                              << "kind");
+    it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  TURBO_CHECK_MSG(ValidMetricName(name), "bad metric name: " << name);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    TURBO_CHECK_MSG(!counters_.count(name) && !gauges_.count(name),
+                    "metric " << name << " already registered as another "
+                              << "kind");
+    if (bounds.empty()) bounds = Histogram::DefaultLatencyBucketsMs();
+    it = histograms_
+             .emplace(name, std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return it->second.get();
+}
+
+std::string MetricsRegistry::RenderText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, c] : counters_) {
+    out << "# TYPE " << name << " counter\n";
+    out << name << " " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    out << "# TYPE " << name << " gauge\n";
+    out << name << " " << Num(g->value()) << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    out << "# TYPE " << name << " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h->bounds().size(); ++i) {
+      cumulative += h->BucketCount(i);
+      out << name << "_bucket{le=\"" << Num(h->bounds()[i]) << "\"} "
+          << cumulative << "\n";
+    }
+    cumulative += h->BucketCount(h->bounds().size());
+    out << name << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
+    out << name << "_sum " << Num(h->Sum()) << "\n";
+    out << name << "_count " << h->count() << "\n";
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out << (first ? "\n" : ",\n") << "    \"" << name
+        << "\": " << c->value();
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out << (first ? "\n" : ",\n") << "    \"" << name
+        << "\": " << Num(g->value());
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out << (first ? "\n" : ",\n") << "    \"" << name << "\": {"
+        << "\"count\": " << h->count() << ", \"sum\": " << Num(h->Sum())
+        << ", \"mean\": " << Num(h->Mean())
+        << ", \"min\": " << Num(h->Min()) << ", \"max\": " << Num(h->Max())
+        << ", \"p50\": " << Num(h->Percentile(0.5))
+        << ", \"p95\": " << Num(h->Percentile(0.95))
+        << ", \"p99\": " << Num(h->Percentile(0.99)) << "}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+  return out.str();
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* kDefault = new MetricsRegistry();
+  return *kDefault;
+}
+
+}  // namespace turbo::obs

@@ -1,0 +1,139 @@
+// Process-wide observability: a registry of named counters, gauges, and
+// fixed-bucket latency histograms, designed for a single-writer-or-many
+// serving path.
+//
+// Concurrency contract: metric objects are created through
+// MetricsRegistry::Get* (a short mutex-guarded map insert, done once per
+// name — callers cache the returned pointer) and are never destroyed
+// before the registry. After creation, every operation on a Counter,
+// Gauge, or Histogram is a relaxed atomic and therefore lock-free: any
+// number of request threads can Increment/Observe while another thread
+// renders the registry. Rendering takes the registration mutex only to
+// walk the name -> metric maps; the values themselves are read with
+// atomic loads, so a render concurrent with writers sees a slightly
+// stale but internally monotonic view.
+//
+// Naming scheme (see DESIGN.md "Observability"): lowercase
+// `<subsystem>_<what>_<unit-or-total>` — e.g. `bn_ingest_events_total`
+// (counter), `bn_snapshot_build_ms` (histogram), `bn_snapshot_version`
+// (gauge). RenderText emits Prometheus text exposition; RenderJson is
+// the machine-readable dump embedded in BENCH_*.json files.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace turbo::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (snapshot version, bytes, lag).
+class Gauge {
+ public:
+  void Set(double v);
+  void Add(double delta);
+  double value() const;
+
+ private:
+  std::atomic<uint64_t> bits_{0};  // bit pattern of a double, initially 0.0
+};
+
+/// Fixed-bucket histogram with percentile extraction. Buckets are
+/// cumulative-upper-bound style (Prometheus `le`); one implicit overflow
+/// bucket catches everything above the last finite bound. Percentiles
+/// linearly interpolate inside the owning bucket and are clamped to the
+/// observed min/max, so p0/p100 are exact and mid quantiles carry at
+/// most one bucket width of error.
+class Histogram {
+ public:
+  /// `bounds` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const;
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  /// q in [0, 1]; returns 0 when empty.
+  double Percentile(double q) const;
+
+  /// One-line human summary, same shape the old LatencyTracker printed:
+  /// "<label> n=… mean=… p50=… p99=… p999=… max=…".
+  std::string Summary(const std::string& label) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// i in [0, bounds().size()]; the last index is the overflow bucket.
+  uint64_t BucketCount(size_t i) const;
+
+  /// `count` bounds starting at `start`, each `factor` times the last.
+  static std::vector<double> ExponentialBuckets(double start, double factor,
+                                                int count);
+  /// 1 microsecond .. ~10 minutes in milliseconds, factor 1.5 — tight
+  /// enough that interpolated percentiles track the exact ones within a
+  /// few percent across the serving range.
+  static const std::vector<double>& DefaultLatencyBucketsMs();
+  /// Power-of-two size buckets (subgraph nodes, edges): 1 .. 2^20.
+  static const std::vector<double>& DefaultSizeBuckets();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_bits_{0};
+  std::atomic<uint64_t> min_bits_;
+  std::atomic<uint64_t> max_bits_;
+};
+
+/// Owner of all metrics for one process (or one server instance in
+/// tests/benches, which want isolation between runs).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Create-or-get. Names must match [a-zA-Z_][a-zA-Z0-9_]* and may be
+  /// registered as only one metric kind. The returned pointer is stable
+  /// for the registry's lifetime.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// Empty `bounds` selects DefaultLatencyBucketsMs(). If `name` already
+  /// exists the existing histogram is returned (bounds are fixed at
+  /// first registration).
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds = {});
+
+  /// Prometheus text exposition format.
+  std::string RenderText() const;
+  /// JSON object {"counters": {...}, "gauges": {...}, "histograms":
+  /// {name: {count, sum, mean, min, max, p50, p95, p99}}}.
+  std::string RenderJson() const;
+
+  /// The process-wide default registry.
+  static MetricsRegistry& Default();
+
+ private:
+  mutable std::mutex mu_;  // guards the maps, never the metric values
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace turbo::obs

@@ -1,0 +1,49 @@
+#include "obs/trace.h"
+
+#include "util/check.h"
+
+namespace turbo::obs {
+
+StageTimer::StageTimer(MetricsRegistry* registry, std::string prefix,
+                       uint64_t request_id)
+    : registry_(registry),
+      prefix_(std::move(prefix)),
+      request_id_(request_id) {
+  TURBO_CHECK(registry_ != nullptr);
+  TURBO_CHECK(!prefix_.empty());
+}
+
+StageTimer::~StageTimer() {
+  if (!finished_) Finish();
+}
+
+double StageTimer::Span::Stop() {
+  if (stopped_) return recorded_;
+  stopped_ = true;
+  recorded_ = stopwatch_.ElapsedMillis() + extra_;
+  timer_->RecordStage(stage_, recorded_);
+  return recorded_;
+}
+
+void StageTimer::RecordStage(const std::string& stage, double millis) {
+  TURBO_CHECK_GE(millis, 0.0);
+  spans_.push_back({stage, millis});
+  registry_->GetHistogram(prefix_ + "_" + stage + "_ms")->Observe(millis);
+}
+
+double StageTimer::TotalMillis() const {
+  double total = 0.0;
+  for (const auto& s : spans_) total += s.millis;
+  return total;
+}
+
+double StageTimer::Finish() {
+  const double total = TotalMillis();
+  if (!finished_) {
+    finished_ = true;
+    registry_->GetHistogram(prefix_ + "_total_ms")->Observe(total);
+  }
+  return total;
+}
+
+}  // namespace turbo::obs

@@ -1,0 +1,91 @@
+// Per-request stage tracing: a StageTimer collects named spans for one
+// request id and mirrors every span into `<prefix>_<stage>_ms`
+// histograms of a MetricsRegistry, so a stream of requests yields the
+// Fig. 8-style per-module latency breakdown for free.
+//
+// Wall-clock and modeled time: spans measure real elapsed time with a
+// Stopwatch; storage accesses additionally charge a virtual SimClock
+// cost (see DESIGN.md §2), which callers fold in via
+// Span::AddModeledMillis before the span stops. Recorded span durations
+// are therefore wall + modeled, matching what PredictionResponse
+// reports.
+//
+// StageTimer is single-threaded per request (one request = one timer);
+// the histograms it writes into are the concurrency-safe obs metrics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/time_util.h"
+
+namespace turbo::obs {
+
+struct StageSpan {
+  std::string stage;
+  double millis = 0.0;
+};
+
+class StageTimer {
+ public:
+  /// Spans are recorded into `registry` under `<prefix>_<stage>_ms`;
+  /// `request_id` ties the trace to a request for logging/debugging.
+  StageTimer(MetricsRegistry* registry, std::string prefix,
+             uint64_t request_id);
+  /// Finishes implicitly (records the total) if the caller did not.
+  ~StageTimer();
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+  /// Scoped span: starts timing on construction, records on Stop() (or
+  /// destruction). Not copyable or movable — bind the returned prvalue
+  /// directly: `auto span = timer.StartSpan("sample");`.
+  class Span {
+   public:
+    ~Span() { Stop(); }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+    /// Adds virtual storage cost (SimClock) on top of wall time.
+    void AddModeledMillis(double millis) { extra_ += millis; }
+    /// Ends the span and records it; returns total millis. Idempotent.
+    double Stop();
+
+   private:
+    friend class StageTimer;
+    Span(StageTimer* timer, std::string stage)
+        : timer_(timer), stage_(std::move(stage)) {}
+
+    StageTimer* timer_;
+    std::string stage_;
+    Stopwatch stopwatch_;
+    double extra_ = 0.0;
+    double recorded_ = 0.0;
+    bool stopped_ = false;
+  };
+
+  Span StartSpan(std::string stage) { return Span(this, std::move(stage)); }
+
+  /// Records an externally measured stage duration (no Stopwatch).
+  void RecordStage(const std::string& stage, double millis);
+
+  /// Sum of all recorded spans so far.
+  double TotalMillis() const;
+  const std::vector<StageSpan>& spans() const { return spans_; }
+  uint64_t request_id() const { return request_id_; }
+
+  /// Records `<prefix>_total_ms` and returns the total. Idempotent;
+  /// spans recorded after Finish() are ignored for the total.
+  double Finish();
+
+ private:
+  MetricsRegistry* registry_;
+  std::string prefix_;
+  uint64_t request_id_;
+  std::vector<StageSpan> spans_;
+  bool finished_ = false;
+};
+
+}  // namespace turbo::obs

@@ -1,5 +1,7 @@
 #include "server/bn_server.h"
 
+#include "util/time_util.h"
+
 namespace turbo::server {
 
 BnServer::BnServer(BnServerConfig config)
@@ -8,11 +10,36 @@ BnServer::BnServer(BnServerConfig config)
       last_job_end_(config_.bn.windows.size(), 0) {
   TURBO_CHECK_GT(config_.num_users, 0);
   TURBO_CHECK_GT(config_.snapshot_refresh, 0);
+  if (config_.metrics != nullptr) {
+    metrics_ = config_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  ingest_events_ = metrics_->GetCounter("bn_ingest_events_total");
+  window_jobs_ = metrics_->GetCounter("bn_window_jobs_total");
+  window_edge_updates_ =
+      metrics_->GetCounter("bn_window_edge_updates_total");
+  ttl_expired_edges_ = metrics_->GetCounter("bn_ttl_expired_edges_total");
+  snapshot_builds_ = metrics_->GetCounter("bn_snapshot_builds_total");
+  samples_ = metrics_->GetCounter("bn_samples_total");
+  window_job_ms_ = metrics_->GetHistogram("bn_window_job_ms");
+  snapshot_build_ms_ = metrics_->GetHistogram("bn_snapshot_build_ms");
+  sample_ms_ = metrics_->GetHistogram("bn_sample_ms");
+  sample_nodes_ = metrics_->GetHistogram(
+      "bn_sample_subgraph_nodes", obs::Histogram::DefaultSizeBuckets());
+  snapshot_version_g_ = metrics_->GetGauge("bn_snapshot_version");
+  snapshot_edges_g_ = metrics_->GetGauge("bn_snapshot_edges");
+  snapshot_bytes_g_ = metrics_->GetGauge("bn_snapshot_memory_bytes");
+  snapshot_lag_s_ = metrics_->GetGauge("bn_snapshot_lag_s");
+  sample_pinned_version_ =
+      metrics_->GetGauge("bn_sample_pinned_snapshot_version");
 }
 
 void BnServer::Ingest(const BehaviorLog& log) {
   TURBO_CHECK_LT(log.uid, static_cast<UserId>(config_.num_users));
   logs_.Append(log);
+  ingest_events_->Increment();
 }
 
 void BnServer::IngestBatch(const BehaviorLogList& logs) {
@@ -28,7 +55,12 @@ void BnServer::AdvanceTo(SimTime now) {
     const SimTime window = config_.bn.windows[w];
     SimTime next_end = last_job_end_[w] + window;
     while (next_end <= now_) {
-      builder_.RunWindowJob(logs_, window, next_end);
+      Stopwatch job_sw;
+      const size_t updates =
+          builder_.RunWindowJob(logs_, window, next_end);
+      window_job_ms_->Observe(job_sw.ElapsedMillis());
+      window_jobs_->Increment();
+      window_edge_updates_->Increment(updates);
       last_job_end_[w] = next_end;
       next_end += window;
       ++jobs_run_;
@@ -37,12 +69,18 @@ void BnServer::AdvanceTo(SimTime now) {
   // Daily TTL sweep.
   while (last_expiry_ + kDay <= now_) {
     last_expiry_ += kDay;
-    edges_expired_ += builder_.ExpireOld(last_expiry_);
+    const size_t expired = builder_.ExpireOld(last_expiry_);
+    edges_expired_ += expired;
+    ttl_expired_edges_->Increment(expired);
   }
   if (last_snapshot_ < 0 ||
       now_ - last_snapshot_ >= config_.snapshot_refresh) {
     RefreshSnapshot();
   }
+  // Published-version staleness relative to the server clock; the paper's
+  // refresh jobs run asynchronously to the request path, so this is how
+  // far behind the serving graph can be.
+  snapshot_lag_s_->Set(static_cast<double>(now_ - last_snapshot_));
 }
 
 void BnServer::RefreshSnapshot() {
@@ -52,8 +90,14 @@ void BnServer::RefreshSnapshot() {
   bn::SnapshotOptions options;
   options.normalize = true;
   options.num_threads = config_.snapshot_build_threads;
+  Stopwatch build_sw;
   auto next = bn::BnSnapshot::Build(edges_, config_.num_users, options,
                                     ++next_version_);
+  snapshot_build_ms_->Observe(build_sw.ElapsedMillis());
+  snapshot_builds_->Increment();
+  snapshot_version_g_->Set(static_cast<double>(next->version()));
+  snapshot_edges_g_->Set(static_cast<double>(next->TotalEdges()));
+  snapshot_bytes_g_->Set(static_cast<double>(next->MemoryBytes()));
   snapshot_.store(std::move(next), std::memory_order_release);
   last_snapshot_ = now_;
 }
@@ -78,14 +122,20 @@ bn::Subgraph BnServer::SampleSubgraph(UserId uid) const {
 
 bn::Subgraph BnServer::SampleSubgraph(
     const std::vector<UserId>& uids) const {
+  Stopwatch sample_sw;
   bn::GraphView v = view();
   const uint64_t seq =
       sample_seq_.fetch_add(1, std::memory_order_relaxed);
   // Seed mixes the snapshot version with a per-request counter so that
   // uniform sampling stays decorrelated across concurrent requests.
   const uint64_t seed = (v.version() << 20) ^ (seq + 1);
+  sample_pinned_version_->Set(static_cast<double>(v.version()));
   bn::SubgraphSampler sampler(std::move(v), config_.sampler, seed);
-  return sampler.Sample(uids);
+  bn::Subgraph sg = sampler.Sample(uids);
+  sample_ms_->Observe(sample_sw.ElapsedMillis());
+  sample_nodes_->Observe(static_cast<double>(sg.nodes.size()));
+  samples_->Increment();
+  return sg;
 }
 
 }  // namespace turbo::server

@@ -20,6 +20,7 @@
 #include "bn/builder.h"
 #include "bn/sampler.h"
 #include "bn/snapshot.h"
+#include "obs/metrics.h"
 #include "storage/log_store.h"
 
 namespace turbo::server {
@@ -38,6 +39,10 @@ struct BnServerConfig {
   SimTime snapshot_refresh = kHour;
   /// Threads for the snapshot build passes; 0 = hardware concurrency.
   int snapshot_build_threads = 0;
+  /// Registry receiving the server's bn_* metrics (see DESIGN.md
+  /// "Observability"). Not owned; null = a private per-server registry,
+  /// which keeps test/bench instances isolated from each other.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class BnServer {
@@ -72,10 +77,34 @@ class BnServer {
   size_t jobs_run() const { return jobs_run_; }
   size_t edges_expired() const { return edges_expired_; }
 
+  /// The registry this server reports into (config.metrics or the
+  /// private default). RenderText/RenderJson are safe to call from any
+  /// thread concurrently with ingestion and sampling.
+  const obs::MetricsRegistry& metrics() const { return *metrics_; }
+
  private:
   void RefreshSnapshot();
 
   BnServerConfig config_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  // Metric handles resolved once in the constructor; all writes after
+  // that are lock-free (see obs/metrics.h).
+  obs::Counter* ingest_events_ = nullptr;
+  obs::Counter* window_jobs_ = nullptr;
+  obs::Counter* window_edge_updates_ = nullptr;
+  obs::Counter* ttl_expired_edges_ = nullptr;
+  obs::Counter* snapshot_builds_ = nullptr;
+  obs::Counter* samples_ = nullptr;
+  obs::Histogram* window_job_ms_ = nullptr;
+  obs::Histogram* snapshot_build_ms_ = nullptr;
+  obs::Histogram* sample_ms_ = nullptr;
+  obs::Histogram* sample_nodes_ = nullptr;
+  obs::Gauge* snapshot_version_g_ = nullptr;
+  obs::Gauge* snapshot_edges_g_ = nullptr;
+  obs::Gauge* snapshot_bytes_g_ = nullptr;
+  obs::Gauge* snapshot_lag_s_ = nullptr;
+  obs::Gauge* sample_pinned_version_ = nullptr;
   storage::LogStore logs_{config_.log_cost};
   storage::EdgeStore edges_;
   bn::BnBuilder builder_;

@@ -18,64 +18,90 @@ PredictionServer::PredictionServer(PredictionConfig config, BnServer* bn,
   TURBO_CHECK(features_ != nullptr);
   TURBO_CHECK(model_ != nullptr);
   TURBO_CHECK(scaler_ != nullptr);
+  if (config_.metrics != nullptr) {
+    metrics_ = config_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  requests_ = metrics_->GetCounter("predict_requests_total");
+  blocked_ = metrics_->GetCounter("predict_blocked_total");
+  sample_ms_ = metrics_->GetHistogram("predict_sample_ms");
+  feature_ms_ = metrics_->GetHistogram("predict_feature_ms");
+  inference_ms_ = metrics_->GetHistogram("predict_inference_ms");
+  total_ms_ = metrics_->GetHistogram("predict_total_ms");
+  subgraph_nodes_ = metrics_->GetHistogram(
+      "predict_subgraph_nodes", obs::Histogram::DefaultSizeBuckets());
 }
 
 PredictionResponse PredictionServer::Handle(UserId uid) {
   PredictionResponse resp;
   const SimTime as_of = bn_->now();
+  requests_->Increment();
+  resp.request_id = requests_->value();
+  obs::StageTimer trace(metrics_, "predict", resp.request_id);
 
   // 1) BN server: computation subgraph.
-  Stopwatch sw;
-  storage::SimClock sample_clock;
-  auto sg = bn_->SampleSubgraph(uid);
-  // Modeled cost of shipping the subgraph out of the graph store: one
-  // query per node's adjacency rows.
-  sample_clock.ChargeQuery(storage::MediumCost::InMemoryCache(),
-                           static_cast<int64_t>(sg.NumEdges()));
+  bn::Subgraph sg;
+  {
+    auto span = trace.StartSpan("sample");
+    storage::SimClock sample_clock;
+    sg = bn_->SampleSubgraph(uid);
+    // Modeled cost of shipping the subgraph out of the graph store: one
+    // query per node's adjacency rows.
+    sample_clock.ChargeQuery(storage::MediumCost::InMemoryCache(),
+                             static_cast<int64_t>(sg.NumEdges()));
+    span.AddModeledMillis(sample_clock.ElapsedMillis());
+    resp.sampling_ms = span.Stop();
+  }
   resp.subgraph_nodes = static_cast<int>(sg.nodes.size());
-  resp.sampling_ms = sw.ElapsedMillis() + sample_clock.ElapsedMillis();
+  subgraph_nodes_->Observe(static_cast<double>(sg.nodes.size()));
 
   // 2) Feature management: raw features for every sampled node, scaled
   // with the training scaler.
-  sw.Reset();
-  storage::SimClock feature_clock;
-  la::Matrix raw;
-  for (size_t i = 0; i < sg.nodes.size(); ++i) {
-    auto row = features_->GetFeatures(sg.nodes[i], as_of, &feature_clock);
-    TURBO_CHECK_MSG(!row.empty(), "no profile row for uid "
-                                      << sg.nodes[i]);
-    if (raw.empty()) raw = la::Matrix(sg.nodes.size(), row.size());
-    TURBO_CHECK_EQ(row.size(), raw.cols());
-    std::copy(row.begin(), row.end(), raw.row(i));
+  la::Matrix scaled;
+  {
+    auto span = trace.StartSpan("feature");
+    storage::SimClock feature_clock;
+    la::Matrix raw;
+    for (size_t i = 0; i < sg.nodes.size(); ++i) {
+      auto row =
+          features_->GetFeatures(sg.nodes[i], as_of, &feature_clock);
+      TURBO_CHECK_MSG(!row.empty(), "no profile row for uid "
+                                        << sg.nodes[i]);
+      if (raw.empty()) raw = la::Matrix(sg.nodes.size(), row.size());
+      TURBO_CHECK_EQ(row.size(), raw.cols());
+      std::copy(row.begin(), row.end(), raw.row(i));
+    }
+    scaled = scaler_->Transform(raw);
+    span.AddModeledMillis(feature_clock.ElapsedMillis());
+    resp.feature_ms = span.Stop();
   }
-  la::Matrix scaled = scaler_->Transform(raw);
-  resp.feature_ms = sw.ElapsedMillis() + feature_clock.ElapsedMillis();
 
   // 3) Prediction server: HAG forward pass.
-  sw.Reset();
-  // Features are already local-row aligned; build the batch directly.
-  gnn::GraphBatch batch;
   {
-    // MakeGraphBatch gathers feature rows by the ids in sg.nodes; the
-    // scaled matrix here is already local-row aligned, so remap the node
-    // list to the identity and restore the global ids afterwards.
-    bn::Subgraph local = sg;
-    for (size_t i = 0; i < local.nodes.size(); ++i) {
-      local.nodes[i] = static_cast<UserId>(i);
+    auto span = trace.StartSpan("inference");
+    // Features are already local-row aligned; build the batch directly.
+    gnn::GraphBatch batch;
+    {
+      // MakeGraphBatch gathers feature rows by the ids in sg.nodes; the
+      // scaled matrix here is already local-row aligned, so remap the
+      // node list to the identity and restore the global ids afterwards.
+      bn::Subgraph local = sg;
+      for (size_t i = 0; i < local.nodes.size(); ++i) {
+        local.nodes[i] = static_cast<UserId>(i);
+      }
+      batch = gnn::MakeGraphBatch(local, scaled);
+      batch.global_ids = sg.nodes;
     }
-    batch = gnn::MakeGraphBatch(local, scaled);
-    batch.global_ids = sg.nodes;
+    auto probs = gnn::GnnTrainer::PredictTargets(model_, batch);
+    resp.fraud_probability = probs[0];
+    resp.blocked = resp.fraud_probability >= config_.threshold;
+    resp.inference_ms = span.Stop();
   }
-  auto probs = gnn::GnnTrainer::PredictTargets(model_, batch);
-  resp.fraud_probability = probs[0];
-  resp.blocked = resp.fraud_probability >= config_.threshold;
-  resp.inference_ms = sw.ElapsedMillis();
 
-  resp.total_ms = resp.sampling_ms + resp.feature_ms + resp.inference_ms;
-  sampling_.Record(resp.sampling_ms);
-  feature_.Record(resp.feature_ms);
-  inference_.Record(resp.inference_ms);
-  total_.Record(resp.total_ms);
+  if (resp.blocked) blocked_->Increment();
+  resp.total_ms = trace.Finish();
   return resp;
 }
 

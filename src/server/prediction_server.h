@@ -7,7 +7,10 @@
 // forward) are measured in real wall-clock time; storage accesses
 // additionally charge their modeled cost to a SimClock so the cached vs
 // uncached comparison of Section V is reproducible without real network
-// round-trips (see DESIGN.md §2).
+// round-trips (see DESIGN.md §2). Every request runs under an
+// obs::StageTimer whose spans land in `predict_<stage>_ms` histograms of
+// the server's MetricsRegistry — the per-stage breakdown the paper plots
+// in Fig. 8a.
 #pragma once
 
 #include <memory>
@@ -15,20 +18,28 @@
 #include "core/hag.h"
 #include "features/feature_store.h"
 #include "ml/scaler.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/bn_server.h"
-#include "server/latency.h"
 
 namespace turbo::server {
 
 struct PredictionConfig {
   /// Online blocking threshold (Section VI-E uses 0.85).
   double threshold = 0.85;
+  /// Registry receiving the server's predict_* metrics. Not owned;
+  /// null = a private per-server registry (isolates test/bench
+  /// instances). Pass the BN server's registry to get one combined
+  /// serving-path dump.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct PredictionResponse {
   double fraud_probability = 0.0;
   bool blocked = false;
   int subgraph_nodes = 0;
+  /// Id of the request within this server (1-based, monotonic).
+  uint64_t request_id = 0;
   // Per-module latency (milliseconds): wall-clock compute plus modeled
   // storage cost.
   double sampling_ms = 0.0;
@@ -48,10 +59,18 @@ class PredictionServer {
   /// Handles one audit request for `uid` at server time.
   PredictionResponse Handle(UserId uid);
 
-  const LatencyTracker& sampling_latency() const { return sampling_; }
-  const LatencyTracker& feature_latency() const { return feature_; }
-  const LatencyTracker& inference_latency() const { return inference_; }
-  const LatencyTracker& total_latency() const { return total_; }
+  /// Per-stage latency histograms (Fig. 8a breakdown), backed by the
+  /// metrics registry.
+  const obs::Histogram& sampling_latency() const { return *sample_ms_; }
+  const obs::Histogram& feature_latency() const { return *feature_ms_; }
+  const obs::Histogram& inference_latency() const {
+    return *inference_ms_;
+  }
+  const obs::Histogram& total_latency() const { return *total_ms_; }
+
+  /// The registry this server reports into (config.metrics or the
+  /// private default).
+  const obs::MetricsRegistry& metrics() const { return *metrics_; }
 
  private:
   PredictionConfig config_;
@@ -59,7 +78,15 @@ class PredictionServer {
   features::FeatureStore* features_;
   core::Hag* model_;
   const ml::StandardScaler* scaler_;
-  LatencyTracker sampling_, feature_, inference_, total_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* requests_ = nullptr;
+  obs::Counter* blocked_ = nullptr;
+  obs::Histogram* sample_ms_ = nullptr;
+  obs::Histogram* feature_ms_ = nullptr;
+  obs::Histogram* inference_ms_ = nullptr;
+  obs::Histogram* total_ms_ = nullptr;
+  obs::Histogram* subgraph_nodes_ = nullptr;
 };
 
 }  // namespace turbo::server

@@ -17,7 +17,9 @@ ScenarioConfig SmallConfig() {
 
 class ScenarioTest : public ::testing::Test {
  protected:
-  static void SetUpTestSuite() { ds_ = new Dataset(GenerateScenario(SmallConfig())); }
+  static void SetUpTestSuite() {
+    ds_ = new Dataset(GenerateScenario(SmallConfig()));
+  }
   static void TearDownTestSuite() {
     delete ds_;
     ds_ = nullptr;

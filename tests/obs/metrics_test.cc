@@ -1,0 +1,175 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace turbo::obs {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("events_total");
+  EXPECT_EQ(c->value(), 0u);
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->value(), 42u);
+}
+
+TEST(CounterTest, GetReturnsSamePointer) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.GetCounter("a_total"), reg.GetCounter("a_total"));
+  EXPECT_NE(reg.GetCounter("a_total"), reg.GetCounter("b_total"));
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  MetricsRegistry reg;
+  Gauge* g = reg.GetGauge("version");
+  EXPECT_DOUBLE_EQ(g->value(), 0.0);
+  g->Set(7.0);
+  EXPECT_DOUBLE_EQ(g->value(), 7.0);
+  g->Add(-2.5);
+  EXPECT_DOUBLE_EQ(g->value(), 4.5);
+}
+
+TEST(HistogramTest, EmptyIsZero) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("latency_ms");
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_DOUBLE_EQ(h->Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h->Percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h->Max(), 0.0);
+}
+
+TEST(HistogramTest, CountSumMeanMinMax) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("latency_ms");
+  for (double v : {1.0, 2.0, 3.0, 10.0}) h->Observe(v);
+  EXPECT_EQ(h->count(), 4u);
+  EXPECT_DOUBLE_EQ(h->Sum(), 16.0);
+  EXPECT_DOUBLE_EQ(h->Mean(), 4.0);
+  EXPECT_DOUBLE_EQ(h->Min(), 1.0);
+  EXPECT_DOUBLE_EQ(h->Max(), 10.0);
+}
+
+TEST(HistogramTest, ExtremeQuantilesAreExact) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("latency_ms");
+  for (int i = 1; i <= 100; ++i) h->Observe(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(h->Percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h->Percentile(1.0), 100.0);
+}
+
+TEST(HistogramTest, MidQuantilesWithinOneBucket) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("latency_ms");
+  for (int i = 1; i <= 1000; ++i) {
+    h->Observe(static_cast<double>(i) / 10.0);  // 0.1 .. 100.0
+  }
+  // Default buckets grow by 1.5x, so the interpolated estimate must be
+  // within a factor of 1.5 of the exact nearest-rank percentile.
+  for (double q : {0.5, 0.9, 0.99}) {
+    const double exact = q * 100.0;
+    const double est = h->Percentile(q);
+    EXPECT_GT(est, exact / 1.5) << "q=" << q;
+    EXPECT_LT(est, exact * 1.5) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, TailSensitiveP999) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("latency_ms");
+  for (int i = 0; i < 1999; ++i) h->Observe(1.0);
+  h->Observe(500.0);
+  EXPECT_LT(h->Percentile(0.5), 2.0);
+  EXPECT_LT(h->Percentile(0.999), 2.0);
+  EXPECT_DOUBLE_EQ(h->Percentile(1.0), 500.0);
+}
+
+TEST(HistogramTest, OverflowBucketCatchesOutOfRange) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("small", {1.0, 2.0});
+  h->Observe(100.0);
+  EXPECT_EQ(h->BucketCount(2), 1u);  // overflow bucket
+  EXPECT_DOUBLE_EQ(h->Percentile(1.0), 100.0);
+}
+
+TEST(HistogramTest, ValueOnBoundFallsInLeBucket) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("le", {1.0, 2.0, 4.0});
+  h->Observe(2.0);  // le="2" bucket, Prometheus semantics
+  EXPECT_EQ(h->BucketCount(1), 1u);
+  EXPECT_EQ(h->BucketCount(2), 0u);
+}
+
+TEST(HistogramTest, ExponentialBucketsShape) {
+  auto b = Histogram::ExponentialBuckets(1.0, 2.0, 4);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_DOUBLE_EQ(b[0], 1.0);
+  EXPECT_DOUBLE_EQ(b[3], 8.0);
+  const auto& lat = Histogram::DefaultLatencyBucketsMs();
+  EXPECT_TRUE(std::is_sorted(lat.begin(), lat.end()));
+  EXPECT_GT(lat.back(), 60000.0);  // covers the uncached Section V tail
+}
+
+TEST(HistogramTest, SummaryContainsFields) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("module_ms");
+  h->Observe(2.5);
+  const auto s = h->Summary("module");
+  EXPECT_NE(s.find("module"), std::string::npos);
+  EXPECT_NE(s.find("p999"), std::string::npos);
+  EXPECT_NE(s.find("n=1"), std::string::npos);
+}
+
+TEST(RegistryTest, RenderTextIsPrometheusShaped) {
+  MetricsRegistry reg;
+  reg.GetCounter("requests_total")->Increment(3);
+  reg.GetGauge("version")->Set(2.0);
+  Histogram* h = reg.GetHistogram("lat_ms", {1.0, 10.0});
+  h->Observe(0.5);
+  h->Observe(99.0);
+  const std::string text = reg.RenderText();
+  EXPECT_NE(text.find("# TYPE requests_total counter"), std::string::npos);
+  EXPECT_NE(text.find("requests_total 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE version gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE lat_ms histogram"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_bucket{le=\"1\"} 1"), std::string::npos);
+  // Cumulative: +Inf bucket equals the total count.
+  EXPECT_NE(text.find("lat_ms_bucket{le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_count 2"), std::string::npos);
+}
+
+TEST(RegistryTest, RenderJsonContainsPercentiles) {
+  MetricsRegistry reg;
+  reg.GetCounter("n_total")->Increment();
+  Histogram* h = reg.GetHistogram("lat_ms");
+  for (int i = 1; i <= 100; ++i) h->Observe(static_cast<double>(i));
+  const std::string json = reg.RenderJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"n_total\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  // Balanced braces — cheap well-formedness check.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(RegistryTest, DefaultRegistryIsProcessWide) {
+  EXPECT_EQ(&MetricsRegistry::Default(), &MetricsRegistry::Default());
+}
+
+TEST(RegistryDeathTest, KindCollisionAborts) {
+  MetricsRegistry reg;
+  reg.GetCounter("name");
+  EXPECT_DEATH(reg.GetGauge("name"), "another");
+}
+
+TEST(RegistryDeathTest, BadNameAborts) {
+  MetricsRegistry reg;
+  EXPECT_DEATH(reg.GetCounter("bad name"), "bad metric name");
+}
+
+}  // namespace
+}  // namespace turbo::obs

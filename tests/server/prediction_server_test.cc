@@ -107,11 +107,36 @@ TEST_F(PredictionServerTest, ResponseFieldsPopulated) {
   }
 }
 
-TEST_F(PredictionServerTest, LatencyTrackersRecordEveryRequest) {
+TEST_F(PredictionServerTest, LatencyHistogramsRecordEveryRequest) {
   EXPECT_EQ(server_->total_latency().count(), replay_->responses.size());
   EXPECT_EQ(server_->sampling_latency().count(),
             replay_->responses.size());
   EXPECT_GT(server_->total_latency().Mean(), 0.0);
+}
+
+TEST_F(PredictionServerTest, MetricsRegistryExposesServingPath) {
+  const auto& reg = server_->metrics();
+  const std::string text = reg.RenderText();
+  for (const char* name :
+       {"predict_requests_total", "predict_sample_ms",
+        "predict_feature_ms", "predict_inference_ms", "predict_total_ms",
+        "predict_subgraph_nodes"}) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  }
+  const std::string json = reg.RenderJson();
+  EXPECT_NE(json.find("\"predict_total_ms\""), std::string::npos);
+  // Request ids are per-server and monotonic.
+  for (size_t i = 0; i < replay_->responses.size(); ++i) {
+    EXPECT_EQ(replay_->responses[i].request_id, i + 1);
+  }
+}
+
+TEST_F(PredictionServerTest, BnServerMetricsTrackIngestAndJobs) {
+  const auto& reg = bn_->metrics();
+  const std::string text = reg.RenderText();
+  EXPECT_NE(text.find("bn_ingest_events_total"), std::string::npos);
+  EXPECT_NE(text.find("bn_window_jobs_total"), std::string::npos);
+  EXPECT_NE(text.find("bn_snapshot_builds_total"), std::string::npos);
 }
 
 TEST_F(PredictionServerTest, OnlineScoresRankFraudHigh) {

@@ -117,7 +117,9 @@ TEST(RngTest, ZipfZeroExponentIsUniform) {
   Rng rng(31);
   double sum = 0.0;
   const int n = 20000;
-  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.NextZipf(100, 0.0));
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(rng.NextZipf(100, 0.0));
+  }
   EXPECT_NEAR(sum / n, 49.5, 1.5);
 }
 
