@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <thread>
 
 #include "bench/bench_common.h"
 #include "obs/metrics.h"
@@ -158,6 +159,8 @@ int main(int argc, char** argv) {
     f << "{\n  \"bench\": \"fig8_latency\",\n"
       << "  \"users\": " << users << ",\n"
       << "  \"requests\": " << requests << ",\n"
+      << "  \"hardware_threads\": "
+      << std::thread::hardware_concurrency() << ",\n"
       << "  \"ingest_events_per_second\": "
       << static_cast<double>(ingest.value()) /
              std::max(stack.ingest_seconds, 1e-9)

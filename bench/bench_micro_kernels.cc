@@ -25,6 +25,49 @@ void BM_MatMul(benchmark::State& state) {
 }
 BENCHMARK(BM_MatMul)->Arg(64)->Arg(256);
 
+// The pre-optimization GEMM, kept verbatim as the "before" number for
+// the blocked/unrolled kernels in la/matrix.cc: serial ikj with a
+// zero-skip branch in the hot loop (a data-dependent branch that costs
+// more than the multiplies it saves on dense inputs).
+la::Matrix MatMulZeroSkipReference(const la::Matrix& a,
+                                   const la::Matrix& b) {
+  la::Matrix c(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t p = 0; p < a.cols(); ++p) {
+      const float av = a(i, p);
+      if (av == 0.0f) continue;
+      for (size_t j = 0; j < b.cols(); ++j) c(i, j) += av * b(p, j);
+    }
+  }
+  return c;
+}
+
+void BM_MatMulReference(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  auto a = la::Matrix::Randn(n, n, &rng);
+  auto b = la::Matrix::Randn(n, n, &rng);
+  for (auto _ : state) {
+    auto c = MatMulZeroSkipReference(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMulReference)->Arg(64)->Arg(256);
+
+void BM_MatMulTransB(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  auto a = la::Matrix::Randn(n, n, &rng);
+  auto b = la::Matrix::Randn(n, n, &rng);
+  for (auto _ : state) {
+    auto c = la::MatMulTransB(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMulTransB)->Arg(64)->Arg(256);
+
 void BM_SpMM(benchmark::State& state) {
   const size_t n = 20000, nnz = 200000, d = 32;
   Rng rng(2);
@@ -143,6 +186,29 @@ void BM_HagForward(benchmark::State& state) {
   state.counters["batch_nodes"] = static_cast<double>(batch.num_nodes());
 }
 BENCHMARK(BM_HagForward)->Unit(benchmark::kMillisecond);
+
+// Tape-free counterpart of BM_HagForward: same trained weights, same
+// batch, but EmbedInference/LogitsInference on raw matrices (no Node
+// allocation, no backward closures). The ratio of the two is the
+// autograd-tape overhead the serving path saves.
+void BM_HagForwardInference(benchmark::State& state) {
+  const auto& ds = SharedDataset();
+  static std::unique_ptr<core::PreparedData> data;
+  if (!data) {
+    datagen::Dataset copy = ds;
+    data = core::PrepareData(std::move(copy), core::PipelineConfig{});
+  }
+  benchx::BenchScale scale;
+  core::Hag model(benchx::MakeHagConfig(scale, 1));
+  model.Init(static_cast<int>(data->features.cols()));
+  auto batch = core::MakeBatch(*data, data->test_uids, bn::SamplerConfig{});
+  for (auto _ : state) {
+    auto logits = model.LogitsInference(batch);
+    benchmark::DoNotOptimize(logits.data());
+  }
+  state.counters["batch_nodes"] = static_cast<double>(batch.num_nodes());
+}
+BENCHMARK(BM_HagForwardInference)->Unit(benchmark::kMillisecond);
 
 void BM_GbdtFit(benchmark::State& state) {
   Rng rng(3);

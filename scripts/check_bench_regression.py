@@ -1,14 +1,27 @@
 #!/usr/bin/env python3
 """Bench-regression gate for CI.
 
-Compares a freshly measured BENCH_snapshot.json against the committed
-baseline and fails (exit 1) when sampling throughput regressed more than
-the allowed fraction. Thread-for-thread comparison on samples_per_second;
-the worst ratio across thread counts decides.
+Compares a freshly measured bench JSON against the committed baseline
+and fails (exit 1) on a regression beyond the allowed fraction. The
+bench type is auto-detected from the JSON shape:
 
-CI machines differ from the machine that recorded the baseline, so the
-default tolerance is deliberately loose (20%, the ISSUE 2 contract) and
-can be widened with --tolerance or BENCH_TOLERANCE for noisy runners.
+  - "bench": "snapshot_concurrency"  -> sampling[].samples_per_second
+    per thread count (higher is better)
+  - "bench": "serving_throughput"    -> runs[].requests_per_second per
+    (mode, threads, batch) cell (higher is better)
+  - google-benchmark output ("benchmarks" list) -> real_time per
+    benchmark name (lower is better)
+
+Every bench JSON records the core count it ran on (hardware_threads for
+our benches, context.num_cpus for google-benchmark). Throughput numbers
+from different core counts are not comparable — the committed baselines
+were recorded on a single-core box — so when baseline and fresh
+disagree on core count the gate prints a warning and SKIPS itself
+(exit 0) instead of producing a meaningless verdict.
+
+CI machines are also noisy even at matching core counts, so the default
+tolerance is deliberately loose (20%, the ISSUE 2 contract) and can be
+widened with --tolerance or BENCH_TOLERANCE.
 
 Usage: check_bench_regression.py BASELINE.json FRESH.json [--tolerance=0.2]
 """
@@ -18,13 +31,49 @@ import os
 import sys
 
 
-def load_sampling(path):
+def load(path):
     with open(path) as f:
-        data = json.load(f)
-    runs = data.get("sampling", [])
-    if not runs:
-        sys.exit(f"error: no 'sampling' runs in {path}")
-    return {run["threads"]: run["samples_per_second"] for run in runs}
+        return json.load(f)
+
+
+def hardware_threads(data):
+    """Core count the bench ran on, or None if the JSON predates it."""
+    if "hardware_threads" in data:
+        return data["hardware_threads"]
+    context = data.get("context", {})
+    return context.get("num_cpus")
+
+
+def extract_metrics(data, path):
+    """Returns ({label: value}, higher_is_better) for one bench JSON."""
+    bench = data.get("bench")
+    if bench == "snapshot_concurrency" or "sampling" in data:
+        runs = data.get("sampling", [])
+        if not runs:
+            sys.exit(f"error: no 'sampling' runs in {path}")
+        return (
+            {f"threads={r['threads']}": r["samples_per_second"] for r in runs},
+            True,
+        )
+    if bench == "serving_throughput" or "runs" in data:
+        runs = data.get("runs", [])
+        if not runs:
+            sys.exit(f"error: no 'runs' in {path}")
+        return (
+            {
+                f"{r['mode']}/t{r['threads']}/b{r['batch']}":
+                    r["requests_per_second"]
+                for r in runs
+            },
+            True,
+        )
+    if "benchmarks" in data:  # google-benchmark --benchmark_out JSON
+        rows = [b for b in data["benchmarks"]
+                if b.get("run_type", "iteration") == "iteration"]
+        if not rows:
+            sys.exit(f"error: no benchmark iterations in {path}")
+        return ({b["name"]: b["real_time"] for b in rows}, False)
+    sys.exit(f"error: unrecognized bench JSON shape in {path}")
 
 
 def main():
@@ -39,34 +88,51 @@ def main():
     )
     args = parser.parse_args()
 
-    baseline = load_sampling(args.baseline)
-    fresh = load_sampling(args.fresh)
+    baseline_data = load(args.baseline)
+    fresh_data = load(args.fresh)
+
+    base_hw = hardware_threads(baseline_data)
+    fresh_hw = hardware_threads(fresh_data)
+    if base_hw is not None and fresh_hw is not None and base_hw != fresh_hw:
+        print(
+            f"WARNING: baseline was recorded on {base_hw} hardware "
+            f"thread(s) but this run has {fresh_hw}; throughput is not "
+            f"comparable across core counts — skipping the gate."
+        )
+        return 0
+
+    baseline, higher_is_better = extract_metrics(
+        baseline_data, args.baseline)
+    fresh, _ = extract_metrics(fresh_data, args.fresh)
 
     failed = False
-    for threads in sorted(baseline):
-        if threads not in fresh:
-            print(f"threads={threads}: missing from fresh run — FAIL")
+    for label in sorted(baseline):
+        if label not in fresh:
+            print(f"{label}: missing from fresh run — FAIL")
             failed = True
             continue
-        base = baseline[threads]
-        now = fresh[threads]
-        ratio = now / base if base > 0 else float("inf")
+        base = baseline[label]
+        now = fresh[label]
+        if higher_is_better:
+            ratio = now / base if base > 0 else float("inf")
+        else:
+            ratio = base / now if now > 0 else float("inf")
         status = "ok"
         if ratio < 1.0 - args.tolerance:
             status = "REGRESSION"
             failed = True
         print(
-            f"threads={threads}: baseline={base:.0f}/s fresh={now:.0f}/s "
+            f"{label}: baseline={base:.2f} fresh={now:.2f} "
             f"ratio={ratio:.2f} [{status}]"
         )
 
     if failed:
         print(
-            f"\nFAIL: sampling throughput regressed more than "
+            f"\nFAIL: performance regressed more than "
             f"{args.tolerance:.0%} vs {args.baseline}"
         )
         return 1
-    print(f"\nPASS: throughput within {args.tolerance:.0%} of baseline")
+    print(f"\nPASS: performance within {args.tolerance:.0%} of baseline")
     return 0
 
 

@@ -31,18 +31,18 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
-  Matrix v = la::Zip(a->value, b->value,
-                     [](float x, float y) { return x * y; });
+  Matrix v = la::ZipT(a->value, b->value,
+                      [](float x, float y) { return x * y; });
   return MakeOp("mul", std::move(v), {a, b}, [](Node* n) {
     if (n->parents[0]->requires_grad) {
       n->parents[0]->AccumGrad(
-          la::Zip(n->grad, n->parents[1]->value,
-                  [](float g, float y) { return g * y; }));
+          la::ZipT(n->grad, n->parents[1]->value,
+                   [](float g, float y) { return g * y; }));
     }
     if (n->parents[1]->requires_grad) {
       n->parents[1]->AccumGrad(
-          la::Zip(n->grad, n->parents[0]->value,
-                  [](float g, float x) { return g * x; }));
+          la::ZipT(n->grad, n->parents[0]->value,
+                   [](float g, float x) { return g * x; }));
     }
   });
 }
@@ -97,10 +97,12 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   Matrix v = la::MatMul(a->value, b->value);
   return MakeOp("matmul", std::move(v), {a, b}, [](Node* n) {
     if (n->parents[0]->requires_grad) {
-      n->parents[0]->AccumGrad(la::MatMulTransB(n->grad, n->parents[1]->value));
+      n->parents[0]->AccumGrad(
+          la::MatMulTransB(n->grad, n->parents[1]->value));
     }
     if (n->parents[1]->requires_grad) {
-      n->parents[1]->AccumGrad(la::MatMulTransA(n->parents[0]->value, n->grad));
+      n->parents[1]->AccumGrad(
+          la::MatMulTransA(n->parents[0]->value, n->grad));
     }
   });
 }
@@ -162,52 +164,52 @@ Tensor SliceCols(const Tensor& a, size_t start, size_t len) {
   });
 }
 
-namespace {
-
-Tensor Pointwise(const char* name, const Tensor& a, float (*fwd)(float),
-                 float (*bwd_from_out)(float)) {
-  Matrix v = la::Map(a->value, fwd);
-  return MakeOp(name, std::move(v), {a}, [bwd_from_out](Node* n) {
-    n->parents[0]->AccumGrad(la::Zip(
-        n->grad, n->value, [bwd_from_out](float g, float y) {
-          return g * bwd_from_out(y);
-        }));
-  });
-}
-
-}  // namespace
-
+// The pointwise nonlinearities run their forward maps and backward zips
+// through the MapT/ZipT templates (stateless lambdas instantiated per
+// op), so the per-element work inlines instead of dispatching through a
+// std::function on every entry — these are the hottest elementwise ops
+// on both the training and the tape-free serving path (the latter uses
+// the same functors via la::kernels::*, keeping the two forwards
+// numerically identical).
 Tensor Relu(const Tensor& a) {
-  return Pointwise(
-      "relu", a, [](float x) { return x > 0.0f ? x : 0.0f; },
-      [](float y) { return y > 0.0f ? 1.0f : 0.0f; });
+  return MakeOp("relu", la::MapT(a->value, la::kernels::Relu), {a},
+                [](Node* n) {
+                  n->parents[0]->AccumGrad(
+                      la::ZipT(n->grad, n->value, [](float g, float y) {
+                        return y > 0.0f ? g : 0.0f;
+                      }));
+                });
 }
 
 Tensor LeakyRelu(const Tensor& a, float slope) {
-  Matrix v = la::Map(a->value,
-                     [slope](float x) { return x > 0.0f ? x : slope * x; });
+  Matrix v = la::MapT(a->value,
+                      [slope](float x) { return x > 0.0f ? x : slope * x; });
   return MakeOp("lrelu", std::move(v), {a}, [slope](Node* n) {
     n->parents[0]->AccumGrad(
-        la::Zip(n->grad, n->parents[0]->value, [slope](float g, float x) {
+        la::ZipT(n->grad, n->parents[0]->value, [slope](float g, float x) {
           return g * (x > 0.0f ? 1.0f : slope);
         }));
   });
 }
 
 Tensor Tanh(const Tensor& a) {
-  return Pointwise(
-      "tanh", a, [](float x) { return std::tanh(x); },
-      [](float y) { return 1.0f - y * y; });
+  return MakeOp("tanh", la::MapT(a->value, la::kernels::Tanh), {a},
+                [](Node* n) {
+                  n->parents[0]->AccumGrad(
+                      la::ZipT(n->grad, n->value, [](float g, float y) {
+                        return g * (1.0f - y * y);
+                      }));
+                });
 }
 
 Tensor Sigmoid(const Tensor& a) {
-  return Pointwise(
-      "sigmoid", a,
-      [](float x) {
-        return x >= 0.0f ? 1.0f / (1.0f + std::exp(-x))
-                         : std::exp(x) / (1.0f + std::exp(x));
-      },
-      [](float y) { return y * (1.0f - y); });
+  return MakeOp("sigmoid", la::MapT(a->value, la::kernels::Sigmoid), {a},
+                [](Node* n) {
+                  n->parents[0]->AccumGrad(
+                      la::ZipT(n->grad, n->value, [](float g, float y) {
+                        return g * y * (1.0f - y);
+                      }));
+                });
 }
 
 Tensor SoftmaxRows(const Tensor& a) {
@@ -237,10 +239,10 @@ Tensor Dropout(const Tensor& a, float p, bool training, Rng* rng) {
   for (size_t i = 0; i < mask.size(); ++i) {
     mask.data()[i] = rng->NextBool(p) ? 0.0f : scale;
   }
-  Matrix v = la::Zip(a->value, mask, [](float x, float m) { return x * m; });
+  Matrix v = la::ZipT(a->value, mask, [](float x, float m) { return x * m; });
   return MakeOp("dropout", std::move(v), {a}, [mask](Node* n) {
     n->parents[0]->AccumGrad(
-        la::Zip(n->grad, mask, [](float g, float m) { return g * m; }));
+        la::ZipT(n->grad, mask, [](float g, float m) { return g * m; }));
   });
 }
 

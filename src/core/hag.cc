@@ -69,6 +69,77 @@ Tensor Hag::ApplySao(const SaoLayer& layer, const Tensor& h,
               ag::MulColBroadcast(neigh_term, ag::SliceCols(alphas, 1, 1))));
 }
 
+la::Matrix Hag::ApplySaoInference(const SaoLayer& layer,
+                                  const la::Matrix& h,
+                                  const la::SparseMatrix& mean_adj) const {
+  la::Matrix hn = mean_adj.Multiply(h);
+  la::Matrix self_term = la::MatMul(h, layer.w_self->value);
+  la::Matrix neigh_term = la::MatMul(hn, layer.w_neigh->value);
+  if (!cfg_.use_sao) {
+    la::Matrix z = self_term;
+    z.Add(neigh_term);
+    return la::MapT(z, la::kernels::Relu);
+  }
+  la::Matrix hs = la::MatMul(h, layer.w_s->value);
+  la::Matrix hnn = la::MatMul(hn, layer.w_n->value);
+  la::Matrix a_self = la::MatMul(
+      la::MapT(la::ConcatCols(hs, hs), la::kernels::Tanh), layer.p->value);
+  la::Matrix a_neigh = la::MatMul(
+      la::MapT(la::ConcatCols(hnn, hs), la::kernels::Tanh), layer.p->value);
+  la::Matrix alphas = la::SoftmaxRows(la::ConcatCols(a_self, a_neigh));
+  la::Matrix z =
+      la::MulColBroadcast(self_term, la::SliceCols(alphas, 0, 1));
+  z.Add(la::MulColBroadcast(neigh_term, la::SliceCols(alphas, 1, 1)));
+  return la::MapT(z, la::kernels::Relu);
+}
+
+la::Matrix Hag::EmbedInference(const gnn::GraphBatch& batch) const {
+  TURBO_CHECK(!chains_.empty());
+  const la::Matrix& x = batch.features;
+
+  if (!cfg_.use_cfo) {
+    la::Matrix h = x;
+    for (const auto& layer : chains_[0]) {
+      h = ApplySaoInference(layer, h, batch.union_mean);
+    }
+    return h;
+  }
+
+  std::vector<la::Matrix> type_embeddings;
+  type_embeddings.reserve(kNumEdgeTypes);
+  for (int r = 0; r < kNumEdgeTypes; ++r) {
+    const auto& chain = cfg_.share_type_weights ? chains_[0] : chains_[r];
+    la::Matrix h = x;
+    for (const auto& layer : chain) {
+      h = ApplySaoInference(layer, h, batch.type_mean[r]);
+    }
+    type_embeddings.push_back(std::move(h));
+  }
+
+  la::Matrix scores;
+  for (int r = 0; r < kNumEdgeTypes; ++r) {
+    la::Matrix sr = la::MatMul(
+        la::MapT(la::MatMul(type_embeddings[r], cfo_[r].w_attn->value),
+                 la::kernels::Tanh),
+        cfo_[r].v_attn->value);
+    scores = (r == 0) ? std::move(sr) : la::ConcatCols(scores, sr);
+  }
+  la::Matrix alphas = la::SoftmaxRows(scores);
+
+  la::Matrix fused;
+  for (int r = 0; r < kNumEdgeTypes; ++r) {
+    la::Matrix term =
+        la::MulColBroadcast(la::MatMul(type_embeddings[r], cfo_[r].m->value),
+                            la::SliceCols(alphas, r, 1));
+    if (r == 0) {
+      fused = std::move(term);
+    } else {
+      fused.Add(term);
+    }
+  }
+  return fused;
+}
+
 Tensor Hag::Embed(const gnn::GraphBatch& batch, bool training, Rng* rng) {
   TURBO_CHECK(!chains_.empty());
   Tensor x = InputTensor(batch);

@@ -13,6 +13,7 @@ FeatureStore::FeatureStore(FeatureStoreConfig config,
 
 void FeatureStore::PutProfile(UserId uid, std::vector<float> row) {
   TURBO_CHECK(!row.empty());
+  std::lock_guard<std::mutex> lock(mu_);
   if (profile_dim_ == 0) {
     profile_dim_ = row.size();
   } else {
@@ -23,6 +24,7 @@ void FeatureStore::PutProfile(UserId uid, std::vector<float> row) {
 
 std::vector<float> FeatureStore::GetFeatures(UserId uid, SimTime as_of,
                                              storage::SimClock* clock) {
+  std::lock_guard<std::mutex> lock(mu_);
   // Rows are metered locally, then charged at the medium the active
   // configuration serves them from (SQL vs in-memory mirror).
   const storage::MediumCost& medium =

@@ -8,8 +8,13 @@
 // so the same rows are charged at the in-memory cost, and an LRU
 // additionally short-circuits recomputation of X_s within its key
 // granularity.
+//
+// Thread safety: GetFeatures/PutProfile serialize on an internal mutex
+// (the LRU mutates on every lookup), so concurrent prediction batches
+// may share one store.
 #pragma once
 
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -45,11 +50,15 @@ class FeatureStore {
   size_t dim() const { return profile_dim_ + kNumStatFeatures; }
   size_t profile_dim() const { return profile_dim_; }
 
-  double cache_hit_rate() const { return cache_.hit_rate(); }
+  double cache_hit_rate() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.hit_rate();
+  }
 
  private:
   using StatKey = uint64_t;  // (uid << 24) | hour bucket
 
+  mutable std::mutex mu_;
   FeatureStoreConfig config_;
   const storage::LogStore* logs_;
   storage::KvStore<UserId, std::vector<float>> profiles_;

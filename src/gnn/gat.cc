@@ -45,6 +45,28 @@ Tensor Gat::Embed(const GraphBatch& batch, bool training, Rng* rng) {
   return h;
 }
 
+la::Matrix Gat::EmbedInference(const GraphBatch& batch) const {
+  TURBO_CHECK(!layers_.empty());
+  la::Matrix h = batch.features;
+  for (const auto& heads : layers_) {
+    std::vector<la::Matrix> outs;
+    outs.reserve(heads.size());
+    for (const auto& head : heads) {
+      la::Matrix hw = la::MatMul(h, head.w->value);
+      la::Matrix s = la::MatMul(hw, head.a_src->value);
+      la::Matrix d = la::MatMul(hw, head.a_dst->value);
+      outs.push_back(GatAggregateInference(batch.union_self_structure, hw, s,
+                                           d, 0.2f));
+    }
+    la::Matrix cat = outs[0];
+    for (size_t i = 1; i < outs.size(); ++i) {
+      cat = la::ConcatCols(cat, outs[i]);
+    }
+    h = la::MapT(cat, la::kernels::Relu);
+  }
+  return h;
+}
+
 std::vector<Tensor> Gat::Params() const {
   std::vector<Tensor> p;
   for (const auto& heads : layers_) {

@@ -26,6 +26,16 @@ Tensor Gcn::Embed(const GraphBatch& batch, bool training, Rng* rng) {
   return h;
 }
 
+la::Matrix Gcn::EmbedInference(const GraphBatch& batch) const {
+  TURBO_CHECK(!weights_.empty());
+  la::Matrix h = batch.features;
+  for (const auto& w : weights_) {
+    h = la::MapT(la::MatMul(batch.union_rw_self.Multiply(h), w->value),
+                 la::kernels::Relu);
+  }
+  return h;
+}
+
 std::vector<Tensor> Gcn::Params() const {
   std::vector<Tensor> p = weights_;
   for (const auto& t : head_.Params()) p.push_back(t);

@@ -28,6 +28,8 @@ class MlpHead {
  public:
   void Init(int in_dim, int hidden, Rng* rng);
   ag::Tensor Forward(const ag::Tensor& h) const;
+  /// Tape-free Forward on a raw matrix (same kernels, no tape).
+  la::Matrix ForwardInference(const la::Matrix& h) const;
   std::vector<ag::Tensor> Params() const;
 
  private:
@@ -50,6 +52,19 @@ class GnnModel {
   /// Per-node logits [n, 1]: classification head over Embed().
   ag::Tensor Logits(const GraphBatch& batch, bool training, Rng* rng) {
     return head_.Forward(Embed(batch, training, rng));
+  }
+
+  /// Tape-free forward: Embed(batch, training=false) recomputed on raw
+  /// la::Matrix values — no Node allocation, no backward closures, no
+  /// std::function dispatch. Same kernels as the autograd forward, so
+  /// results match Embed() bit-for-bit (verified in
+  /// tests/core/inference_equivalence_test). Ignores SetInputOverride
+  /// (serving path only — always reads batch.features).
+  virtual la::Matrix EmbedInference(const GraphBatch& batch) const = 0;
+
+  /// Tape-free Logits: classification head over EmbedInference().
+  la::Matrix LogitsInference(const GraphBatch& batch) const {
+    return head_.ForwardInference(EmbedInference(batch));
   }
 
   virtual std::vector<ag::Tensor> Params() const = 0;

@@ -29,6 +29,18 @@ Tensor GraphSage::Embed(const GraphBatch& batch, bool training, Rng* rng) {
   return h;
 }
 
+la::Matrix GraphSage::EmbedInference(const GraphBatch& batch) const {
+  TURBO_CHECK(!self_w_.empty());
+  la::Matrix h = batch.features;
+  for (size_t l = 0; l < self_w_.size(); ++l) {
+    la::Matrix hn = batch.union_mean.Multiply(h);
+    la::Matrix z = la::MatMul(h, self_w_[l]->value);
+    z.Add(la::MatMul(hn, neigh_w_[l]->value));
+    h = la::MapT(z, la::kernels::Relu);
+  }
+  return h;
+}
+
 std::vector<Tensor> GraphSage::Params() const {
   std::vector<Tensor> p = self_w_;
   p.insert(p.end(), neigh_w_.begin(), neigh_w_.end());

@@ -23,6 +23,14 @@ Tensor MlpHead::Forward(const Tensor& h) const {
   return ag::AddRowBroadcast(ag::MatMul(z, w2_), b2_);
 }
 
+la::Matrix MlpHead::ForwardInference(const la::Matrix& h) const {
+  TURBO_CHECK(w1_ != nullptr);
+  la::Matrix z = la::MapT(
+      la::AddRowBroadcast(la::MatMul(h, w1_->value), b1_->value),
+      la::kernels::Relu);
+  return la::AddRowBroadcast(la::MatMul(z, w2_->value), b2_->value);
+}
+
 std::vector<Tensor> MlpHead::Params() const {
   return {w1_, b1_, w2_, b2_};
 }
@@ -79,6 +87,25 @@ std::vector<double> GnnTrainer::PredictAll(GnnModel* model,
 std::vector<double> GnnTrainer::PredictTargets(GnnModel* model,
                                                const GraphBatch& batch) {
   auto all = PredictAll(model, batch);
+  all.resize(batch.num_targets);
+  return all;
+}
+
+std::vector<double> GnnTrainer::PredictAllInference(const GnnModel& model,
+                                                    const GraphBatch& batch) {
+  la::Matrix logits = model.LogitsInference(batch);
+  std::vector<double> out(batch.num_nodes());
+  for (size_t i = 0; i < out.size(); ++i) {
+    const float z = logits(i, 0);
+    out[i] = z >= 0.0f ? 1.0 / (1.0 + std::exp(-z))
+                       : std::exp(z) / (1.0 + std::exp(z));
+  }
+  return out;
+}
+
+std::vector<double> GnnTrainer::PredictTargetsInference(
+    const GnnModel& model, const GraphBatch& batch) {
+  auto all = PredictAllInference(model, batch);
   all.resize(batch.num_targets);
   return all;
 }

@@ -7,6 +7,7 @@
 // the composition mechanism.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <functional>
 #include <string>
@@ -89,18 +90,73 @@ class Matrix {
 
 // ---- kernels ----
 
-/// C = A * B. Shapes: [m,k] x [k,n] -> [m,n].
+/// C = A * B. Shapes: [m,k] x [k,n] -> [m,n]. Row-parallel on the shared
+/// thread pool above a flop threshold; the per-element accumulation
+/// order is independent of the thread count, so results are identical
+/// across serial and parallel runs.
 Matrix MatMul(const Matrix& a, const Matrix& b);
 /// C = A^T * B. Shapes: [k,m] x [k,n] -> [m,n].
 Matrix MatMulTransA(const Matrix& a, const Matrix& b);
-/// C = A * B^T. Shapes: [m,k] x [n,k] -> [m,n].
+/// C = A * B^T. Shapes: [m,k] x [n,k] -> [m,n]. Row-parallel like MatMul.
 Matrix MatMulTransB(const Matrix& a, const Matrix& b);
+
+/// Caps the threads dense/sparse kernels may use (benches and tests pin
+/// this for reproducible scaling runs). <= 0 restores the hardware
+/// default. Thread count never changes numerical results.
+void SetKernelThreads(int threads);
+int KernelThreads();
+
+namespace detail {
+/// Runs `body(r0, r1)` over row ranges covering [0, rows), on the shared
+/// pool when rows * flops_per_row clears the parallel threshold (and the
+/// SetKernelThreads cap allows it), inline otherwise. Rows are never
+/// split, so per-row accumulation order is thread-count independent.
+void ParallelRows(size_t rows, size_t flops_per_row,
+                  const std::function<void(size_t, size_t)>& body);
+}  // namespace detail
 
 Matrix Transpose(const Matrix& a);
 
-/// Elementwise map.
+/// Elementwise map over a compile-time functor: the hot path used by the
+/// autograd ops and the tape-free inference forward (the callable is
+/// inlined; no std::function dispatch).
+template <typename F>
+Matrix MapT(const Matrix& a, F&& f) {
+  Matrix out(a.rows(), a.cols());
+  const float* in = a.data();
+  float* o = out.data();
+  for (size_t i = 0; i < a.size(); ++i) o[i] = f(in[i]);
+  return out;
+}
+
+/// Elementwise binary op over a compile-time functor; shapes must match.
+template <typename F>
+Matrix ZipT(const Matrix& a, const Matrix& b, F&& f) {
+  TURBO_CHECK(a.same_shape(b));
+  Matrix out(a.rows(), a.cols());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* o = out.data();
+  for (size_t i = 0; i < a.size(); ++i) o[i] = f(pa[i], pb[i]);
+  return out;
+}
+
+/// Stateless elementwise functors shared by the autograd ops and the
+/// tape-free inference forward. Using the same callable on both paths
+/// keeps their results bit-identical (same instructions, same
+/// fp-contraction decisions).
+namespace kernels {
+inline constexpr auto Relu = [](float x) { return x > 0.0f ? x : 0.0f; };
+inline constexpr auto Tanh = [](float x) { return std::tanh(x); };
+inline constexpr auto Sigmoid = [](float x) {
+  return x >= 0.0f ? 1.0f / (1.0f + std::exp(-x))
+                   : std::exp(x) / (1.0f + std::exp(x));
+};
+}  // namespace kernels
+
+/// Elementwise map (type-erased convenience; prefer MapT in hot code).
 Matrix Map(const Matrix& a, const std::function<float(float)>& f);
-/// Elementwise binary op; shapes must match.
+/// Elementwise binary op; shapes must match. Prefer ZipT in hot code.
 Matrix Zip(const Matrix& a, const Matrix& b,
            const std::function<float(float, float)>& f);
 
@@ -121,6 +177,9 @@ Matrix RowSums(const Matrix& a);
 
 /// Column c as an [m, 1] matrix.
 Matrix Col(const Matrix& a, size_t c);
+
+/// Columns [start, start+len) as an [m, len] matrix.
+Matrix SliceCols(const Matrix& a, size_t start, size_t len);
 
 /// True if max |a-b| <= atol + rtol*max|b|.
 bool AllClose(const Matrix& a, const Matrix& b, float atol = 1e-5f,

@@ -33,8 +33,11 @@ namespace turbo::obs {
 /// Monotonically increasing event count.
 class Counter {
  public:
-  void Increment(uint64_t n = 1) {
-    value_.fetch_add(n, std::memory_order_relaxed);
+  /// Returns the post-increment value. Concurrent incrementers must use
+  /// this return (not a separate value() read, which can observe another
+  /// thread's increment) when they need a unique id from the counter.
+  uint64_t Increment(uint64_t n = 1) {
+    return value_.fetch_add(n, std::memory_order_relaxed) + n;
   }
   uint64_t value() const { return value_.load(std::memory_order_relaxed); }
 

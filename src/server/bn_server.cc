@@ -47,14 +47,14 @@ void BnServer::IngestBatch(const BehaviorLogList& logs) {
 }
 
 void BnServer::AdvanceTo(SimTime now) {
-  TURBO_CHECK_GE(now, now_);
-  now_ = now;
+  TURBO_CHECK_GE(now, now_.load(std::memory_order_relaxed));
+  now_.store(now, std::memory_order_relaxed);
   // Run every completed epoch of every window since its last run; jobs
   // for shorter windows naturally fire more often.
   for (size_t w = 0; w < config_.bn.windows.size(); ++w) {
     const SimTime window = config_.bn.windows[w];
     SimTime next_end = last_job_end_[w] + window;
-    while (next_end <= now_) {
+    while (next_end <= now) {
       Stopwatch job_sw;
       const size_t updates =
           builder_.RunWindowJob(logs_, window, next_end);
@@ -67,20 +67,20 @@ void BnServer::AdvanceTo(SimTime now) {
     }
   }
   // Daily TTL sweep.
-  while (last_expiry_ + kDay <= now_) {
+  while (last_expiry_ + kDay <= now) {
     last_expiry_ += kDay;
     const size_t expired = builder_.ExpireOld(last_expiry_);
     edges_expired_ += expired;
     ttl_expired_edges_->Increment(expired);
   }
   if (last_snapshot_ < 0 ||
-      now_ - last_snapshot_ >= config_.snapshot_refresh) {
+      now - last_snapshot_ >= config_.snapshot_refresh) {
     RefreshSnapshot();
   }
   // Published-version staleness relative to the server clock; the paper's
   // refresh jobs run asynchronously to the request path, so this is how
   // far behind the serving graph can be.
-  snapshot_lag_s_->Set(static_cast<double>(now_ - last_snapshot_));
+  snapshot_lag_s_->Set(static_cast<double>(now - last_snapshot_));
 }
 
 void BnServer::RefreshSnapshot() {
@@ -99,7 +99,7 @@ void BnServer::RefreshSnapshot() {
   snapshot_edges_g_->Set(static_cast<double>(next->TotalEdges()));
   snapshot_bytes_g_->Set(static_cast<double>(next->MemoryBytes()));
   snapshot_.store(std::move(next), std::memory_order_release);
-  last_snapshot_ = now_;
+  last_snapshot_ = now_.load(std::memory_order_relaxed);
 }
 
 std::shared_ptr<const bn::BnSnapshot> BnServer::snapshot() const {

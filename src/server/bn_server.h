@@ -71,7 +71,9 @@ class BnServer {
   /// Version id of the last published snapshot (0 = none yet).
   uint64_t snapshot_version() const;
 
-  SimTime now() const { return now_; }
+  /// Server clock; readable from any thread concurrently with AdvanceTo
+  /// (serving threads use it as the feature as_of).
+  SimTime now() const { return now_.load(std::memory_order_relaxed); }
   const storage::LogStore& logs() const { return logs_; }
   const storage::EdgeStore& edges() const { return edges_; }
   size_t jobs_run() const { return jobs_run_; }
@@ -108,7 +110,9 @@ class BnServer {
   storage::LogStore logs_{config_.log_cost};
   storage::EdgeStore edges_;
   bn::BnBuilder builder_;
-  SimTime now_ = 0;
+  // Written only by the AdvanceTo thread, read concurrently by serving
+  // threads through now().
+  std::atomic<SimTime> now_{0};
   std::vector<SimTime> last_job_end_;  // per window
   SimTime last_expiry_ = 0;
   SimTime last_snapshot_ = -1;

@@ -1,5 +1,8 @@
 #include "server/prediction_server.h"
 
+#include <algorithm>
+#include <chrono>
+
 #include "gnn/trainer.h"
 #include "util/time_util.h"
 
@@ -13,7 +16,8 @@ PredictionServer::PredictionServer(PredictionConfig config, BnServer* bn,
       bn_(bn),
       features_(features),
       model_(model),
-      scaler_(scaler) {
+      scaler_(scaler),
+      cache_(std::max<size_t>(1, config.cache_capacity)) {
   TURBO_CHECK(bn_ != nullptr);
   TURBO_CHECK(features_ != nullptr);
   TURBO_CHECK(model_ != nullptr);
@@ -26,83 +30,248 @@ PredictionServer::PredictionServer(PredictionConfig config, BnServer* bn,
   }
   requests_ = metrics_->GetCounter("predict_requests_total");
   blocked_ = metrics_->GetCounter("predict_blocked_total");
+  cache_hits_ = metrics_->GetCounter("predict_cache_hits_total");
+  cache_misses_ = metrics_->GetCounter("predict_cache_misses_total");
   sample_ms_ = metrics_->GetHistogram("predict_sample_ms");
   feature_ms_ = metrics_->GetHistogram("predict_feature_ms");
   inference_ms_ = metrics_->GetHistogram("predict_inference_ms");
   total_ms_ = metrics_->GetHistogram("predict_total_ms");
   subgraph_nodes_ = metrics_->GetHistogram(
       "predict_subgraph_nodes", obs::Histogram::DefaultSizeBuckets());
+  batch_size_ = metrics_->GetHistogram("predict_batch_size",
+                                       obs::Histogram::DefaultSizeBuckets());
 }
 
+PredictionServer::~PredictionServer() { StopBatching(); }
+
 PredictionResponse PredictionServer::Handle(UserId uid) {
-  PredictionResponse resp;
+  return HandleBatch({uid}).front();
+}
+
+std::vector<PredictionResponse> PredictionServer::HandleBatch(
+    const std::vector<UserId>& uids) {
+  std::vector<PredictionResponse> out(uids.size());
+  if (uids.empty()) return out;
+  const size_t n = uids.size();
   const SimTime as_of = bn_->now();
-  requests_->Increment();
-  resp.request_id = requests_->value();
-  obs::StageTimer trace(metrics_, "predict", resp.request_id);
-
-  // 1) BN server: computation subgraph.
-  bn::Subgraph sg;
-  {
-    auto span = trace.StartSpan("sample");
-    storage::SimClock sample_clock;
-    sg = bn_->SampleSubgraph(uid);
-    // Modeled cost of shipping the subgraph out of the graph store: one
-    // query per node's adjacency rows.
-    sample_clock.ChargeQuery(storage::MediumCost::InMemoryCache(),
-                             static_cast<int64_t>(sg.NumEdges()));
-    span.AddModeledMillis(sample_clock.ElapsedMillis());
-    resp.sampling_ms = span.Stop();
+  // The fetch-add result is the only race-free source of ids: a separate
+  // value() read can observe another thread's concurrent increment.
+  const uint64_t last_id = requests_->Increment(n);
+  const uint64_t first_id = last_id - n + 1;
+  batch_size_->Observe(static_cast<double>(n));
+  obs::StageTimer trace(metrics_, "predict", first_id);
+  for (size_t i = 0; i < n; ++i) {
+    out[i].request_id = first_id + i;
+    out[i].batch_size = static_cast<int>(n);
   }
-  resp.subgraph_nodes = static_cast<int>(sg.nodes.size());
-  subgraph_nodes_->Observe(static_cast<double>(sg.nodes.size()));
 
-  // 2) Feature management: raw features for every sampled node, scaled
-  // with the training scaler.
-  la::Matrix scaled;
-  {
-    auto span = trace.StartSpan("feature");
-    storage::SimClock feature_clock;
-    la::Matrix raw;
-    for (size_t i = 0; i < sg.nodes.size(); ++i) {
-      auto row =
-          features_->GetFeatures(sg.nodes[i], as_of, &feature_clock);
-      TURBO_CHECK_MSG(!row.empty(), "no profile row for uid "
-                                        << sg.nodes[i]);
-      if (raw.empty()) raw = la::Matrix(sg.nodes.size(), row.size());
-      TURBO_CHECK_EQ(row.size(), raw.cols());
-      std::copy(row.begin(), row.end(), raw.row(i));
+  // 0) Snapshot-versioned cache probe. Keys carry the version, so a
+  // fresh snapshot can never serve a stale hit; the Clear on version
+  // change just reclaims dead entries eagerly.
+  uint64_t version = bn_->snapshot_version();
+  std::vector<size_t> miss;  // positions in `uids` needing compute
+  miss.reserve(n);
+  if (config_.cache_capacity > 0) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (version != cache_version_) {
+      cache_.Clear();
+      cache_version_ = version;
     }
-    scaled = scaler_->Transform(raw);
-    span.AddModeledMillis(feature_clock.ElapsedMillis());
-    resp.feature_ms = span.Stop();
-  }
-
-  // 3) Prediction server: HAG forward pass.
-  {
-    auto span = trace.StartSpan("inference");
-    // Features are already local-row aligned; build the batch directly.
-    gnn::GraphBatch batch;
-    {
-      // MakeGraphBatch gathers feature rows by the ids in sg.nodes; the
-      // scaled matrix here is already local-row aligned, so remap the
-      // node list to the identity and restore the global ids afterwards.
-      bn::Subgraph local = sg;
-      for (size_t i = 0; i < local.nodes.size(); ++i) {
-        local.nodes[i] = static_cast<UserId>(i);
+    for (size_t i = 0; i < n; ++i) {
+      auto hit = cache_.Get(CacheKey(uids[i], version));
+      if (hit.has_value()) {
+        out[i].fraud_probability = hit->probability;
+        out[i].subgraph_nodes = hit->subgraph_nodes;
+        out[i].snapshot_version = version;
+        out[i].cache_hit = true;
+        cache_hits_->Increment();
+      } else {
+        miss.push_back(i);
+        cache_misses_->Increment();
       }
-      batch = gnn::MakeGraphBatch(local, scaled);
-      batch.global_ids = sg.nodes;
     }
-    auto probs = gnn::GnnTrainer::PredictTargets(model_, batch);
-    resp.fraud_probability = probs[0];
-    resp.blocked = resp.fraud_probability >= config_.threshold;
-    resp.inference_ms = span.Stop();
+  } else {
+    for (size_t i = 0; i < n; ++i) miss.push_back(i);
   }
 
-  if (resp.blocked) blocked_->Increment();
-  resp.total_ms = trace.Finish();
-  return resp;
+  double sample_total = 0.0, feature_total = 0.0, inference_total = 0.0;
+  if (!miss.empty()) {
+    std::vector<UserId> targets;
+    targets.reserve(miss.size());
+    for (size_t idx : miss) targets.push_back(uids[idx]);
+
+    // 1) BN server: one merged computation subgraph from one pinned
+    // snapshot (target rows come first, in `targets` order).
+    bn::Subgraph sg;
+    {
+      auto span = trace.StartSpan("sample");
+      storage::SimClock sample_clock;
+      sg = bn_->SampleSubgraph(targets);
+      // Modeled cost of shipping the subgraph out of the graph store: one
+      // query per node's adjacency rows.
+      sample_clock.ChargeQuery(storage::MediumCost::InMemoryCache(),
+                               static_cast<int64_t>(sg.NumEdges()));
+      span.AddModeledMillis(sample_clock.ElapsedMillis());
+      sample_total = span.Stop();
+    }
+    version = sg.snapshot_version;
+    subgraph_nodes_->Observe(static_cast<double>(sg.nodes.size()));
+
+    // 2) Feature management: raw features for every sampled node, scaled
+    // with the training scaler.
+    la::Matrix scaled;
+    {
+      auto span = trace.StartSpan("feature");
+      storage::SimClock feature_clock;
+      la::Matrix raw;
+      for (size_t i = 0; i < sg.nodes.size(); ++i) {
+        auto row =
+            features_->GetFeatures(sg.nodes[i], as_of, &feature_clock);
+        TURBO_CHECK_MSG(!row.empty(), "no profile row for uid "
+                                          << sg.nodes[i]);
+        if (raw.empty()) raw = la::Matrix(sg.nodes.size(), row.size());
+        TURBO_CHECK_EQ(row.size(), raw.cols());
+        std::copy(row.begin(), row.end(), raw.row(i));
+      }
+      scaled = scaler_->Transform(raw);
+      span.AddModeledMillis(feature_clock.ElapsedMillis());
+      feature_total = span.Stop();
+    }
+
+    // 3) Prediction server: one merged model forward for the batch.
+    {
+      auto span = trace.StartSpan("inference");
+      gnn::GraphBatch batch;
+      {
+        // MakeGraphBatch gathers feature rows by the ids in sg.nodes; the
+        // scaled matrix here is already local-row aligned, so remap the
+        // node list to the identity and restore the global ids afterwards.
+        bn::Subgraph local = sg;
+        for (size_t i = 0; i < local.nodes.size(); ++i) {
+          local.nodes[i] = static_cast<UserId>(i);
+        }
+        batch = gnn::MakeGraphBatch(local, scaled);
+        batch.global_ids = sg.nodes;
+      }
+      const std::vector<double> probs =
+          config_.use_inference_path
+              ? gnn::GnnTrainer::PredictTargetsInference(*model_, batch)
+              : gnn::GnnTrainer::PredictTargets(model_, batch);
+      TURBO_CHECK_EQ(probs.size(), miss.size());
+      for (size_t j = 0; j < miss.size(); ++j) {
+        out[miss[j]].fraud_probability = probs[j];
+        out[miss[j]].subgraph_nodes = static_cast<int>(sg.nodes.size());
+        out[miss[j]].snapshot_version = version;
+      }
+      inference_total = span.Stop();
+    }
+
+    if (config_.cache_capacity > 0) {
+      std::lock_guard<std::mutex> lock(cache_mu_);
+      for (size_t idx : miss) {
+        cache_.Put(CacheKey(uids[idx], version),
+                   CachedPrediction{out[idx].fraud_probability,
+                                    out[idx].subgraph_nodes});
+      }
+    }
+  }
+
+  const double total = trace.Finish();
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i].sampling_ms = sample_total * inv_n;
+    out[i].feature_ms = feature_total * inv_n;
+    out[i].inference_ms = inference_total * inv_n;
+    out[i].total_ms = total * inv_n;
+    out[i].blocked = out[i].fraud_probability >= config_.threshold;
+    if (out[i].blocked) blocked_->Increment();
+  }
+  return out;
+}
+
+void PredictionServer::StartBatching(BatchingConfig config) {
+  TURBO_CHECK_GT(config.max_batch_size, 0);
+  TURBO_CHECK_GT(config.workers, 0);
+  TURBO_CHECK_GE(config.max_wait_ms, 0.0);
+  StopBatching();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    batching_ = config;
+    batching_running_ = true;
+  }
+  batch_workers_.reserve(config.workers);
+  for (int i = 0; i < config.workers; ++i) {
+    batch_workers_.emplace_back([this] { BatchWorkerLoop(); });
+  }
+}
+
+void PredictionServer::StopBatching() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (!batching_running_ && batch_workers_.empty()) return;
+    batching_running_ = false;
+  }
+  queue_cv_.notify_all();
+  for (auto& w : batch_workers_) w.join();
+  batch_workers_.clear();
+}
+
+std::future<PredictionResponse> PredictionServer::SubmitAsync(UserId uid) {
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    if (batching_running_) {
+      queue_.push_back(PendingRequest{uid, {}});
+      std::future<PredictionResponse> fut =
+          queue_.back().promise.get_future();
+      lock.unlock();
+      queue_cv_.notify_one();
+      return fut;
+    }
+  }
+  // Queue not running: serve synchronously so callers never hang.
+  std::promise<PredictionResponse> p;
+  p.set_value(Handle(uid));
+  return p.get_future();
+}
+
+void PredictionServer::BatchWorkerLoop() {
+  for (;;) {
+    std::vector<PendingRequest> batch;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return !batching_running_ || !queue_.empty();
+      });
+      // Stopped: drain whatever is queued, then exit.
+      if (queue_.empty()) return;
+      const size_t want = static_cast<size_t>(batching_.max_batch_size);
+      if (batching_running_ && queue_.size() < want &&
+          batching_.max_wait_ms > 0.0) {
+        // Coalescing window: give concurrent submitters a moment to fill
+        // the batch before running a partial one.
+        queue_cv_.wait_for(
+            lock,
+            std::chrono::duration<double, std::milli>(batching_.max_wait_ms),
+            [this, want] {
+              return !batching_running_ || queue_.size() >= want;
+            });
+      }
+      const size_t take = std::min(want, queue_.size());
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    if (batch.empty()) continue;
+    std::vector<UserId> uids;
+    uids.reserve(batch.size());
+    for (const auto& r : batch) uids.push_back(r.uid);
+    std::vector<PredictionResponse> resps = HandleBatch(uids);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      batch[i].promise.set_value(std::move(resps[i]));
+    }
+  }
 }
 
 }  // namespace turbo::server

@@ -1,19 +1,47 @@
-// Real-time prediction server (Figure 2): orchestrates one audit request —
+// Real-time prediction server (Figure 2): orchestrates audit requests —
 // subgraph sampling from the BN server, feature retrieval from the
 // feature management module, and HAG inference — and reports the
 // per-module latency split of Fig. 8a.
+//
+// Serving paths:
+//  * Handle(uid): one request, unchanged drop-in behavior.
+//  * HandleBatch(uids): micro-batching — one merged subgraph sampled
+//    against a single pinned snapshot, one merged model forward, cost
+//    amortized over the batch. Callable from any number of threads
+//    concurrently (the BN read path is lock-free; the feature store and
+//    the result cache serialize internally).
+//  * StartBatching + SubmitAsync(uid): an optional coalescing queue that
+//    gathers concurrent single requests into batches (up to
+//    max_batch_size, waiting at most max_wait_ms) and executes them on a
+//    private worker pool.
+//
+// With `use_inference_path` the model forward runs tape-free
+// (GnnModel::EmbedInference — no autograd Node/closure allocation),
+// which is prediction-identical to the autograd forward (see
+// tests/core/inference_equivalence_test). With `cache_capacity` > 0,
+// predictions are memoized in an LRU keyed by (uid, snapshot version):
+// entries are naturally unreachable once a new snapshot is published and
+// the whole cache is dropped on version change.
 //
 // Latency accounting: compute stages (sampling, batch assembly, model
 // forward) are measured in real wall-clock time; storage accesses
 // additionally charge their modeled cost to a SimClock so the cached vs
 // uncached comparison of Section V is reproducible without real network
-// round-trips (see DESIGN.md §2). Every request runs under an
+// round-trips (see DESIGN.md §2). Every batch runs under an
 // obs::StageTimer whose spans land in `predict_<stage>_ms` histograms of
 // the server's MetricsRegistry — the per-stage breakdown the paper plots
-// in Fig. 8a.
+// in Fig. 8a. Batched requests report each stage's cost divided evenly
+// over the batch, so per-request numbers stay comparable across batch
+// sizes.
 #pragma once
 
+#include <condition_variable>
+#include <deque>
+#include <future>
 #include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 #include "core/hag.h"
 #include "features/feature_store.h"
@@ -21,17 +49,37 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "server/bn_server.h"
+#include "storage/lru_cache.h"
 
 namespace turbo::server {
 
 struct PredictionConfig {
   /// Online blocking threshold (Section VI-E uses 0.85).
   double threshold = 0.85;
+  /// Run the tape-free forward (GnnModel::EmbedInference) instead of the
+  /// autograd forward. Identical predictions; skips all tape allocation.
+  /// Off by default so existing callers keep byte-for-byte behavior.
+  bool use_inference_path = false;
+  /// Capacity (entries) of the snapshot-versioned prediction cache;
+  /// 0 disables it. Keys are (uid, snapshot version), so a published
+  /// snapshot implicitly invalidates every cached prediction.
+  size_t cache_capacity = 0;
   /// Registry receiving the server's predict_* metrics. Not owned;
   /// null = a private per-server registry (isolates test/bench
   /// instances). Pass the BN server's registry to get one combined
   /// serving-path dump.
   obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// Coalescing-queue configuration for StartBatching().
+struct BatchingConfig {
+  /// Largest batch a worker executes in one HandleBatch call.
+  int max_batch_size = 16;
+  /// Worker threads draining the queue.
+  int workers = 2;
+  /// How long a worker waits for the queue to fill past one request
+  /// before running a partial batch.
+  double max_wait_ms = 1.0;
 };
 
 struct PredictionResponse {
@@ -40,8 +88,17 @@ struct PredictionResponse {
   int subgraph_nodes = 0;
   /// Id of the request within this server (1-based, monotonic).
   uint64_t request_id = 0;
+  /// Version of the BN snapshot this prediction was served against.
+  uint64_t snapshot_version = 0;
+  /// Size of the HandleBatch call that served this request (1 for
+  /// Handle()).
+  int batch_size = 1;
+  /// True when the prediction came out of the snapshot-versioned cache
+  /// (no sampling / features / forward ran for this uid).
+  bool cache_hit = false;
   // Per-module latency (milliseconds): wall-clock compute plus modeled
-  // storage cost.
+  // storage cost; for batched requests, the batch stage cost divided
+  // evenly over its requests.
   double sampling_ms = 0.0;
   double feature_ms = 0.0;
   double inference_ms = 0.0;
@@ -55,9 +112,25 @@ class PredictionServer {
   PredictionServer(PredictionConfig config, BnServer* bn,
                    features::FeatureStore* features, core::Hag* model,
                    const ml::StandardScaler* scaler);
+  ~PredictionServer();
 
   /// Handles one audit request for `uid` at server time.
   PredictionResponse Handle(UserId uid);
+
+  /// Handles a micro-batch: one merged subgraph over all `uids` from a
+  /// single pinned snapshot, one merged forward. Responses are in
+  /// `uids` order. Thread-safe; concurrent calls batch independently.
+  std::vector<PredictionResponse> HandleBatch(
+      const std::vector<UserId>& uids);
+
+  /// Starts the coalescing queue (idempotent; restarts with new config
+  /// if already running).
+  void StartBatching(BatchingConfig config);
+  /// Drains the queue and joins the workers (no-op when not running).
+  void StopBatching();
+  /// Enqueues one request for batched execution. Falls back to a
+  /// synchronous Handle() when the queue is not running.
+  std::future<PredictionResponse> SubmitAsync(UserId uid);
 
   /// Per-stage latency histograms (Fig. 8a breakdown), backed by the
   /// metrics registry.
@@ -73,6 +146,23 @@ class PredictionServer {
   const obs::MetricsRegistry& metrics() const { return *metrics_; }
 
  private:
+  struct CachedPrediction {
+    double probability = 0.0;
+    int subgraph_nodes = 0;
+  };
+  struct PendingRequest {
+    UserId uid = 0;
+    std::promise<PredictionResponse> promise;
+  };
+
+  /// (uid, snapshot version) -> cache key. UserId is 32-bit, so the
+  /// version occupies the high word.
+  static uint64_t CacheKey(UserId uid, uint64_t version) {
+    return (version << 32) | static_cast<uint64_t>(uid);
+  }
+
+  void BatchWorkerLoop();
+
   PredictionConfig config_;
   BnServer* bn_;
   features::FeatureStore* features_;
@@ -82,11 +172,30 @@ class PredictionServer {
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Counter* requests_ = nullptr;
   obs::Counter* blocked_ = nullptr;
+  obs::Counter* cache_hits_ = nullptr;
+  obs::Counter* cache_misses_ = nullptr;
   obs::Histogram* sample_ms_ = nullptr;
   obs::Histogram* feature_ms_ = nullptr;
   obs::Histogram* inference_ms_ = nullptr;
   obs::Histogram* total_ms_ = nullptr;
   obs::Histogram* subgraph_nodes_ = nullptr;
+  obs::Histogram* batch_size_ = nullptr;
+
+  // Snapshot-versioned prediction cache (LruCache is not thread-safe;
+  // all access goes through cache_mu_). cache_version_ tracks the last
+  // snapshot version seen so a publish drops the now-stale entries in
+  // one Clear instead of waiting for LRU churn.
+  std::mutex cache_mu_;
+  storage::LruCache<uint64_t, CachedPrediction> cache_;
+  uint64_t cache_version_ = 0;
+
+  // Coalescing queue state.
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<PendingRequest> queue_;
+  std::vector<std::thread> batch_workers_;
+  BatchingConfig batching_;
+  bool batching_running_ = false;
 };
 
 }  // namespace turbo::server

@@ -1,0 +1,118 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+#include "util/check.h"
+
+namespace turbo::util {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads =
+        static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  }
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  TURBO_CHECK(fn != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    TURBO_CHECK(!stop_);
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+namespace {
+
+/// Shared chunk cursor for one ParallelFor call. Helpers that wake up
+/// after all chunks are claimed see next >= chunks and return without
+/// touching `fn`, so the state outliving the call (via shared_ptr) is
+/// safe even though `fn` is borrowed from the caller's frame.
+struct LoopState {
+  const std::function<void(size_t, size_t)>* fn = nullptr;
+  size_t n = 0;
+  size_t grain = 0;
+  size_t chunks = 0;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+
+  void RunChunks() {
+    for (;;) {
+      const size_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) return;
+      const size_t begin = c * grain;
+      const size_t end = std::min(n, begin + grain);
+      (*fn)(begin, end);
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == chunks) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ThreadPool::ParallelFor(
+    size_t n, size_t grain, const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  TURBO_CHECK_GT(grain, 0u);
+  if (n <= grain) {
+    fn(0, n);
+    return;
+  }
+  auto state = std::make_shared<LoopState>();
+  state->fn = &fn;
+  state->n = n;
+  state->grain = grain;
+  state->chunks = (n + grain - 1) / grain;
+  const size_t helpers =
+      std::min(state->chunks - 1, static_cast<size_t>(size()));
+  for (size_t i = 0; i < helpers; ++i) {
+    Submit([state] { state->RunChunks(); });
+  }
+  state->RunChunks();
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == state->chunks;
+  });
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = new ThreadPool();
+  return *pool;
+}
+
+}  // namespace turbo::util

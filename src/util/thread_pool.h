@@ -1,0 +1,61 @@
+// Fixed-size worker pool for the serving path and the dense kernels.
+//
+// Two usage modes:
+//  * Submit(fn): fire-and-forget task queue (the prediction server's
+//    micro-batch dispatcher schedules merged forwards this way).
+//  * ParallelFor(n, grain, fn): data-parallel loop over [0, n) in chunks
+//    of `grain`. The calling thread participates in the chunk loop, so
+//    the call completes even when every worker is busy (or the pool has
+//    zero threads) and nesting a ParallelFor inside a pool task cannot
+//    deadlock. Chunks are claimed with an atomic cursor; each chunk is
+//    a contiguous index range, so row-partitioned kernels keep their
+//    per-element accumulation order (bit-identical results regardless
+//    of thread count).
+//
+// The process-wide Shared() pool is what the la:: kernels use; servers
+// that want isolation construct their own instance.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace turbo::util {
+
+class ThreadPool {
+ public:
+  /// `num_threads` <= 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `fn` for execution on a worker thread.
+  void Submit(std::function<void()> fn);
+
+  /// Runs `fn(begin, end)` over contiguous chunks covering [0, n), each
+  /// at most `grain` long. Blocks until every chunk completed. The
+  /// caller works through chunks alongside the pool.
+  void ParallelFor(size_t n, size_t grain,
+                   const std::function<void(size_t, size_t)>& fn);
+
+  /// Process-wide pool sized to the hardware; lazily constructed, never
+  /// destroyed (serving kernels may run during static teardown).
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace turbo::util

@@ -1,0 +1,115 @@
+// Tape-free inference equivalence: EmbedInference / LogitsInference /
+// PredictTargetsInference must reproduce the autograd forward (Embed with
+// training=false) on trained weights, for HAG under every ablation-flag
+// combination and for all three baselines.
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/hag.h"
+#include "gnn/gat.h"
+#include "gnn/gcn.h"
+#include "gnn/sage.h"
+#include "gnn/trainer.h"
+#include "tests/core/test_graphs.h"
+
+namespace turbo::core {
+namespace {
+
+std::vector<int> AlternatingLabels(size_t n) {
+  std::vector<int> labels(n);
+  for (size_t i = 0; i < n; ++i) labels[i] = static_cast<int>(i % 2);
+  return labels;
+}
+
+/// Trains briefly (so the weights are not at init), then checks the
+/// tape-free forward against the autograd forward at every level:
+/// embeddings, logits, and sigmoid predictions.
+void ExpectInferenceMatchesAutograd(gnn::GnnModel* model,
+                                    const gnn::GraphBatch& batch) {
+  model->Init(static_cast<int>(batch.features.cols()));
+  gnn::TrainConfig tcfg;
+  tcfg.epochs = 8;
+  gnn::GnnTrainer trainer(tcfg);
+  trainer.Fit(model, batch, AlternatingLabels(batch.num_targets));
+
+  ag::Tensor emb = model->Embed(batch, /*training=*/false, nullptr);
+  la::Matrix emb_inf = model->EmbedInference(batch);
+  EXPECT_TRUE(la::AllClose(emb->value, emb_inf))
+      << model->name() << " embeddings diverge";
+
+  ag::Tensor logits = model->Logits(batch, /*training=*/false, nullptr);
+  la::Matrix logits_inf = model->LogitsInference(batch);
+  EXPECT_TRUE(la::AllClose(logits->value, logits_inf))
+      << model->name() << " logits diverge";
+
+  const auto probs = gnn::GnnTrainer::PredictTargets(model, batch);
+  const auto probs_inf =
+      gnn::GnnTrainer::PredictTargetsInference(*model, batch);
+  ASSERT_EQ(probs.size(), probs_inf.size());
+  for (size_t i = 0; i < probs.size(); ++i) {
+    EXPECT_NEAR(probs[i], probs_inf[i], 1e-6)
+        << model->name() << " prediction " << i;
+  }
+}
+
+TEST(InferenceEquivalenceTest, HagAllAblationFlagCombos) {
+  const gnn::GraphBatch batch = testing::MakePath(12, 31);
+  for (bool use_sao : {true, false}) {
+    for (bool use_cfo : {true, false}) {
+      HagConfig cfg;
+      cfg.hidden = {8, 4};
+      cfg.attention_dim = 4;
+      cfg.mlp_hidden = 4;
+      cfg.use_sao = use_sao;
+      cfg.use_cfo = use_cfo;
+      Hag model(cfg);
+      SCOPED_TRACE(model.name());
+      ExpectInferenceMatchesAutograd(&model, batch);
+    }
+  }
+}
+
+TEST(InferenceEquivalenceTest, HagTypeSpecificChains) {
+  const gnn::GraphBatch batch = testing::MakePath(12, 32);
+  HagConfig cfg;
+  cfg.hidden = {8, 4};
+  cfg.attention_dim = 4;
+  cfg.mlp_hidden = 4;
+  cfg.share_type_weights = false;
+  Hag model(cfg);
+  ExpectInferenceMatchesAutograd(&model, batch);
+}
+
+TEST(InferenceEquivalenceTest, Gcn) {
+  const gnn::GraphBatch batch = testing::MakeClique(10, 33);
+  gnn::GnnConfig cfg;
+  cfg.hidden = {8, 4};
+  cfg.mlp_hidden = 4;
+  gnn::Gcn model(cfg);
+  ExpectInferenceMatchesAutograd(&model, batch);
+}
+
+TEST(InferenceEquivalenceTest, GraphSage) {
+  const gnn::GraphBatch batch = testing::MakeClique(10, 34);
+  gnn::GnnConfig cfg;
+  cfg.hidden = {8, 4};
+  cfg.mlp_hidden = 4;
+  gnn::GraphSage model(cfg);
+  ExpectInferenceMatchesAutograd(&model, batch);
+}
+
+TEST(InferenceEquivalenceTest, Gat) {
+  const gnn::GraphBatch batch = testing::MakePath(12, 35);
+  gnn::GnnConfig cfg;
+  cfg.hidden = {8, 4};
+  cfg.mlp_hidden = 4;
+  cfg.attention_dim = 4;
+  cfg.gat_heads = 2;
+  gnn::Gat model(cfg);
+  ExpectInferenceMatchesAutograd(&model, batch);
+}
+
+}  // namespace
+}  // namespace turbo::core

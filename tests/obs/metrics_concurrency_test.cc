@@ -2,6 +2,7 @@
 // histograms while a reader thread renders the registry. Runs under TSan
 // in the sanitizers workflow — the point is that post-registration metric
 // writes are lock-free and render sees a consistent (if stale) view.
+#include <algorithm>
 #include <atomic>
 #include <string>
 #include <thread>
@@ -63,6 +64,35 @@ TEST(MetricsConcurrencyTest, WritersAndRenderRaceFree) {
     bucketed += hist->BucketCount(i);
   }
   EXPECT_EQ(bucketed, kTotal);
+}
+
+TEST(MetricsConcurrencyTest, IncrementReturnsUniqueIds) {
+  // The fetch-add result is the race-free way to mint request ids; a
+  // separate value() readback can observe another thread's increment and
+  // hand out duplicates.
+  MetricsRegistry reg;
+  Counter* counter = reg.GetCounter("request_ids");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::vector<uint64_t>> ids(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ids[t].reserve(kPerThread);
+      for (int i = 0; i < kPerThread; ++i) {
+        ids[t].push_back(counter->Increment());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::vector<uint64_t> all;
+  for (const auto& v : ids) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(),
+            static_cast<size_t>(kThreads) * kPerThread);
+  for (size_t i = 0; i < all.size(); ++i) {
+    ASSERT_EQ(all[i], i + 1) << "ids must be dense and duplicate-free";
+  }
 }
 
 TEST(MetricsConcurrencyTest, ConcurrentRegistrationIsSafe) {

@@ -1,0 +1,102 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace turbo::util {
+namespace {
+
+TEST(ThreadPoolTest, SubmitRunsEveryTask) {
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  std::atomic<int> pending{100};
+  std::mutex mu;
+  std::condition_variable cv;
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] {
+      ran.fetch_add(1);
+      if (pending.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return pending.load() == 0; });
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10000);
+  pool.ParallelFor(hits.size(), 64, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForSmallRangeRunsInline) {
+  ThreadPool pool(2);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  pool.ParallelFor(8, 16, [&](size_t begin, size_t end) {
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 8u);
+    ran_on = std::this_thread::get_id();
+  });
+  EXPECT_EQ(ran_on, caller);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, 4, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // The caller participates in chunk execution, so an inner ParallelFor
+  // issued from a worker completes even when every worker is busy.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.ParallelFor(8, 1, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      pool.ParallelFor(16, 2, [&](size_t b, size_t e) {
+        total.fetch_add(static_cast<int>(e - b));
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 8 * 16);
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForCallers) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&] {
+      for (int it = 0; it < 20; ++it) {
+        pool.ParallelFor(100, 7, [&](size_t b, size_t e) {
+          total.fetch_add(static_cast<int>(e - b));
+        });
+      }
+    });
+  }
+  for (auto& c : callers) c.join();
+  EXPECT_EQ(total.load(), 4 * 20 * 100);
+}
+
+TEST(ThreadPoolTest, SharedPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::Shared(), &ThreadPool::Shared());
+  EXPECT_GE(ThreadPool::Shared().size(), 1);
+}
+
+}  // namespace
+}  // namespace turbo::util
