@@ -1,0 +1,269 @@
+// Window-job engine study: wall-clock throughput of BN ingestion (the
+// hourly/daily jobs of Algorithm 1) across three engine configurations
+// over the same skewed log stream and the same job schedule a live
+// BnServer would run:
+//
+//   serial          shards=1, no pool, no bucket reuse — the pre-engine
+//                   shape: every window re-scans the raw logs.
+//   sharded         shards=8 on a thread pool, no reuse — isolates the
+//                   partitioning win (a wash on one core by design).
+//   sharded+reuse   the full engine: 2h..12h and 1d jobs merge the
+//                   cached 1h buckets, so a day of traffic costs one
+//                   log scan plus merges instead of 13 scans.
+//
+// The engines are bit-identical by contract (DESIGN.md "Ingestion &
+// window jobs"); this binary CHECKs exact weight equality across all
+// three before reporting. The headline acceptance number: the full
+// engine must clear 3x the serial engine's update throughput — on a
+// single core that win comes from hierarchical bucket reuse, which is
+// thread-count independent.
+//
+// Writes BENCH_window.json (consumed by scripts/check_bench_regression.py;
+// `hardware_threads` recorded so the gate skips on mismatched boxes).
+//
+//   ./bench_window_jobs [--users=N] [--logs=K] [--days=D] [--rounds=R]
+//                       [--out=BENCH_window.json]
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "bn/builder.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "util/thread_pool.h"
+
+namespace turbo::benchx {
+namespace {
+
+// Community-structured co-occurrence traffic, the shape BN ingestion
+// sees in production: small user groups hammer their shared values
+// (home Wi-Fi, shared device) many times per hour, plus a thin tail of
+// one-off values. Heavy within-hour duplication with small deduped
+// buckets is exactly where hierarchical reuse pays: a large window's
+// raw scan re-reads every duplicate row, while the merge path only
+// touches the (much smaller) per-hour distinct-user buckets.
+BehaviorLogList MakeLogs(uint64_t seed, int users, size_t n,
+                         SimTime span) {
+  const BehaviorType types[] = {BehaviorType::kIpv4, BehaviorType::kImei,
+                                BehaviorType::kWifiMac};
+  constexpr int kCommunity = 4;           // users per behavior community
+  constexpr ValueId kNoiseValues = 65536;  // one-off long-tail values
+  Rng rng(seed);
+  BehaviorLogList logs;
+  logs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    BehaviorLog log;
+    log.uid = static_cast<UserId>(rng.NextUint(users));
+    log.type = types[rng.NextUint(3)];
+    log.value = rng.NextBool(0.999)
+                    ? kNoiseValues + log.uid / kCommunity  // community home
+                    : rng.NextZipf(kNoiseValues, 0.5);
+    log.time =
+        static_cast<SimTime>(rng.NextUint(static_cast<uint64_t>(span)));
+    logs.push_back(log);
+  }
+  return logs;
+}
+
+struct EngineSpec {
+  std::string name;
+  int shards = 1;
+  int threads = 0;  // pool size; 0 = no pool (serial shard loop)
+  bool reuse = false;
+};
+
+struct EngineResult {
+  EngineSpec spec;
+  double seconds = 0.0;
+  size_t updates = 0;
+  size_t jobs = 0;
+  double updates_per_second = 0.0;
+  double speedup = 1.0;  // vs serial
+};
+
+/// Runs the full live-server job schedule (every window, every epoch,
+/// global epoch-time order, ties to the smaller window) against a
+/// pre-indexed LogStore. Returns wall seconds; fills updates/jobs and
+/// leaves the built graph in `edges`.
+double RunSchedule(const storage::LogStore& store, const bn::BnConfig& cfg,
+                   util::ThreadPool* pool, storage::EdgeStore* edges,
+                   size_t* updates, size_t* jobs, SimTime cap) {
+  bn::BnBuilder builder(cfg, edges);
+  builder.SetThreadPool(pool);
+  std::vector<SimTime> last_end(cfg.windows.size(), 0);
+  *updates = 0;
+  *jobs = 0;
+  Stopwatch sw;
+  for (;;) {
+    int best = -1;
+    SimTime best_end = 0;
+    for (size_t i = 0; i < cfg.windows.size(); ++i) {
+      const SimTime next = last_end[i] + cfg.windows[i];
+      if (next > cap) continue;
+      if (best < 0 || next < best_end) {
+        best = static_cast<int>(i);
+        best_end = next;
+      }
+    }
+    if (best < 0) break;
+    *updates += builder.RunWindowJob(store, cfg.windows[best], best_end);
+    last_end[best] = best_end;
+    ++*jobs;
+    builder.EvictCachedBuckets(
+        *std::min_element(last_end.begin(), last_end.end()));
+  }
+  return sw.ElapsedSeconds();
+}
+
+void CheckIdentical(const storage::EdgeStore& a, const storage::EdgeStore& b,
+                    int users, const std::string& engine) {
+  TURBO_CHECK_EQ(a.TotalEdges(), b.TotalEdges());
+  for (int t = 0; t < kNumEdgeTypes; ++t) {
+    for (UserId u = 0; u < static_cast<UserId>(users); ++u) {
+      const auto& an = a.Neighbors(t, u);
+      const auto& other = b.Neighbors(t, u);
+      TURBO_CHECK_EQ(an.size(), other.size());
+      for (const auto& [v, e] : an) {
+        auto it = other.find(v);
+        TURBO_CHECK(it != other.end());
+        TURBO_CHECK_MSG(e.weight == it->second.weight,
+                        "engine '" << engine << "' diverged on edge " << u
+                                   << "-" << v << " type " << t);
+      }
+    }
+  }
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const int users = flags.GetInt("users", 240);
+  const size_t num_logs = static_cast<size_t>(flags.GetInt("logs", 6000000));
+  const int days = flags.GetInt("days", 2);
+  const int rounds = flags.GetInt("rounds", 2);
+  const std::string out = flags.GetString("out", "BENCH_window.json");
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+
+  bn::BnConfig base_cfg;  // default hierarchy [1h..12h, 1d]
+  base_cfg.max_bucket_users = 64;
+
+  std::printf("== window-job engine: sharding + hierarchical reuse ==\n");
+  std::printf(
+      "users=%d, logs=%zu over %dd, %zu windows, %d hardware threads\n\n",
+      users, num_logs, days, base_cfg.windows.size(), hw);
+
+  const BehaviorLogList logs =
+      MakeLogs(0x70b0ULL, users, num_logs, days * kDay);
+  storage::LogStore store;
+  store.AppendBatch(logs);
+  SimTime max_t = 0;
+  for (const auto& log : logs) max_t = std::max(max_t, log.time);
+  SimTime cap = 0;
+  for (SimTime w : base_cfg.windows) {
+    cap = std::max(cap, bn::BnBuilder::EpochIndex(max_t, w) * w);
+  }
+
+  const std::vector<EngineSpec> specs = {
+      {"serial", 1, 0, false},
+      {"sharded", 8, hw, false},
+      {"sharded+reuse", 8, hw, true},
+  };
+
+  // Warmup: one serial pass triggers the log store's lazy per-key sort
+  // so every measured round sees the same warm index.
+  {
+    storage::EdgeStore warm;
+    size_t u = 0, j = 0;
+    bn::BnConfig cfg = base_cfg;
+    cfg.window_job_shards = 1;
+    cfg.reuse_base_buckets = false;
+    RunSchedule(store, cfg, nullptr, &warm, &u, &j, cap);
+  }
+
+  std::vector<EngineResult> results;
+  std::unique_ptr<storage::EdgeStore> reference;
+  for (const auto& spec : specs) {
+    bn::BnConfig cfg = base_cfg;
+    cfg.window_job_shards = spec.shards;
+    cfg.reuse_base_buckets = spec.reuse;
+    std::unique_ptr<util::ThreadPool> pool;
+    if (spec.threads > 0 && spec.shards > 1) {
+      pool = std::make_unique<util::ThreadPool>(spec.threads);
+    }
+    EngineResult r;
+    r.spec = spec;
+    r.seconds = 1e30;
+    std::unique_ptr<storage::EdgeStore> built;
+    for (int round = 0; round < rounds; ++round) {
+      auto edges = std::make_unique<storage::EdgeStore>();
+      size_t updates = 0, jobs = 0;
+      const double secs = RunSchedule(store, cfg, pool.get(), edges.get(),
+                                      &updates, &jobs, cap);
+      r.seconds = std::min(r.seconds, secs);  // best-of: least noise
+      r.updates = updates;
+      r.jobs = jobs;
+      built = std::move(edges);
+    }
+    r.updates_per_second = r.updates / std::max(r.seconds, 1e-9);
+    if (reference == nullptr) {
+      reference = std::move(built);
+    } else {
+      CheckIdentical(*reference, *built, users, spec.name);
+    }
+    results.push_back(r);
+  }
+
+  const double serial_ups = results.front().updates_per_second;
+  double reuse_speedup = 0.0;
+  TablePrinter table({"engine", "shards", "pool", "jobs", "updates",
+                      "seconds", "updates/s", "speedup"});
+  for (auto& r : results) {
+    r.speedup = r.updates_per_second / std::max(serial_ups, 1e-9);
+    if (r.spec.reuse) reuse_speedup = std::max(reuse_speedup, r.speedup);
+    table.AddRow({r.spec.name, std::to_string(r.spec.shards),
+                  std::to_string(r.spec.threads),
+                  std::to_string(r.jobs), std::to_string(r.updates),
+                  StrFormat("%.3f", r.seconds),
+                  StrFormat("%.0f", r.updates_per_second),
+                  StrFormat("%.2fx", r.speedup)});
+  }
+  table.Print();
+  std::printf("\nall engines produced bit-identical edge weights\n");
+  std::printf("full-engine speedup vs serial: %.2fx (target >= 3x)\n",
+              reuse_speedup);
+
+  std::ofstream f(out);
+  f << "{\n"
+    << "  \"bench\": \"window_jobs\",\n"
+    << "  \"users\": " << users << ",\n"
+    << "  \"logs\": " << num_logs << ",\n"
+    << "  \"days\": " << days << ",\n"
+    << "  \"hardware_threads\": " << hw << ",\n"
+    << "  \"runs\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    f << "    {\"engine\": \"" << r.spec.name
+      << "\", \"shards\": " << r.spec.shards
+      << ", \"threads\": " << r.spec.threads
+      << ", \"reuse\": " << (r.spec.reuse ? "true" : "false")
+      << ", \"jobs\": " << r.jobs << ", \"updates\": " << r.updates
+      << ", \"seconds\": " << r.seconds
+      << ", \"updates_per_second\": " << r.updates_per_second
+      << ", \"speedup_vs_serial\": " << r.speedup << "}"
+      << (i + 1 < results.size() ? ",\n" : "\n");
+  }
+  f << "  ],\n"
+    << "  \"reuse_speedup\": " << reuse_speedup << "\n"
+    << "}\n";
+  std::printf("wrote %s\n", out.c_str());
+  return reuse_speedup >= 3.0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace turbo::benchx
+
+int main(int argc, char** argv) { return turbo::benchx::Main(argc, argv); }

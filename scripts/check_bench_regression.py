@@ -7,6 +7,8 @@ bench type is auto-detected from the JSON shape:
 
   - "bench": "snapshot_concurrency"  -> sampling[].samples_per_second
     per thread count (higher is better)
+  - "bench": "window_jobs"           -> runs[].updates_per_second per
+    engine (higher is better)
   - "bench": "serving_throughput"    -> runs[].requests_per_second per
     (mode, threads, batch) cell (higher is better)
   - google-benchmark output ("benchmarks" list) -> real_time per
@@ -53,6 +55,17 @@ def extract_metrics(data, path):
             sys.exit(f"error: no 'sampling' runs in {path}")
         return (
             {f"threads={r['threads']}": r["samples_per_second"] for r in runs},
+            True,
+        )
+    if bench == "window_jobs":
+        # Must dispatch on the bench name before the generic "runs"
+        # fallback below: window-job runs are keyed by engine, not by
+        # (mode, threads, batch).
+        runs = data.get("runs", [])
+        if not runs:
+            sys.exit(f"error: no 'runs' in {path}")
+        return (
+            {r["engine"]: r["updates_per_second"] for r in runs},
             True,
         )
     if bench == "serving_throughput" or "runs" in data:

@@ -1,7 +1,8 @@
 #include "bn/builder.h"
 
 #include <algorithm>
-#include <unordered_map>
+
+#include "util/time_util.h"
 
 namespace turbo::bn {
 
@@ -19,116 +20,238 @@ BnBuilder::BnBuilder(BnConfig config, storage::EdgeStore* edges)
   for (SimTime w : config_.windows) TURBO_CHECK_GT(w, 0);
   TURBO_CHECK(std::is_sorted(config_.windows.begin(),
                              config_.windows.end()));
+  TURBO_CHECK_GT(config_.window_job_shards, 0);
+  reuse_eligible_ = config_.reuse_base_buckets;
+  for (SimTime w : config_.windows) {
+    if (w % base_window() != 0) reuse_eligible_ = false;
+  }
 }
 
-size_t BnBuilder::ConnectBucket(int edge_type,
-                                const std::vector<UserId>& users,
-                                SimTime stamp) {
+void BnBuilder::SetMetrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) return;
+  shard_ms_ = metrics->GetHistogram("bn_window_shard_ms");
+  shard_keys_ = metrics->GetHistogram(
+      "bn_window_shard_keys", obs::Histogram::LinearBuckets(0.0, 64.0, 65));
+  merge_ms_ = metrics->GetHistogram("bn_window_merge_ms");
+  cache_merge_jobs_ =
+      metrics->GetCounter("bn_window_cache_merge_jobs_total");
+  scan_jobs_ = metrics->GetCounter("bn_window_scan_jobs_total");
+  cache_epochs_g_ = metrics->GetGauge("bn_bucket_cache_epochs");
+}
+
+void BnBuilder::AppendBucketDeltas(int edge_type,
+                                   const std::vector<UserId>& users,
+                                   const ValueKey& key, SimTime window,
+                                   SimTime epoch_end,
+                                   std::vector<EdgeDelta>* out) const {
   const size_t n = users.size();
-  if (n < 2) return 0;
+  if (n < 2) return;
   const float w = config_.inverse_weighting
                       ? 1.0f / static_cast<float>(n)
                       : 1.0f;
   if (n <= static_cast<size_t>(config_.max_bucket_users)) {
     for (size_t i = 0; i < n; ++i) {
       for (size_t j = i + 1; j < n; ++j) {
-        edges_->AddWeight(edge_type, users[i], users[j], w, stamp);
+        out->push_back({edge_type, users[i], users[j], w});
       }
     }
-    return n * (n - 1) / 2;
+    return;
   }
-  // Pathological bucket: connect a random subset, preserving the true 1/N.
-  auto idx = rng_.SampleWithoutReplacement(
+  // Pathological bucket: connect a random subset, preserving the true
+  // 1/N. The stream is seeded from the bucket's own coordinates, so the
+  // drawn subset is a pure function of (key, window, epoch) — identical
+  // no matter which shard, thread, or engine processes the bucket.
+  uint64_t seed = MixSeeds(config_.bucket_sample_seed, key.value);
+  seed = MixSeeds(seed, static_cast<uint64_t>(key.type));
+  seed = MixSeeds(seed, static_cast<uint64_t>(window));
+  seed = MixSeeds(seed, static_cast<uint64_t>(epoch_end));
+  Rng rng(seed);
+  auto idx = rng.SampleWithoutReplacement(
       n, static_cast<size_t>(config_.max_bucket_users));
   for (size_t i = 0; i < idx.size(); ++i) {
     for (size_t j = i + 1; j < idx.size(); ++j) {
-      edges_->AddWeight(edge_type, users[idx[i]], users[idx[j]], w, stamp);
+      out->push_back({edge_type, users[idx[i]], users[idx[j]], w});
     }
   }
-  return idx.size() * (idx.size() - 1) / 2;
 }
 
-void BnBuilder::BuildFromLogs(const BehaviorLogList& logs) {
-  // Group observations by (type, value) once; each group is then bucketed
-  // per window. This is the offline equivalent of running every window
-  // job over the whole timeline.
-  struct Key {
-    BehaviorType type;
-    ValueId value;
-    bool operator==(const Key&) const = default;
-  };
-  struct KeyHash {
-    size_t operator()(const Key& k) const {
-      return std::hash<uint64_t>()(k.value * 2654435761ULL +
-                                   static_cast<uint64_t>(k.type));
-    }
-  };
-  std::unordered_map<Key, std::vector<Obs>, KeyHash> groups;
-  for (const auto& log : logs) {
-    if (EdgeTypeIndex(log.type) < 0) continue;
-    groups[Key{log.type, log.value}].push_back({log.uid, log.time});
+bool BnBuilder::HaveCachedRange(SimTime epoch_start,
+                                SimTime epoch_end) const {
+  for (SimTime e = epoch_start + base_window(); e <= epoch_end;
+       e += base_window()) {
+    if (!base_buckets_.contains(e)) return false;
   }
+  return true;
+}
 
-  std::vector<UserId> bucket_users;
-  for (auto& [key, obs] : groups) {
-    if (obs.size() < 2) continue;
-    std::sort(obs.begin(), obs.end(), [](const Obs& a, const Obs& b) {
-      return a.time < b.time;
-    });
-    const int edge_type = EdgeTypeIndex(key.type);
-    for (SimTime window : config_.windows) {
-      // Epochs are aligned to t0 = 0: epoch j covers ((j-1)*W, j*W].
-      size_t i = 0;
-      while (i < obs.size()) {
-        // Epoch of obs[i]; time t belongs to epoch ceil(t / W).
-        int64_t epoch = (obs[i].time + window - 1) / window;
-        if (obs[i].time <= 0) epoch = 0;
-        SimTime epoch_end = epoch * window;
-        SimTime epoch_start = epoch_end - window;
-        bucket_users.clear();
-        size_t j = i;
-        while (j < obs.size() && obs[j].time > epoch_start &&
-               obs[j].time <= epoch_end) {
-          bucket_users.push_back(obs[j].uid);
-          ++j;
-        }
-        // Distinct users only: N_{j,s} counts users, not log rows.
-        std::sort(bucket_users.begin(), bucket_users.end());
-        bucket_users.erase(
-            std::unique(bucket_users.begin(), bucket_users.end()),
-            bucket_users.end());
-        ConnectBucket(edge_type, bucket_users, epoch_end);
-        i = j;
-      }
-    }
+void BnBuilder::MergeCachedUsers(const ValueKey& key, SimTime epoch_start,
+                                 SimTime epoch_end,
+                                 std::vector<UserId>* users) const {
+  for (SimTime e = epoch_start + base_window(); e <= epoch_end;
+       e += base_window()) {
+    const auto& epoch_buckets = base_buckets_.at(e);
+    auto it = epoch_buckets.find(key);
+    if (it == epoch_buckets.end()) continue;
+    users->insert(users->end(), it->second.begin(), it->second.end());
   }
+  std::sort(users->begin(), users->end());
+  users->erase(std::unique(users->begin(), users->end()), users->end());
 }
 
 size_t BnBuilder::RunWindowJob(const storage::LogStore& store,
                                SimTime window, SimTime epoch_end) {
   TURBO_CHECK_GT(window, 0);
   const SimTime epoch_start = epoch_end - window;
-  auto active = store.ActiveValues(epoch_start + 1, epoch_end);
-  std::vector<UserId> bucket_users;
-  size_t updates = 0;
+  // Epoch 1 covers [0, window]: include the origin in the query range.
+  const SimTime lo = epoch_start > 0 ? epoch_start + 1 : 0;
+  auto active = store.ActiveValues(lo, epoch_end);
+  // Only edge-building keys, in canonical order: ActiveValues walks a
+  // hash set, and the shard contents must not depend on its iteration
+  // order for the applied delta sequence to be an engine invariant.
+  active.erase(std::remove_if(active.begin(), active.end(),
+                              [](const ValueKey& k) {
+                                return EdgeTypeIndex(k.type) < 0;
+                              }),
+               active.end());
+  std::sort(active.begin(), active.end(), [](const ValueKey& a,
+                                             const ValueKey& b) {
+    return a.type != b.type ? a.type < b.type : a.value < b.value;
+  });
+
+  const bool is_base = reuse_eligible_ && window == base_window();
+  const bool from_cache = reuse_eligible_ && window != base_window() &&
+                          HaveCachedRange(epoch_start, epoch_end);
+  const size_t num_shards =
+      std::min<size_t>(config_.window_job_shards,
+                       std::max<size_t>(1, active.size()));
+  std::vector<ShardState> shards(num_shards);
   for (const auto& key : active) {
-    const int edge_type = EdgeTypeIndex(key.type);
-    if (edge_type < 0) continue;
-    auto obs = store.QueryValue(key.type, key.value, epoch_start + 1,
-                                epoch_end);
-    bucket_users.clear();
-    for (const auto& o : obs) bucket_users.push_back(o.uid);
-    std::sort(bucket_users.begin(), bucket_users.end());
-    bucket_users.erase(
-        std::unique(bucket_users.begin(), bucket_users.end()),
-        bucket_users.end());
-    updates += ConnectBucket(edge_type, bucket_users, epoch_end);
+    shards[ValueKeyHash()(key) % num_shards].keys.push_back(key);
+  }
+
+  auto run_shard = [&](size_t s) {
+    Stopwatch sw;
+    ShardState& shard = shards[s];
+    std::vector<UserId> users;
+    for (const ValueKey& key : shard.keys) {
+      users.clear();
+      if (from_cache) {
+        MergeCachedUsers(key, epoch_start, epoch_end, &users);
+      } else {
+        auto obs = store.QueryValue(key.type, key.value, lo, epoch_end);
+        users.reserve(obs.size());
+        for (const auto& o : obs) users.push_back(o.uid);
+        // Distinct users only: N_{j,s} counts users, not log rows.
+        std::sort(users.begin(), users.end());
+        users.erase(std::unique(users.begin(), users.end()), users.end());
+      }
+      if (is_base) shard.buckets.emplace_back(key, users);
+      AppendBucketDeltas(EdgeTypeIndex(key.type), users, key, window,
+                         epoch_end, &shard.deltas);
+    }
+    shard.millis = sw.ElapsedMillis();
+  };
+  if (pool_ != nullptr && num_shards > 1) {
+    pool_->ParallelFor(num_shards, 1, [&](size_t begin, size_t end) {
+      for (size_t s = begin; s < end; ++s) run_shard(s);
+    });
+  } else {
+    for (size_t s = 0; s < num_shards; ++s) run_shard(s);
+  }
+
+  // Merge in shard-index order: together with the per-shard sorted key
+  // order and the exact double accumulation in EdgeStore, the final
+  // weights are bit-identical for any thread count.
+  Stopwatch merge_sw;
+  size_t updates = 0;
+  for (ShardState& shard : shards) {
+    for (const EdgeDelta& d : shard.deltas) {
+      edges_->AddWeight(d.edge_type, d.u, d.v, d.w, epoch_end);
+    }
+    updates += shard.deltas.size();
+    if (shard_ms_ != nullptr) {
+      shard_ms_->Observe(shard.millis);
+      shard_keys_->Observe(static_cast<double>(shard.keys.size()));
+    }
+  }
+  if (is_base) {
+    // Record the epoch even when empty — completeness is what the merge
+    // path's HaveCachedRange checks.
+    auto& slot = base_buckets_[epoch_end];
+    for (ShardState& shard : shards) {
+      for (auto& [key, users] : shard.buckets) {
+        slot.emplace(key, std::move(users));
+      }
+    }
+  }
+  if (merge_ms_ != nullptr) {
+    merge_ms_->Observe(merge_sw.ElapsedMillis());
+    (from_cache ? cache_merge_jobs_ : scan_jobs_)->Increment();
+    cache_epochs_g_->Set(static_cast<double>(base_buckets_.size()));
   }
   return updates;
 }
 
+void BnBuilder::BuildFromLogs(const BehaviorLogList& logs) {
+  // Replay the live schedule offline: index the logs once, then run every
+  // (window, epoch) job in global epoch-time order — exactly the order a
+  // BnServer advancing to the end of the timeline executes, so streamed
+  // and offline construction produce bit-identical weights.
+  storage::LogStore store;  // free-cost medium: no modeled DB charge
+  SimTime max_t = 0;
+  for (const auto& log : logs) {
+    TURBO_CHECK_MSG(log.time >= 0, "negative timestamp "
+                                       << log.time << " for uid "
+                                       << log.uid
+                                       << "; logs must use t >= 0");
+    if (EdgeTypeIndex(log.type) < 0) continue;
+    store.Append(log);
+    max_t = std::max(max_t, log.time);
+  }
+  base_buckets_.clear();
+  if (store.size() == 0) return;
+
+  // Every window runs to the latest epoch boundary any window needs:
+  // trailing jobs past the data are empty (and nearly free), but their
+  // base-bucket entries keep the merge path complete for the larger
+  // windows' final epochs.
+  const size_t num_windows = config_.windows.size();
+  SimTime cap = 0;
+  for (SimTime w : config_.windows) {
+    cap = std::max(cap, EpochIndex(max_t, w) * w);
+  }
+  std::vector<SimTime> last_end(num_windows, 0);
+  for (;;) {
+    // Earliest due job; ties go to the smaller window so base-window
+    // buckets are cached before the jobs that merge them.
+    int best = -1;
+    SimTime best_end = 0;
+    for (size_t i = 0; i < num_windows; ++i) {
+      const SimTime next = last_end[i] + config_.windows[i];
+      if (next > cap) continue;
+      if (best < 0 || next < best_end) {
+        best = static_cast<int>(i);
+        best_end = next;
+      }
+    }
+    if (best < 0) break;
+    RunWindowJob(store, config_.windows[best], best_end);
+    last_end[best] = best_end;
+    EvictCachedBuckets(*std::min_element(last_end.begin(), last_end.end()));
+  }
+  base_buckets_.clear();
+}
+
 size_t BnBuilder::ExpireOld(SimTime now) {
   return edges_->ExpireBefore(now - config_.edge_ttl);
+}
+
+void BnBuilder::EvictCachedBuckets(SimTime upto) {
+  base_buckets_.erase(base_buckets_.begin(),
+                      base_buckets_.upper_bound(upto));
+  if (cache_epochs_g_ != nullptr) {
+    cache_epochs_g_->Set(static_cast<double>(base_buckets_.size()));
+  }
 }
 
 }  // namespace turbo::bn

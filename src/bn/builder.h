@@ -8,14 +8,38 @@
 // accumulate across epochs and across windows, so co-occurrences inside a
 // small window — which every larger window also catches — end up with
 // proportionally larger total weight (hierarchical time windows).
+//
+// Window-job engine (DESIGN.md "Ingestion & window jobs"): one job
+// processes one (window, epoch) slice. Its active (type, value) keys are
+// partitioned across `window_job_shards` shards by the log store's key
+// hash; shards run concurrently on an optional util::ThreadPool, each
+// accumulating edge-weight deltas into a private buffer. Buffers are
+// merged into the EdgeStore in shard-index order, and every per-bucket
+// random draw is seeded from the bucket's own coordinates, so the
+// resulting weights are bit-identical for any thread count, any shard
+// count, and the serial path. On top of the shards, jobs for windows
+// that are multiples of the smallest window reuse that base window's
+// deduped per-value user buckets (cached when the base job ran) instead
+// of re-querying raw logs — a day of traffic costs one log scan plus
+// merges, not one scan per window.
+//
+// Timestamps must be non-negative; epoch 1 of every window covers
+// [0, W] (the origin belongs to the first epoch) and epoch j > 1 covers
+// ((j-1)W, jW].
 #pragma once
 
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "storage/behavior_log.h"
 #include "storage/edge_store.h"
 #include "storage/log_store.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace turbo::bn {
 
@@ -38,6 +62,19 @@ struct BnConfig {
   /// realistic data.
   int max_bucket_users = 500;
 
+  /// Shards the active keys of one window job are partitioned into.
+  /// Purely a parallelism knob: results are identical for any value.
+  int window_job_shards = 8;
+
+  /// Reuse the smallest window's deduped per-value user buckets when
+  /// running jobs for larger windows (requires every window to be a
+  /// multiple of the smallest; disabled automatically otherwise).
+  bool reuse_base_buckets = true;
+
+  /// Seed mixed into per-bucket RNG streams (pathological-bucket
+  /// subsampling). Same seed => same subsets on every engine.
+  uint64_t bucket_sample_seed = 0x5eed;
+
   static std::vector<SimTime> DefaultWindows();
 };
 
@@ -46,12 +83,26 @@ class BnBuilder {
  public:
   BnBuilder(BnConfig config, storage::EdgeStore* edges);
 
-  /// Offline batch construction over a full log list (experiments). `now`
-  /// stamps edge recency for TTL purposes; pass the scenario end time.
+  /// Pool the per-job shards run on; nullptr (default) executes shards
+  /// serially on the calling thread. The pool is borrowed, not owned.
+  void SetThreadPool(util::ThreadPool* pool) { pool_ = pool; }
+
+  /// Registry receiving per-shard job metrics (bn_window_shard_*,
+  /// bn_window_merge_ms, bucket-cache counters). Optional; nullptr
+  /// disables reporting. Handles are resolved once here, so the call
+  /// must precede the first job.
+  void SetMetrics(obs::MetricsRegistry* metrics);
+
+  /// Offline batch construction over a full log list (experiments).
+  /// Replays the exact window-job schedule a live server would run while
+  /// advancing to the end of the timeline, so the resulting weights are
+  /// bit-identical to streamed ingestion over the same logs. Rejects
+  /// negative timestamps.
   void BuildFromLogs(const BehaviorLogList& logs);
 
   /// Online path: processes the epoch (epoch_end - window, epoch_end] of
-  /// one window size, querying the log store for the active values — this
+  /// one window size (the first epoch, epoch_end == window, additionally
+  /// includes t = 0), querying the log store for the active values — this
   /// is the "hourly job for the 1-hour window" of Section V. Returns the
   /// number of edge-weight updates applied (observability).
   size_t RunWindowJob(const storage::LogStore& store, SimTime window,
@@ -60,21 +111,88 @@ class BnBuilder {
   /// Expires edges older than `now - edge_ttl`. Returns edges removed.
   size_t ExpireOld(SimTime now);
 
+  /// Drops cached base-window buckets for epochs ending at or before
+  /// `upto`. The server calls this with the minimum per-window job
+  /// frontier: no future job can need buckets at or before it.
+  void EvictCachedBuckets(SimTime upto);
+
+  /// Base-window epochs currently cached (observability / tests).
+  size_t CachedBucketEpochs() const { return base_buckets_.size(); }
+
+  /// Epoch index of time `t` (>= 0) for `window`: epoch 1 covers
+  /// [0, window], epoch j > 1 covers ((j-1)*window, j*window].
+  static int64_t EpochIndex(SimTime t, SimTime window) {
+    TURBO_CHECK_GE(t, 0);
+    TURBO_CHECK_GT(window, 0);
+    return t <= window ? 1 : (t + window - 1) / window;
+  }
+
   const BnConfig& config() const { return config_; }
 
  private:
-  struct Obs {
-    UserId uid;
-    SimTime time;
+  using ValueKey = storage::LogStore::ValueKey;
+  using ValueKeyHash = storage::LogStore::ValueKeyHash;
+
+  /// One pending edge-weight update. Stamps are implicit (the job's
+  /// epoch_end), so a delta is 16 bytes.
+  struct EdgeDelta {
+    int edge_type;
+    UserId u;
+    UserId v;
+    float w;
   };
-  /// Connects distinct users of one (type, value, window, epoch) bucket.
-  /// Returns the number of pairwise weight updates applied.
-  size_t ConnectBucket(int edge_type, const std::vector<UserId>& users,
-                       SimTime stamp);
+
+  struct ShardState {
+    std::vector<ValueKey> keys;
+    std::vector<EdgeDelta> deltas;
+    // Deduped user buckets recorded while running a base-window job.
+    std::vector<std::pair<ValueKey, std::vector<UserId>>> buckets;
+    double millis = 0.0;
+  };
+
+  /// Appends the pairwise deltas of one (type, value, window, epoch)
+  /// bucket of distinct users. Pathological buckets draw their subset
+  /// from a stream seeded by the bucket coordinates, independent of
+  /// processing order.
+  void AppendBucketDeltas(int edge_type, const std::vector<UserId>& users,
+                          const ValueKey& key, SimTime window,
+                          SimTime epoch_end,
+                          std::vector<EdgeDelta>* out) const;
+
+  /// Smallest window, the granularity buckets are cached at.
+  SimTime base_window() const { return config_.windows.front(); }
+
+  /// True when all needed base epochs of (epoch_start, epoch_end] are
+  /// cached, i.e. the merge path can serve this job without touching the
+  /// log store.
+  bool HaveCachedRange(SimTime epoch_start, SimTime epoch_end) const;
+
+  /// Sorted deduped union of the cached base buckets of `key` across the
+  /// base epochs spanning (epoch_start, epoch_end].
+  void MergeCachedUsers(const ValueKey& key, SimTime epoch_start,
+                        SimTime epoch_end,
+                        std::vector<UserId>* users) const;
 
   BnConfig config_;
   storage::EdgeStore* edges_;
-  Rng rng_{0x5eed};
+  util::ThreadPool* pool_ = nullptr;
+  /// True when every window is a multiple of the smallest — the
+  /// precondition for base-bucket reuse.
+  bool reuse_eligible_ = false;
+  /// Per base-epoch (keyed by epoch_end) deduped user buckets of every
+  /// active edge-building key. An entry exists for every base epoch whose
+  /// job ran (possibly empty), which is what HaveCachedRange tests.
+  std::map<SimTime,
+           std::unordered_map<ValueKey, std::vector<UserId>, ValueKeyHash>>
+      base_buckets_;
+
+  // Metric handles (null when SetMetrics was not called).
+  obs::Histogram* shard_ms_ = nullptr;
+  obs::Histogram* shard_keys_ = nullptr;
+  obs::Histogram* merge_ms_ = nullptr;
+  obs::Counter* cache_merge_jobs_ = nullptr;
+  obs::Counter* scan_jobs_ = nullptr;
+  obs::Gauge* cache_epochs_g_ = nullptr;
 };
 
 }  // namespace turbo::bn

@@ -15,15 +15,17 @@ SubgraphSampler::SubgraphSampler(GraphView view, SamplerConfig config,
 Subgraph SubgraphSampler::Sample(const std::vector<UserId>& targets) {
   TURBO_CHECK(!targets.empty());
   Subgraph sg;
-  sg.num_targets = targets.size();
   sg.snapshot_version = view_.version();
+  // Duplicate targets are legal (a serving batch may name one user
+  // twice); they collapse to a single node, and callers map each request
+  // back through sg.local.
   for (UserId t : targets) {
     TURBO_CHECK_LT(t, static_cast<UserId>(view_.num_nodes()));
     if (sg.local.emplace(t, static_cast<int>(sg.nodes.size())).second) {
       sg.nodes.push_back(t);
     }
   }
-  TURBO_CHECK_EQ(sg.nodes.size(), targets.size());  // targets distinct
+  sg.num_targets = sg.nodes.size();
 
   // Hop-by-hop frontier expansion with per-type fanout.
   std::vector<UserId> frontier = sg.nodes;

@@ -32,7 +32,9 @@ struct SamplerConfig {
 };
 
 struct Subgraph {
-  /// Global ids; the first `num_targets` entries are the targets.
+  /// Global ids; the first `num_targets` entries are the (distinct)
+  /// targets. Duplicate requested targets collapse to one node — map a
+  /// requested uid to its row via `local`.
   std::vector<UserId> nodes;
   size_t num_targets = 0;
   /// Global -> local index.
@@ -53,7 +55,8 @@ class SubgraphSampler {
  public:
   SubgraphSampler(GraphView view, SamplerConfig config, uint64_t seed = 1);
 
-  /// Samples the union computation subgraph of `targets`.
+  /// Samples the union computation subgraph of `targets`. Duplicates in
+  /// `targets` are deduplicated (num_targets counts distinct targets).
   Subgraph Sample(const std::vector<UserId>& targets);
   Subgraph SampleOne(UserId target) { return Sample({target}); }
 

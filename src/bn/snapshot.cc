@@ -92,7 +92,7 @@ std::shared_ptr<const BnSnapshot> BnSnapshot::Build(
         row.reserve(nbrs.size());
         for (const auto& [v, e] : nbrs) {
           TURBO_CHECK_LT(v, static_cast<UserId>(num_nodes));
-          row.push_back({v, e.weight});
+          row.push_back({v, static_cast<float>(e.weight)});
         }
         std::sort(row.begin(), row.end());
         size_t k = csr.offsets[u];

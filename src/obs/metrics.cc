@@ -178,6 +178,16 @@ std::vector<double> Histogram::ExponentialBuckets(double start,
   return bounds;
 }
 
+std::vector<double> Histogram::LinearBuckets(double start, double width,
+                                             int count) {
+  TURBO_CHECK_GT(width, 0.0);
+  TURBO_CHECK_GT(count, 0);
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  for (int i = 0; i < count; ++i) bounds.push_back(start + i * width);
+  return bounds;
+}
+
 const std::vector<double>& Histogram::DefaultLatencyBucketsMs() {
   static const std::vector<double> kBounds =
       ExponentialBuckets(1e-3, 1.5, 50);

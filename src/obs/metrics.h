@@ -88,6 +88,11 @@ class Histogram {
   /// `count` bounds starting at `start`, each `factor` times the last.
   static std::vector<double> ExponentialBuckets(double start, double factor,
                                                 int count);
+  /// `count` evenly spaced bounds: start, start + width, ... Used for
+  /// quantities with a known small range, e.g. active keys per window-job
+  /// shard, where exponential buckets would waste resolution.
+  static std::vector<double> LinearBuckets(double start, double width,
+                                           int count);
   /// 1 microsecond .. ~10 minutes in milliseconds, factor 1.5 — tight
   /// enough that interpolated percentiles track the exact ones within a
   /// few percent across the serving range.

@@ -1,5 +1,8 @@
 #include "server/bn_server.h"
 
+#include <algorithm>
+
+#include "util/rng.h"
 #include "util/time_util.h"
 
 namespace turbo::server {
@@ -32,12 +35,22 @@ BnServer::BnServer(BnServerConfig config)
   snapshot_edges_g_ = metrics_->GetGauge("bn_snapshot_edges");
   snapshot_bytes_g_ = metrics_->GetGauge("bn_snapshot_memory_bytes");
   snapshot_lag_s_ = metrics_->GetGauge("bn_snapshot_lag_s");
+  ingest_lag_s_ = metrics_->GetGauge("bn_ingest_lag_s");
   sample_pinned_version_ =
       metrics_->GetGauge("bn_sample_pinned_snapshot_version");
+  if (config_.window_job_threads != 1) {
+    job_pool_ =
+        std::make_unique<util::ThreadPool>(config_.window_job_threads);
+  }
+  builder_.SetThreadPool(job_pool_.get());
+  builder_.SetMetrics(metrics_);
 }
 
 void BnServer::Ingest(const BehaviorLog& log) {
   TURBO_CHECK_LT(log.uid, static_cast<UserId>(config_.num_users));
+  TURBO_CHECK_MSG(log.time >= 0, "negative timestamp "
+                                     << log.time << " for uid " << log.uid
+                                     << "; logs must use t >= 0");
   logs_.Append(log);
   ingest_events_->Increment();
 }
@@ -49,23 +62,39 @@ void BnServer::IngestBatch(const BehaviorLogList& logs) {
 void BnServer::AdvanceTo(SimTime now) {
   TURBO_CHECK_GE(now, now_.load(std::memory_order_relaxed));
   now_.store(now, std::memory_order_relaxed);
-  // Run every completed epoch of every window since its last run; jobs
-  // for shorter windows naturally fire more often.
-  for (size_t w = 0; w < config_.bn.windows.size(); ++w) {
-    const SimTime window = config_.bn.windows[w];
-    SimTime next_end = last_job_end_[w] + window;
-    while (next_end <= now) {
-      Stopwatch job_sw;
-      const size_t updates =
-          builder_.RunWindowJob(logs_, window, next_end);
-      window_job_ms_->Observe(job_sw.ElapsedMillis());
-      window_jobs_->Increment();
-      window_edge_updates_->Increment(updates);
-      last_job_end_[w] = next_end;
-      next_end += window;
-      ++jobs_run_;
+  // Run every completed epoch of every window since its last run, in
+  // global epoch-time order with ties to the smaller window: shorter
+  // windows naturally fire more often, and a catch-up after a long gap
+  // replays history hour-by-hour so base-window buckets are cached right
+  // before the larger windows that merge them (keeping the bucket cache
+  // bounded by the largest window rather than the gap length).
+  const size_t num_windows = config_.bn.windows.size();
+  for (;;) {
+    int best = -1;
+    SimTime best_end = 0;
+    for (size_t w = 0; w < num_windows; ++w) {
+      const SimTime next = last_job_end_[w] + config_.bn.windows[w];
+      if (next > now) continue;
+      if (best < 0 || next < best_end) {
+        best = static_cast<int>(w);
+        best_end = next;
+      }
     }
+    if (best < 0) break;
+    Stopwatch job_sw;
+    const size_t updates =
+        builder_.RunWindowJob(logs_, config_.bn.windows[best], best_end);
+    window_job_ms_->Observe(job_sw.ElapsedMillis());
+    window_jobs_->Increment();
+    window_edge_updates_->Increment(updates);
+    last_job_end_[best] = best_end;
+    ++jobs_run_;
+    builder_.EvictCachedBuckets(
+        *std::min_element(last_job_end_.begin(), last_job_end_.end()));
   }
+  // How far the slowest window's job frontier trails the server clock.
+  ingest_lag_s_->Set(static_cast<double>(
+      now - *std::min_element(last_job_end_.begin(), last_job_end_.end())));
   // Daily TTL sweep.
   while (last_expiry_ + kDay <= now) {
     last_expiry_ += kDay;
@@ -126,9 +155,11 @@ bn::Subgraph BnServer::SampleSubgraph(
   bn::GraphView v = view();
   const uint64_t seq =
       sample_seq_.fetch_add(1, std::memory_order_relaxed);
-  // Seed mixes the snapshot version with a per-request counter so that
-  // uniform sampling stays decorrelated across concurrent requests.
-  const uint64_t seed = (v.version() << 20) ^ (seq + 1);
+  // Seed mixes the snapshot version with a per-request counter through a
+  // full-avalanche finalizer so uniform sampling stays decorrelated across
+  // concurrent requests. (A plain shift-xor combine collides whenever
+  // version bits land on sequence bits — see tests/util/rng_test.cc.)
+  const uint64_t seed = MixSeeds(v.version(), seq);
   sample_pinned_version_->Set(static_cast<double>(v.version()));
   bn::SubgraphSampler sampler(std::move(v), config_.sampler, seed);
   bn::Subgraph sg = sampler.Sample(uids);

@@ -22,6 +22,7 @@
 #include "bn/snapshot.h"
 #include "obs/metrics.h"
 #include "storage/log_store.h"
+#include "util/thread_pool.h"
 
 namespace turbo::server {
 
@@ -39,6 +40,11 @@ struct BnServerConfig {
   SimTime snapshot_refresh = kHour;
   /// Threads for the snapshot build passes; 0 = hardware concurrency.
   int snapshot_build_threads = 0;
+  /// Workers for the sharded window jobs (bn.window_job_shards shards
+  /// are spread over this pool): 0 = hardware concurrency, 1 = run the
+  /// shards serially on the AdvanceTo thread (no pool). The engine is
+  /// deterministic, so this is purely a throughput knob.
+  int window_job_threads = 0;
   /// Registry receiving the server's bn_* metrics (see DESIGN.md
   /// "Observability"). Not owned; null = a private per-server registry,
   /// which keeps test/bench instances isolated from each other.
@@ -49,13 +55,21 @@ class BnServer {
  public:
   explicit BnServer(BnServerConfig config);
 
-  /// Real-time log ingestion (writer side).
+  /// Real-time log ingestion (writer side). Timestamps must be
+  /// non-negative — negative times would otherwise be collapsed into one
+  /// epoch by the window jobs' floor arithmetic, so they are rejected
+  /// loudly here.
   void Ingest(const BehaviorLog& log);
   void IngestBatch(const BehaviorLogList& logs);
 
   /// Advances the server clock, executing every window job whose epoch
   /// boundary was crossed (the 1-hour job runs hourly, the 1-day job
-  /// daily, ...), TTL expiry (daily), and snapshot refreshes.
+  /// daily, ...), TTL expiry (daily), and snapshot refreshes. Due jobs
+  /// run in global epoch-time order with ties going to the smaller
+  /// window, so a catch-up after a long idle gap replays history
+  /// hour-by-hour — base-window buckets are cached just before the
+  /// larger windows that merge them, keeping the cache bounded by the
+  /// largest window (see DESIGN.md "Ingestion & window jobs").
   void AdvanceTo(SimTime now);
 
   /// Samples the computation subgraph for `uid` from the last published
@@ -106,7 +120,10 @@ class BnServer {
   obs::Gauge* snapshot_edges_g_ = nullptr;
   obs::Gauge* snapshot_bytes_g_ = nullptr;
   obs::Gauge* snapshot_lag_s_ = nullptr;
+  obs::Gauge* ingest_lag_s_ = nullptr;
   obs::Gauge* sample_pinned_version_ = nullptr;
+  /// Worker pool the window-job shards run on (null = serial shards).
+  std::unique_ptr<util::ThreadPool> job_pool_;
   storage::LogStore logs_{config_.log_cost};
   storage::EdgeStore edges_;
   bn::BnBuilder builder_;

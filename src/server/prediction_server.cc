@@ -157,9 +157,14 @@ std::vector<PredictionResponse> PredictionServer::HandleBatch(
           config_.use_inference_path
               ? gnn::GnnTrainer::PredictTargetsInference(*model_, batch)
               : gnn::GnnTrainer::PredictTargets(model_, batch);
-      TURBO_CHECK_EQ(probs.size(), miss.size());
+      // One probability per distinct target: a batch naming the same uid
+      // twice (e.g. a retry racing its original) collapses to one target
+      // row in the sampler, so map each request position back through
+      // sg.local rather than assuming probs lines up with `miss`.
+      TURBO_CHECK_EQ(probs.size(), sg.num_targets);
       for (size_t j = 0; j < miss.size(); ++j) {
-        out[miss[j]].fraud_probability = probs[j];
+        const int row = sg.local.at(uids[miss[j]]);
+        out[miss[j]].fraud_probability = probs[row];
         out[miss[j]].subgraph_nodes = static_cast<int>(sg.nodes.size());
         out[miss[j]].snapshot_version = version;
       }

@@ -22,7 +22,7 @@ void EdgeStore::AddWeight(int edge_type, UserId u, UserId v, float w,
   auto& adj = by_type_[edge_type];
   EnsureSize(&adj, std::max(u, v));
   auto& fwd = adj[u][v];
-  if (fwd.weight == 0.0f) ++edge_count_[edge_type];
+  if (fwd.weight == 0.0) ++edge_count_[edge_type];
   fwd.weight += w;
   fwd.last_update = std::max(fwd.last_update, now);
   auto& bwd = adj[v][u];
@@ -70,7 +70,7 @@ double EdgeStore::WeightedDegree(int edge_type, UserId u) const {
 float EdgeStore::Weight(int edge_type, UserId u, UserId v) const {
   const auto& n = Neighbors(edge_type, u);
   auto it = n.find(v);
-  return it == n.end() ? 0.0f : it->second.weight;
+  return it == n.end() ? 0.0f : static_cast<float>(it->second.weight);
 }
 
 size_t EdgeStore::NumEdges(int edge_type) const {

@@ -17,7 +17,15 @@
 namespace turbo::storage {
 
 struct EdgeInfo {
-  float weight = 0.0f;
+  /// Accumulated in double on purpose: every increment is a float-valued
+  /// 1/N term (>= 1/max-bucket-size) and realistic totals stay far below
+  /// 2^13, so each partial sum is exactly representable in a double's 53
+  /// mantissa bits. Exact sums are order-independent, which is what lets
+  /// the sharded window-job engine merge per-shard deltas in any
+  /// interleaving — and the offline builder replay any job order — and
+  /// still produce bit-identical weights (see DESIGN.md "Ingestion &
+  /// window jobs").
+  double weight = 0.0;
   SimTime last_update = 0;
 };
 

@@ -88,17 +88,26 @@ std::vector<LogStore::ValueKey> LogStore::ActiveValues(SimTime t0,
     if (it == touched_by_hour_.end()) continue;
     seen.insert(it->second.begin(), it->second.end());
   }
-  // Bucket overlap is coarse; filter to exact range membership.
+  // Bucket overlap is coarse; filter to exact range membership. Sort the
+  // key's observations lazily (same as QueryValue) so the membership
+  // test is a binary search — a linear scan here is O(all rows of the
+  // key) per call, which quietly dominated window jobs on hot keys whose
+  // history is much longer than the queried epoch.
   std::vector<ValueKey> out;
   out.reserve(seen.size());
   for (const auto& key : seen) {
-    const auto& obs = by_value_.at(key).obs;
-    for (const auto& o : obs) {
-      if (o.time >= t0 && o.time <= t1) {
-        out.push_back(key);
-        break;
-      }
+    auto& idx = by_value_.at(key);
+    if (!idx.sorted) {
+      std::sort(idx.obs.begin(), idx.obs.end(),
+                [](const Observation& a, const Observation& b) {
+                  return a.time < b.time;
+                });
+      idx.sorted = true;
     }
+    auto lo = std::lower_bound(
+        idx.obs.begin(), idx.obs.end(), t0,
+        [](const Observation& o, SimTime t) { return o.time < t; });
+    if (lo != idx.obs.end() && lo->time <= t1) out.push_back(key);
   }
   return out;
 }

@@ -49,6 +49,14 @@ class LogStore {
     ValueId value;
     bool operator==(const ValueKey&) const = default;
   };
+  /// Public so the BN window-job engine can shard active keys and cache
+  /// per-key user buckets with the same hash the store indexes by.
+  struct ValueKeyHash {
+    size_t operator()(const ValueKey& k) const {
+      return std::hash<uint64_t>()(k.value * 1315423911ULL +
+                                   static_cast<uint64_t>(k.type));
+    }
+  };
   std::vector<ValueKey> ActiveValues(SimTime t0, SimTime t1) const;
 
   /// Users with at least one log (for dataset statistics).
@@ -64,12 +72,6 @@ class LogStore {
   struct ValueIndex {
     std::vector<Observation> obs;
     bool sorted = true;
-  };
-  struct ValueKeyHash {
-    size_t operator()(const ValueKey& k) const {
-      return std::hash<uint64_t>()(k.value * 1315423911ULL +
-                                   static_cast<uint64_t>(k.type));
-    }
   };
 
   MediumCost cost_;

@@ -1,0 +1,176 @@
+// Determinism contract of the sharded window-job engine (DESIGN.md
+// "Ingestion & window jobs"): the EdgeStore weights produced by BN
+// construction are bit-identical — exact double equality, not
+// approximate — across shard counts, thread counts, bucket-cache reuse
+// on/off, and streamed (job-by-job) versus offline (BuildFromLogs)
+// execution.
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bn/builder.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace turbo::bn {
+namespace {
+
+using storage::EdgeStore;
+using storage::LogStore;
+
+constexpr int kUsers = 160;
+
+// Skewed synthetic traffic: a few hot values (buckets large enough to
+// trip the pathological-bucket subsampler when max_bucket_users is
+// small), a long tail of cold ones, several behavior types (one of them
+// not edge-building), spread over a few days.
+BehaviorLogList MakeLogs(uint64_t seed, size_t n, SimTime span) {
+  const BehaviorType types[] = {BehaviorType::kIpv4, BehaviorType::kImei,
+                                BehaviorType::kWifiMac, BehaviorType::kGps};
+  Rng rng(seed);
+  BehaviorLogList logs;
+  logs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    BehaviorLog log;
+    log.uid = static_cast<UserId>(rng.NextUint(kUsers));
+    log.type = types[rng.NextUint(4)];
+    log.value = rng.NextZipf(40, 1.2);
+    log.time = static_cast<SimTime>(rng.NextUint(
+        static_cast<uint64_t>(span)));
+    logs.push_back(log);
+  }
+  return logs;
+}
+
+// Exact (bitwise) equality of two stores over the full user range.
+void ExpectIdenticalStores(const EdgeStore& a, const EdgeStore& b,
+                           const char* what) {
+  for (int t = 0; t < kNumEdgeTypes; ++t) {
+    ASSERT_EQ(a.NumEdges(t), b.NumEdges(t)) << what << " type " << t;
+    for (UserId u = 0; u < kUsers; ++u) {
+      const auto& an = a.Neighbors(t, u);
+      const auto& bn = b.Neighbors(t, u);
+      ASSERT_EQ(an.size(), bn.size()) << what << " u=" << u;
+      for (const auto& [v, e] : an) {
+        auto it = bn.find(v);
+        ASSERT_NE(it, bn.end()) << what << " edge " << u << "-" << v;
+        // Exact double equality is the engine's contract.
+        ASSERT_EQ(e.weight, it->second.weight)
+            << what << " edge " << u << "-" << v << " type " << t;
+        ASSERT_EQ(e.last_update, it->second.last_update)
+            << what << " edge " << u << "-" << v << " type " << t;
+      }
+    }
+  }
+}
+
+BnConfig BaseConfig() {
+  BnConfig cfg;
+  cfg.windows = {kHour, 2 * kHour, 6 * kHour, kDay};
+  cfg.max_bucket_users = 12;  // force the subsampled-bucket path
+  return cfg;
+}
+
+TEST(BnBuilderParallelTest, ShardAndThreadCountsAreInvisible) {
+  const BehaviorLogList logs = MakeLogs(0xA11CE, 6000, 3 * kDay);
+
+  EdgeStore serial;
+  {
+    BnConfig cfg = BaseConfig();
+    cfg.window_job_shards = 1;
+    BnBuilder(cfg, &serial).BuildFromLogs(logs);  // no pool: serial path
+  }
+  EXPECT_GT(serial.TotalEdges(), 0u);
+
+  for (int shards : {2, 4, 8}) {
+    for (int threads : {0, 2, 8}) {  // 0 = no pool (serial shard loop)
+      BnConfig cfg = BaseConfig();
+      cfg.window_job_shards = shards;
+      EdgeStore got;
+      BnBuilder builder(cfg, &got);
+      std::unique_ptr<util::ThreadPool> pool;
+      if (threads > 0) {
+        pool = std::make_unique<util::ThreadPool>(threads);
+        builder.SetThreadPool(pool.get());
+      }
+      builder.BuildFromLogs(logs);
+      SCOPED_TRACE(testing::Message()
+                   << "shards=" << shards << " threads=" << threads);
+      ExpectIdenticalStores(serial, got, "sharded");
+    }
+  }
+}
+
+TEST(BnBuilderParallelTest, BucketCacheReuseIsInvisible) {
+  const BehaviorLogList logs = MakeLogs(0xBEE, 6000, 3 * kDay);
+  EdgeStore scanned, reused;
+  {
+    BnConfig cfg = BaseConfig();
+    cfg.reuse_base_buckets = false;
+    BnBuilder(cfg, &scanned).BuildFromLogs(logs);
+  }
+  {
+    BnConfig cfg = BaseConfig();
+    cfg.reuse_base_buckets = true;
+    BnBuilder(cfg, &reused).BuildFromLogs(logs);
+  }
+  EXPECT_GT(scanned.TotalEdges(), 0u);
+  ExpectIdenticalStores(scanned, reused, "reuse");
+}
+
+// Streamed construction — running each (window, epoch) job against a log
+// store in global epoch-time order, exactly like a live server advancing
+// its clock — must equal offline BuildFromLogs, for the serial and the
+// sharded engine alike.
+TEST(BnBuilderParallelTest, StreamedJobsMatchOfflineBuild) {
+  const BehaviorLogList logs = MakeLogs(0xCAFE, 6000, 3 * kDay);
+  SimTime max_t = 0;
+  for (const auto& log : logs) max_t = std::max(max_t, log.time);
+
+  for (int shards : {1, 8}) {
+    BnConfig cfg = BaseConfig();
+    cfg.window_job_shards = shards;
+
+    EdgeStore offline;
+    BnBuilder(cfg, &offline).BuildFromLogs(logs);
+
+    LogStore store;
+    store.AppendBatch(logs);
+    EdgeStore streamed;
+    BnBuilder builder(cfg, &streamed);
+    util::ThreadPool pool(4);
+    if (shards > 1) builder.SetThreadPool(&pool);
+    SimTime cap = 0;
+    for (SimTime w : cfg.windows) {
+      cap = std::max(cap, BnBuilder::EpochIndex(max_t, w) * w);
+    }
+    std::vector<SimTime> last_end(cfg.windows.size(), 0);
+    for (;;) {
+      int best = -1;
+      SimTime best_end = 0;
+      for (size_t i = 0; i < cfg.windows.size(); ++i) {
+        const SimTime next = last_end[i] + cfg.windows[i];
+        if (next > cap) continue;
+        if (best < 0 || next < best_end) {
+          best = static_cast<int>(i);
+          best_end = next;
+        }
+      }
+      if (best < 0) break;
+      builder.RunWindowJob(store, cfg.windows[best], best_end);
+      last_end[best] = best_end;
+      builder.EvictCachedBuckets(
+          *std::min_element(last_end.begin(), last_end.end()));
+    }
+    SCOPED_TRACE(testing::Message() << "shards=" << shards);
+    ExpectIdenticalStores(offline, streamed, "streamed");
+    // The interleaved schedule keeps the bucket cache bounded by the
+    // largest window, and nothing lingers after eviction at the cap.
+    EXPECT_LE(builder.CachedBucketEpochs(),
+              static_cast<size_t>(cfg.windows.back() / cfg.windows.front()));
+  }
+}
+
+}  // namespace
+}  // namespace turbo::bn

@@ -191,6 +191,50 @@ TEST(BnBuilderTest, PathologicalBucketIsCappedButWeightFaithful) {
   EXPECT_NEAR(nbrs.begin()->second.weight, 1.0f / 50.0f, 1e-6f);
 }
 
+TEST(BnBuilderTest, EpochIndexBoundaries) {
+  // Epoch 1 covers [0, W] (origin included); epoch j > 1 covers
+  // ((j-1)W, jW].
+  EXPECT_EQ(BnBuilder::EpochIndex(0, kHour), 1);
+  EXPECT_EQ(BnBuilder::EpochIndex(1, kHour), 1);
+  EXPECT_EQ(BnBuilder::EpochIndex(kHour, kHour), 1);
+  EXPECT_EQ(BnBuilder::EpochIndex(kHour + 1, kHour), 2);
+  EXPECT_EQ(BnBuilder::EpochIndex(2 * kHour, kHour), 2);
+  EXPECT_EQ(BnBuilder::EpochIndex(2 * kHour + 1, kHour), 3);
+}
+
+TEST(BnBuilderTest, TimeZeroBelongsToFirstEpoch) {
+  // A log at the origin is real data, not a sentinel: it co-occurs with
+  // anything else in epoch 1.
+  BnConfig cfg;
+  cfg.windows = {kHour};
+  EdgeStore edges;
+  BnBuilder b(cfg, &edges);
+  b.BuildFromLogs({L(0, 1, 0), L(1, 1, kHour)});
+  EXPECT_NEAR(edges.Weight(kIpIdx, 0, 1), 0.5f, 1e-6f);
+}
+
+TEST(BnBuilderTest, EpochBoundaryTimesSplitCorrectly) {
+  // t = W is the last instant of epoch 1; t = W + 1 opens epoch 2.
+  BnConfig cfg;
+  cfg.windows = {kHour};
+  EdgeStore edges;
+  BnBuilder b(cfg, &edges);
+  b.BuildFromLogs({L(0, 1, kHour), L(1, 1, kHour + 1), L(2, 1, 2 * kHour)});
+  EXPECT_FLOAT_EQ(edges.Weight(kIpIdx, 0, 1), 0.0f);  // epochs 1 vs 2
+  EXPECT_NEAR(edges.Weight(kIpIdx, 1, 2), 0.5f, 1e-6f);  // both epoch 2
+}
+
+TEST(BnBuilderDeathTest, RejectsNegativeTimestamps) {
+  // A negative time would silently fold into the first epoch under the
+  // old floor arithmetic; it is a data bug and must fail loudly.
+  BnConfig cfg;
+  cfg.windows = {kHour};
+  EdgeStore edges;
+  BnBuilder b(cfg, &edges);
+  EXPECT_DEATH(b.BuildFromLogs({L(0, 1, -1), L(1, 1, 100)}),
+               "negative timestamp");
+}
+
 TEST(BnBuilderDeathTest, RejectsUnsortedWindows) {
   BnConfig cfg;
   cfg.windows = {2 * kHour, kHour};

@@ -40,6 +40,21 @@ TEST(SamplerTest, TargetIsFirstNode) {
   EXPECT_EQ(sg.local.at(2), 0);
 }
 
+TEST(SamplerTest, DuplicateTargetsCollapseToOneNode) {
+  // A serving batch may name one user twice (e.g. a client retry racing
+  // its original request); the sampler must fold the duplicates instead
+  // of aborting, and sg.local maps every requested uid to its row.
+  auto net = MakePathAndHub();
+  SubgraphSampler sampler(net, SamplerConfig{});
+  auto sg = sampler.Sample({2, 0, 2, 0, 2});
+  EXPECT_EQ(sg.num_targets, 2u);
+  ASSERT_GE(sg.nodes.size(), 2u);
+  EXPECT_EQ(sg.nodes[0], 2u);
+  EXPECT_EQ(sg.nodes[1], 0u);
+  EXPECT_EQ(sg.local.at(2), 0);
+  EXPECT_EQ(sg.local.at(0), 1);
+}
+
 TEST(SamplerTest, TwoHopsReachExactlyTwoHops) {
   auto net = MakePathAndHub();
   SamplerConfig cfg;

@@ -103,6 +103,73 @@ TEST(BnServerConcurrencyTest, ReadersSampleConsistentlyWhileWriterAdvances) {
   EXPECT_GT(samples_taken.load(), 0u);
 }
 
+// Sharded window jobs run on a worker pool inside AdvanceTo while
+// sampler threads read published snapshots: the shard workers touch the
+// LogStore's lazily-sorted indexes and private delta buffers, and none
+// of that may race with the lock-free read path. Run under
+// -fsanitize=thread this is the ingest-vs-sample race check for the
+// parallel engine; the assertions double as a determinism check against
+// a serially-built reference.
+TEST(BnServerConcurrencyTest, SampleWhileShardedJobsRun) {
+  constexpr int kReaders = 4;
+  constexpr int kUsers = 64;
+  BnServerConfig cfg;
+  cfg.bn.windows = {kHour, 2 * kHour};
+  cfg.bn.window_job_shards = 8;
+  cfg.window_job_threads = 4;  // pooled shard workers
+  cfg.num_users = kUsers;
+  cfg.snapshot_refresh = kHour;
+  BnServer server(cfg);
+  server.AdvanceTo(1);  // publish an (empty) snapshot for the readers
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&server, &stop, r] {
+      while (!stop.load(std::memory_order_acquire)) {
+        bn::Subgraph sg =
+            server.SampleSubgraph(static_cast<UserId>(r % kUsers));
+        ASSERT_GE(sg.snapshot_version, 1u);
+        ASSERT_GE(sg.nodes.size(), 1u);
+      }
+    });
+  }
+
+  // Writer: dense co-occurring traffic so every hourly job has work for
+  // several shards, advanced hour by hour while the readers sample.
+  BehaviorLogList all_logs;
+  for (int hour = 0; hour < 24; ++hour) {
+    BehaviorLogList logs;
+    for (int i = 0; i < 120; ++i) {
+      logs.push_back(L(static_cast<UserId>((hour * 7 + i) % kUsers),
+                       1 + i % 13, hour * kHour + 1 + i * 20));
+    }
+    server.IngestBatch(logs);
+    all_logs.insert(all_logs.end(), logs.begin(), logs.end());
+    server.AdvanceTo((hour + 1) * kHour);
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  // The pooled run equals an offline serial build over the same logs.
+  storage::EdgeStore reference;
+  bn::BnConfig serial_cfg = cfg.bn;
+  serial_cfg.window_job_shards = 1;
+  bn::BnBuilder(serial_cfg, &reference).BuildFromLogs(all_logs);
+  const int type = EdgeTypeIndex(kIp);
+  for (UserId u = 0; u < kUsers; ++u) {
+    const auto& got = server.edges().Neighbors(type, u);
+    const auto& want = reference.Neighbors(type, u);
+    ASSERT_EQ(got.size(), want.size()) << "u=" << u;
+    for (const auto& [v, e] : want) {
+      auto it = got.find(v);
+      ASSERT_NE(it, got.end()) << "edge " << u << "-" << v;
+      ASSERT_EQ(it->second.weight, e.weight) << "edge " << u << "-" << v;
+    }
+  }
+}
+
 // A reader-held view pins its snapshot version: publishing newer versions
 // must neither change nor invalidate what the old view serves (RCU-style
 // reclamation — the snapshot dies with its last reference, not at

@@ -93,6 +93,55 @@ TEST(BnServerTest, TtlSweepExpiresOldEdges) {
   EXPECT_GT(server.edges_expired(), 0u);
 }
 
+TEST(BnServerTest, IngestLagGaugeTracksSlowestWindowFrontier) {
+  obs::MetricsRegistry metrics;
+  BnServerConfig cfg = SmallConfig();
+  cfg.metrics = &metrics;
+  BnServer server(cfg);
+  auto* lag = metrics.GetGauge("bn_ingest_lag_s");
+  server.AdvanceTo(kDay);
+  // Both the hourly and the daily frontier sit exactly at the clock.
+  EXPECT_DOUBLE_EQ(lag->value(), 0.0);
+  server.AdvanceTo(kDay + 30 * kMinute);
+  // The daily job won't run again until t = 2d: the slowest frontier
+  // trails the clock by 30 minutes.
+  EXPECT_DOUBLE_EQ(lag->value(), static_cast<double>(30 * kMinute));
+}
+
+TEST(BnServerTest, CatchUpAdvanceMatchesSteadyAdvance) {
+  // Advancing in one big jump after an idle gap must replay the exact
+  // job schedule of hour-by-hour advancement: same weights, bit for bit,
+  // for the serial and the sharded engine.
+  for (int threads : {1, 0}) {  // 1 = serial shards, 0 = pooled shards
+    BnServerConfig cfg = SmallConfig();
+    cfg.window_job_threads = threads;
+    BnServer steady(cfg), catchup(cfg);
+    BehaviorLogList logs;
+    for (int i = 0; i < 200; ++i) {
+      logs.push_back(L(static_cast<UserId>(i % 40), 1 + i % 7,
+                       (i * 17 * kMinute) % (2 * kDay)));
+    }
+    steady.IngestBatch(logs);
+    catchup.IngestBatch(logs);
+    for (SimTime t = kHour; t <= 2 * kDay; t += kHour) steady.AdvanceTo(t);
+    catchup.AdvanceTo(2 * kDay);
+    EXPECT_EQ(steady.jobs_run(), catchup.jobs_run());
+    for (UserId u = 0; u < 40; ++u) {
+      const auto& a = steady.edges().Neighbors(kIpIdx, u);
+      const auto& b = catchup.edges().Neighbors(kIpIdx, u);
+      ASSERT_EQ(a.size(), b.size()) << "u=" << u;
+      for (const auto& [v, e] : a) {
+        ASSERT_EQ(e.weight, b.at(v).weight) << "edge " << u << "-" << v;
+      }
+    }
+  }
+}
+
+TEST(BnServerDeathTest, IngestNegativeTimestampAborts) {
+  BnServer server(SmallConfig());
+  EXPECT_DEATH(server.Ingest(L(1, 42, -5)), "negative timestamp");
+}
+
 TEST(BnServerDeathTest, SamplingBeforeAdvanceAborts) {
   BnServer server(SmallConfig());
   EXPECT_DEATH(server.SampleSubgraph(1), "AdvanceTo");

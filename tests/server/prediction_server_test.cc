@@ -165,6 +165,36 @@ TEST_F(PredictionServerTest, FraudSubgraphsAreLarger) {
   EXPECT_GT(fraud_nodes / nf, normal_nodes / nn);
 }
 
+TEST_F(PredictionServerTest, DuplicateUidsInOneBatchGetIdenticalScores) {
+  // A batch naming one user several times (client retry racing its
+  // original) collapses to a single sampler target; every position must
+  // still receive that user's probability — previously this tripped a
+  // CHECK in the sampler and, with it removed, would have misaligned the
+  // probability-to-slot mapping.
+  PredictionConfig cfg;
+  cfg.cache_capacity = 0;  // force all positions down the compute path
+  PredictionServer fresh(cfg, bn_, features_, model_, &data_->scaler);
+  const UserId a = replay_->uids.front();
+  const UserId b = replay_->uids.back();
+  ASSERT_NE(a, b);
+  const auto batch = fresh.HandleBatch({a, b, a, a, b});
+  ASSERT_EQ(batch.size(), 5u);
+  EXPECT_DOUBLE_EQ(batch[0].fraud_probability, batch[2].fraud_probability);
+  EXPECT_DOUBLE_EQ(batch[0].fraud_probability, batch[3].fraud_probability);
+  EXPECT_DOUBLE_EQ(batch[1].fraud_probability, batch[4].fraud_probability);
+  // Distinct users keep distinct, valid scores — the remap did not smear
+  // one row over the whole batch.
+  for (const auto& r : batch) {
+    EXPECT_GE(r.fraud_probability, 0.0);
+    EXPECT_LE(r.fraud_probability, 1.0);
+  }
+  // A duplicate-heavy batch equals the deduplicated batch position-wise:
+  // both sample the same {a, b} union subgraph.
+  const auto dedup = fresh.HandleBatch({a, b});
+  EXPECT_DOUBLE_EQ(batch[0].fraud_probability, dedup[0].fraud_probability);
+  EXPECT_DOUBLE_EQ(batch[1].fraud_probability, dedup[1].fraud_probability);
+}
+
 TEST_F(PredictionServerTest, ThresholdControlsBlocking) {
   PredictionConfig strict;
   strict.threshold = 0.0;  // block everyone

@@ -174,6 +174,43 @@ TEST(RngTest, SplitStreamsIndependent) {
   EXPECT_LT(same, 2);
 }
 
+TEST(MixSeedsTest, Mix64IsBijectiveOnSamples) {
+  // The finalizer is a bijection; distinct inputs must map to distinct
+  // outputs (spot-checked over a contiguous and a strided range).
+  std::set<uint64_t> seen;
+  for (uint64_t i = 0; i < 4096; ++i) seen.insert(Mix64(i));
+  for (uint64_t i = 1; i <= 4096; ++i) seen.insert(Mix64(i << 40));
+  EXPECT_EQ(seen.size(), 2 * 4096u);
+}
+
+// Regression for the sampler-seed collision bug: the previous scheme
+// `(version << 20) ^ (seq + 1)` reuses seeds as soon as the request
+// counter crosses 2^20 — two different (version, seq) requests then
+// draw identical subgraphs. MixSeeds must keep a realistic grid of
+// versions x sequence numbers collision-free.
+TEST(MixSeedsTest, NoCollisionsOverVersionSequenceGrid) {
+  constexpr uint64_t kVersions = 64;
+  constexpr uint64_t kSeqs = 8192;
+  std::vector<uint64_t> seeds;
+  seeds.reserve(kVersions * kSeqs);
+  for (uint64_t v = 0; v < kVersions; ++v) {
+    for (uint64_t s = 0; s < kSeqs; ++s) seeds.push_back(MixSeeds(v, s));
+  }
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(std::adjacent_find(seeds.begin(), seeds.end()), seeds.end())
+      << "MixSeeds collided on the (version, seq) grid";
+}
+
+TEST(MixSeedsTest, FixesShiftXorCollision) {
+  // Concrete collision of the old scheme: versions 1 and 2 with these
+  // sequence numbers land on the same shifted-xor seed...
+  const uint64_t v1 = 1, s1 = (2ULL << 20) - 1;
+  const uint64_t v2 = 2, s2 = (1ULL << 20) - 1;
+  ASSERT_EQ((v1 << 20) ^ (s1 + 1), (v2 << 20) ^ (s2 + 1));
+  // ...while the mixed seeds differ.
+  EXPECT_NE(MixSeeds(v1, s1), MixSeeds(v2, s2));
+}
+
 TEST(RngTest, BernoulliProbability) {
   Rng rng(59);
   int hits = 0;
