@@ -9,6 +9,8 @@ bench type is auto-detected from the JSON shape:
     per thread count (higher is better)
   - "bench": "window_jobs"           -> runs[].updates_per_second per
     engine (higher is better)
+  - "bench": "recovery"              -> recovery_speedup and
+    wal_replay_records_per_s (higher is better)
   - "bench": "serving_throughput"    -> runs[].requests_per_second per
     (mode, threads, batch) cell (higher is better)
   - google-benchmark output ("benchmarks" list) -> real_time per
@@ -66,6 +68,20 @@ def extract_metrics(data, path):
             sys.exit(f"error: no 'runs' in {path}")
         return (
             {r["engine"]: r["updates_per_second"] for r in runs},
+            True,
+        )
+    if bench == "recovery":
+        # Flat metrics, no runs list: gate the ratio of recovery to the
+        # cold rebuild (machine-speed independent) and the replay rate.
+        for key in ("recovery_speedup", "wal_replay_records_per_s"):
+            if key not in data:
+                sys.exit(f"error: missing '{key}' in {path}")
+        return (
+            {
+                "recovery_speedup": data["recovery_speedup"],
+                "wal_replay_records_per_s":
+                    data["wal_replay_records_per_s"],
+            },
             True,
         )
     if bench == "serving_throughput" or "runs" in data:

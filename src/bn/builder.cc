@@ -242,6 +242,62 @@ void BnBuilder::BuildFromLogs(const BehaviorLogList& logs) {
   base_buckets_.clear();
 }
 
+void BnBuilder::SerializeCache(storage::BinaryWriter* w) const {
+  w->U64(base_buckets_.size());
+  for (const auto& [epoch_end, buckets] : base_buckets_) {
+    w->I64(epoch_end);
+    w->U64(buckets.size());
+    // Canonical key order: the map is unordered and equal caches must
+    // serialize to equal bytes.
+    std::vector<ValueKey> keys;
+    keys.reserve(buckets.size());
+    for (const auto& [key, users] : buckets) keys.push_back(key);
+    std::sort(keys.begin(), keys.end(),
+              [](const ValueKey& a, const ValueKey& b) {
+                return a.type != b.type ? a.type < b.type
+                                        : a.value < b.value;
+              });
+    for (const ValueKey& key : keys) {
+      const auto& users = buckets.at(key);
+      w->U8(static_cast<uint8_t>(key.type));
+      w->U64(key.value);
+      w->U64(users.size());
+      w->Bytes(users.data(), users.size() * sizeof(UserId));
+    }
+  }
+}
+
+Status BnBuilder::DeserializeCache(storage::BinaryReader* r) {
+  base_buckets_.clear();
+  const uint64_t epochs = r->U64();
+  for (uint64_t i = 0; i < epochs; ++i) {
+    const SimTime epoch_end = r->I64();
+    const uint64_t num_keys = r->U64();
+    auto& slot = base_buckets_[epoch_end];
+    for (uint64_t k = 0; k < num_keys; ++k) {
+      ValueKey key;
+      key.type = static_cast<BehaviorType>(r->U8());
+      key.value = r->U64();
+      const uint64_t n = r->U64();
+      if (!r->ok() || n > r->remaining() / sizeof(UserId)) {
+        base_buckets_.clear();
+        return Status::InvalidArgument("truncated bucket-cache section");
+      }
+      std::vector<UserId> users(n);
+      r->Bytes(users.data(), n * sizeof(UserId));
+      slot.emplace(key, std::move(users));
+    }
+  }
+  if (!r->ok()) {
+    base_buckets_.clear();
+    return Status::InvalidArgument("truncated bucket-cache section");
+  }
+  if (cache_epochs_g_ != nullptr) {
+    cache_epochs_g_->Set(static_cast<double>(base_buckets_.size()));
+  }
+  return Status::OK();
+}
+
 size_t BnBuilder::ExpireOld(SimTime now) {
   return edges_->ExpireBefore(now - config_.edge_ttl);
 }

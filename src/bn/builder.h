@@ -36,9 +36,11 @@
 
 #include "obs/metrics.h"
 #include "storage/behavior_log.h"
+#include "storage/checkpoint_io.h"
 #include "storage/edge_store.h"
 #include "storage/log_store.h"
 #include "util/rng.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace turbo::bn {
@@ -118,6 +120,17 @@ class BnBuilder {
 
   /// Base-window epochs currently cached (observability / tests).
   size_t CachedBucketEpochs() const { return base_buckets_.size(); }
+
+  /// Checkpoint hook: persists the cached base-window buckets (epoch by
+  /// epoch, keys in canonical order) so a recovered builder's merge path
+  /// serves the same jobs from cache that the uncrashed one would — a
+  /// lost cache would silently fall back to raw-log scans, which is
+  /// bit-identical but defeats the hierarchical-reuse speedup.
+  void SerializeCache(storage::BinaryWriter* w) const;
+
+  /// Restores a SerializeCache()d bucket cache, replacing the current
+  /// one. Fails (cache cleared) on truncation.
+  Status DeserializeCache(storage::BinaryReader* r);
 
   /// Epoch index of time `t` (>= 0) for `window`: epoch 1 covers
   /// [0, window], epoch j > 1 covers ((j-1)*window, j*window].

@@ -112,6 +112,62 @@ std::shared_ptr<const BnSnapshot> BnSnapshot::Build(
   return snap;
 }
 
+void BnSnapshot::Serialize(storage::BinaryWriter* w) const {
+  w->U64(version_);
+  w->I64(num_nodes_);
+  w->U8(normalized_ ? 1 : 0);
+  for (int t = 0; t < kNumEdgeTypes; ++t) {
+    const TypeCsr& csr = csr_[t];
+    w->U64(csr.neighbor.size());
+    for (size_t off : csr.offsets) w->U64(off);
+    w->Bytes(csr.neighbor.data(), csr.neighbor.size() * sizeof(UserId));
+    w->Bytes(csr.weight.data(), csr.weight.size() * sizeof(float));
+  }
+}
+
+Result<std::shared_ptr<const BnSnapshot>> BnSnapshot::Deserialize(
+    storage::BinaryReader* r) {
+  auto snap = std::shared_ptr<BnSnapshot>(new BnSnapshot());
+  snap->version_ = r->U64();
+  snap->num_nodes_ = static_cast<int>(r->I64());
+  snap->normalized_ = r->U8() != 0;
+  if (!r->ok() || snap->num_nodes_ <= 0) {
+    return Status::InvalidArgument("corrupt snapshot header");
+  }
+  const size_t rows = static_cast<size_t>(snap->num_nodes_);
+  // Size claims must fit the remaining payload before any resize — a
+  // corrupt length would otherwise turn into a huge allocation.
+  if (rows + 1 > r->remaining() / sizeof(uint64_t)) {
+    return Status::InvalidArgument("corrupt snapshot node count");
+  }
+  for (int t = 0; t < kNumEdgeTypes; ++t) {
+    TypeCsr& csr = snap->csr_[t];
+    const uint64_t entries = r->U64();
+    if (entries > r->remaining() / (sizeof(UserId) + sizeof(float))) {
+      return Status::InvalidArgument("corrupt snapshot entry count");
+    }
+    csr.offsets.resize(rows + 1);
+    for (size_t i = 0; i <= rows; ++i) csr.offsets[i] = r->U64();
+    if (!r->ok() || csr.offsets[0] != 0 || csr.offsets[rows] != entries ||
+        !std::is_sorted(csr.offsets.begin(), csr.offsets.end())) {
+      return Status::InvalidArgument("corrupt snapshot CSR offsets");
+    }
+    csr.neighbor.resize(entries);
+    csr.weight.resize(entries);
+    r->Bytes(csr.neighbor.data(), entries * sizeof(UserId));
+    r->Bytes(csr.weight.data(), entries * sizeof(float));
+    if (!r->ok()) {
+      return Status::InvalidArgument("truncated snapshot CSR arrays");
+    }
+    for (UserId v : csr.neighbor) {
+      if (v >= static_cast<UserId>(snap->num_nodes_)) {
+        return Status::InvalidArgument("snapshot neighbor id out of range");
+      }
+    }
+  }
+  return std::shared_ptr<const BnSnapshot>(std::move(snap));
+}
+
 double BnSnapshot::WeightedDegree(int edge_type, UserId u) const {
   const NeighborSpan span = Neighbors(edge_type, u);
   double s = 0.0;

@@ -30,7 +30,9 @@
 #include <vector>
 
 #include "storage/behavior_log.h"
+#include "storage/checkpoint_io.h"
 #include "storage/edge_store.h"
+#include "util/status.h"
 
 namespace turbo::bn {
 
@@ -178,6 +180,18 @@ class BnSnapshot {
 
   /// Bytes held by the CSR arrays (capacity planning / bench reporting).
   size_t MemoryBytes() const;
+
+  /// Checkpoint hook: writes version, node count, normalization flag, and
+  /// the raw per-type CSR arrays (offsets / neighbor ids / weights), so a
+  /// recovered server republishes the exact snapshot its readers were
+  /// being served from — no rebuild on the recovery path.
+  void Serialize(storage::BinaryWriter* w) const;
+
+  /// Restores a Serialize()d snapshot. Validates offset monotonicity and
+  /// array sizing, so a corrupt payload fails instead of producing a
+  /// snapshot whose spans read out of bounds.
+  static Result<std::shared_ptr<const BnSnapshot>> Deserialize(
+      storage::BinaryReader* r);
 
  private:
   struct TypeCsr {

@@ -1,9 +1,11 @@
 #include "core/model_store.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "util/string_util.h"
 
@@ -59,7 +61,12 @@ Status LoadModel(const std::string& path, gnn::GnnModel* model) {
         "%s: has %zu tensors, model expects %zu", path.c_str(), count,
         params.size()));
   }
-  for (auto& p : params) {
+  // Parse the whole file into staging buffers first: a truncated or
+  // corrupt file must leave the model untouched, not half-overwritten
+  // (the half-mutated state used to pass silently into serving).
+  std::vector<std::vector<float>> staged(params.size());
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    const auto& p = params[pi];
     std::string tag, name;
     size_t rows = 0, cols = 0;
     in >> tag >> name >> rows >> cols;
@@ -72,12 +79,16 @@ Status LoadModel(const std::string& path, gnn::GnnModel* model) {
           path.c_str(), name.c_str(), rows, cols, p->value.rows(),
           p->value.cols()));
     }
-    float* d = p->value.data();
-    for (size_t i = 0; i < p->value.size(); ++i) {
-      if (!(in >> d[i])) {
+    staged[pi].resize(p->value.size());
+    for (float& v : staged[pi]) {
+      if (!(in >> v)) {
         return Status::InvalidArgument(path + ": truncated tensor data");
       }
     }
+  }
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    float* d = params[pi]->value.data();
+    std::copy(staged[pi].begin(), staged[pi].end(), d);
   }
   return Status::OK();
 }

@@ -1,11 +1,27 @@
 #include "server/bn_server.h"
 
 #include <algorithm>
+#include <filesystem>
 
+#include "storage/checkpoint_io.h"
 #include "util/rng.h"
+#include "util/string_util.h"
 #include "util/time_util.h"
 
 namespace turbo::server {
+
+namespace {
+
+constexpr char kCheckpointFile[] = "checkpoint.bin";
+/// Version of the checkpoint *section contents* (the container format
+/// has its own version in checkpoint_io).
+constexpr uint32_t kStateVersion = 1;
+
+std::string CheckpointPath(const std::string& dir) {
+  return dir + "/" + kCheckpointFile;
+}
+
+}  // namespace
 
 BnServer::BnServer(BnServerConfig config)
     : config_(std::move(config)),  // logs_ reads config_.log_cost next
@@ -38,6 +54,14 @@ BnServer::BnServer(BnServerConfig config)
   ingest_lag_s_ = metrics_->GetGauge("bn_ingest_lag_s");
   sample_pinned_version_ =
       metrics_->GetGauge("bn_sample_pinned_snapshot_version");
+  wal_records_ = metrics_->GetCounter("bn_wal_records_total");
+  checkpoints_ = metrics_->GetCounter("bn_checkpoints_total");
+  wal_replayed_records_ =
+      metrics_->GetCounter("bn_wal_replayed_records_total");
+  wal_bytes_g_ = metrics_->GetGauge("bn_wal_bytes");
+  checkpoint_bytes_g_ = metrics_->GetGauge("bn_checkpoint_bytes");
+  recovery_s_ = metrics_->GetGauge("bn_recovery_s");
+  checkpoint_ms_ = metrics_->GetHistogram("bn_checkpoint_ms");
   if (config_.window_job_threads != 1) {
     job_pool_ =
         std::make_unique<util::ThreadPool>(config_.window_job_threads);
@@ -46,11 +70,51 @@ BnServer::BnServer(BnServerConfig config)
   builder_.SetMetrics(metrics_);
 }
 
+void BnServer::EnsureWalOpen() {
+  recovered_or_started_ = true;
+  if (config_.wal_dir.empty() || wal_replaying_ || wal_writer_.is_open()) {
+    return;
+  }
+  std::filesystem::create_directories(config_.wal_dir);
+  // A fresh start must not write next to an earlier incarnation's state:
+  // new records interleaved with old segments would be unreplayable.
+  TURBO_CHECK_MSG(
+      storage::ListWalSegments(config_.wal_dir).empty() &&
+          !std::filesystem::exists(CheckpointPath(config_.wal_dir)),
+      "wal_dir '" << config_.wal_dir
+                  << "' contains existing WAL/checkpoint state; call "
+                     "Recover() before the first Ingest/AdvanceTo");
+  const Status s = OpenWalSegment(1);
+  TURBO_CHECK_MSG(s.ok(), "cannot open WAL: " << s.ToString());
+}
+
+Status BnServer::OpenWalSegment(uint64_t seq) {
+  TURBO_CHECK(!config_.wal_dir.empty());
+  TURBO_RETURN_IF_ERROR(wal_writer_.Close());
+  TURBO_RETURN_IF_ERROR(
+      wal_writer_.Open(config_.wal_dir, seq, config_.wal));
+  wal_bytes_g_->Set(static_cast<double>(wal_writer_.bytes_written()));
+  return Status::OK();
+}
+
+void BnServer::WalAppend(const storage::WalRecord& record) {
+  if (!wal_writer_.is_open() || wal_replaying_) return;
+  const Status s = wal_writer_.Append(record);
+  TURBO_CHECK_MSG(s.ok(), "WAL append failed: " << s.ToString());
+  wal_records_->Increment();
+  wal_bytes_g_->Set(static_cast<double>(wal_writer_.bytes_written()));
+}
+
 void BnServer::Ingest(const BehaviorLog& log) {
   TURBO_CHECK_LT(log.uid, static_cast<UserId>(config_.num_users));
   TURBO_CHECK_MSG(log.time >= 0, "negative timestamp "
                                      << log.time << " for uid " << log.uid
                                      << "; logs must use t >= 0");
+  EnsureWalOpen();
+  // Log-ahead: the record is in the WAL (at least buffered; durable per
+  // the fsync policy) before the in-memory apply, so replay can only see
+  // a prefix of applied mutations, never a mutation the WAL missed.
+  WalAppend(storage::WalRecord::Ingest(log));
   logs_.Append(log);
   ingest_events_->Increment();
 }
@@ -61,6 +125,15 @@ void BnServer::IngestBatch(const BehaviorLogList& logs) {
 
 void BnServer::AdvanceTo(SimTime now) {
   TURBO_CHECK_GE(now, now_.load(std::memory_order_relaxed));
+  EnsureWalOpen();
+  WalAppend(storage::WalRecord::Advance(now));
+  if (wal_writer_.is_open() && !wal_replaying_) {
+    // A clock advance is the consistency point replay resumes from, so
+    // force the group-commit buffer out (fsync per policy) even when the
+    // record thresholds have not tripped yet.
+    const Status s = wal_writer_.Flush();
+    TURBO_CHECK_MSG(s.ok(), "WAL flush failed: " << s.ToString());
+  }
   now_.store(now, std::memory_order_relaxed);
   // Run every completed epoch of every window since its last run, in
   // global epoch-time order with ties to the smaller window: shorter
@@ -129,6 +202,253 @@ void BnServer::RefreshSnapshot() {
   snapshot_bytes_g_->Set(static_cast<double>(next->MemoryBytes()));
   snapshot_.store(std::move(next), std::memory_order_release);
   last_snapshot_ = now_.load(std::memory_order_relaxed);
+}
+
+Status BnServer::Checkpoint(const std::string& dir) {
+  const bool wal_on = !config_.wal_dir.empty();
+  if (wal_on) {
+    TURBO_CHECK_MSG(dir == config_.wal_dir,
+                    "checkpoint dir '" << dir << "' must be wal_dir '"
+                                       << config_.wal_dir
+                                       << "' for WAL rotation");
+    EnsureWalOpen();
+  } else {
+    recovered_or_started_ = true;
+    std::filesystem::create_directories(dir);
+  }
+  Stopwatch sw;
+  // The first segment whose records are NOT reflected in this
+  // checkpoint; replay resumes here. 0 = checkpoint taken without a WAL.
+  const uint64_t next_seq = wal_on ? wal_writer_.seq() + 1 : 0;
+
+  storage::CheckpointWriter writer;
+  {
+    storage::BinaryWriter meta;
+    meta.U32(kStateVersion);
+    meta.I64(config_.num_users);
+    meta.U64(config_.bn.windows.size());
+    for (SimTime w : config_.bn.windows) meta.I64(w);
+    meta.I64(config_.bn.edge_ttl);
+    meta.U8(config_.bn.inverse_weighting ? 1 : 0);
+    meta.I64(config_.bn.max_bucket_users);
+    meta.U64(config_.bn.bucket_sample_seed);
+    meta.I64(config_.snapshot_refresh);
+    writer.AddSection("meta", meta);
+  }
+  {
+    storage::BinaryWriter server;
+    server.I64(now_.load(std::memory_order_relaxed));
+    server.U64(next_seq);
+    server.U64(last_job_end_.size());
+    for (SimTime t : last_job_end_) server.I64(t);
+    server.I64(last_expiry_);
+    server.I64(last_snapshot_);
+    server.U64(next_version_);
+    server.U64(jobs_run_);
+    server.U64(edges_expired_);
+    writer.AddSection("server", server);
+  }
+  {
+    storage::BinaryWriter edges;
+    edges_.Serialize(&edges);
+    writer.AddSection("edges", edges);
+  }
+  {
+    storage::BinaryWriter logs;
+    logs_.Serialize(&logs);
+    writer.AddSection("logs", logs);
+  }
+  {
+    storage::BinaryWriter buckets;
+    builder_.SerializeCache(&buckets);
+    writer.AddSection("buckets", buckets);
+  }
+  {
+    storage::BinaryWriter snap;
+    auto published = snapshot_.load(std::memory_order_acquire);
+    snap.U8(published != nullptr ? 1 : 0);
+    if (published != nullptr) published->Serialize(&snap);
+    writer.AddSection("snapshot", snap);
+  }
+  TURBO_RETURN_IF_ERROR(writer.WriteFile(CheckpointPath(dir)));
+  if (wal_on) {
+    // The checkpoint is durable: rotate to a fresh segment and drop the
+    // ones it covers.
+    TURBO_RETURN_IF_ERROR(OpenWalSegment(next_seq));
+    for (uint64_t seq : storage::ListWalSegments(dir)) {
+      if (seq < next_seq) {
+        std::filesystem::remove(storage::WalSegmentPath(dir, seq));
+      }
+    }
+  }
+  checkpoints_->Increment();
+  checkpoint_bytes_g_->Set(static_cast<double>(writer.TotalBytes()));
+  checkpoint_ms_->Observe(sw.ElapsedMillis());
+  return Status::OK();
+}
+
+Status BnServer::Recover(const std::string& dir) {
+  TURBO_CHECK_MSG(
+      !recovered_or_started_ && logs_.size() == 0 && jobs_run_ == 0 &&
+          now_.load(std::memory_order_relaxed) == 0,
+      "Recover() must run on a freshly constructed server, before any "
+      "Ingest/AdvanceTo");
+  recovered_or_started_ = true;
+  Stopwatch sw;
+  // Segments < start_seq are covered by the checkpoint; 1 when starting
+  // from WAL only. UINT64_MAX (checkpoint written with the WAL disabled)
+  // replays nothing.
+  uint64_t start_seq = 1;
+  if (std::filesystem::exists(CheckpointPath(dir))) {
+    auto reader_or = storage::CheckpointReader::Open(CheckpointPath(dir));
+    if (!reader_or.ok()) return reader_or.status();
+    const storage::CheckpointReader& reader = reader_or.value();
+    for (const char* name :
+         {"meta", "server", "edges", "logs", "buckets", "snapshot"}) {
+      if (!reader.Has(name)) {
+        return Status::InvalidArgument(
+            StrFormat("checkpoint missing section '%s'", name));
+      }
+    }
+    {
+      storage::BinaryReader meta(reader.Find("meta"));
+      const uint32_t state_version = meta.U32();
+      if (state_version != kStateVersion) {
+        return Status::InvalidArgument(StrFormat(
+            "unsupported checkpoint state version %u", state_version));
+      }
+      // Everything that shapes the deterministic engine's output must
+      // match the running config, or "recovered" state would silently
+      // diverge from what this server will compute going forward.
+      bool match = meta.I64() == config_.num_users;
+      match = match && meta.U64() == config_.bn.windows.size();
+      if (match) {
+        for (SimTime w : config_.bn.windows) match = match && meta.I64() == w;
+      }
+      match = match && meta.I64() == config_.bn.edge_ttl;
+      match = match && meta.U8() == (config_.bn.inverse_weighting ? 1 : 0);
+      match = match && meta.I64() == config_.bn.max_bucket_users;
+      match = match && meta.U64() == config_.bn.bucket_sample_seed;
+      match = match && meta.I64() == config_.snapshot_refresh;
+      if (!match || !meta.ok()) {
+        return Status::FailedPrecondition(
+            "checkpoint was written under a different BN config "
+            "(users/windows/ttl/weighting/seed/refresh must match)");
+      }
+    }
+    {
+      storage::BinaryReader server(reader.Find("server"));
+      const SimTime saved_now = server.I64();
+      start_seq = server.U64();
+      if (start_seq == 0) start_seq = UINT64_MAX;
+      const uint64_t num_frontiers = server.U64();
+      if (num_frontiers != last_job_end_.size()) {
+        return Status::InvalidArgument("checkpoint frontier count mismatch");
+      }
+      for (SimTime& t : last_job_end_) t = server.I64();
+      last_expiry_ = server.I64();
+      last_snapshot_ = server.I64();
+      next_version_ = server.U64();
+      jobs_run_ = server.U64();
+      edges_expired_ = server.U64();
+      if (!server.ok() || server.remaining() != 0) {
+        return Status::InvalidArgument("corrupt checkpoint server section");
+      }
+      now_.store(saved_now, std::memory_order_relaxed);
+    }
+    {
+      storage::BinaryReader edges(reader.Find("edges"));
+      TURBO_RETURN_IF_ERROR(edges_.Deserialize(&edges));
+    }
+    {
+      storage::BinaryReader logs(reader.Find("logs"));
+      TURBO_RETURN_IF_ERROR(logs_.Deserialize(&logs));
+    }
+    {
+      storage::BinaryReader buckets(reader.Find("buckets"));
+      TURBO_RETURN_IF_ERROR(builder_.DeserializeCache(&buckets));
+    }
+    {
+      storage::BinaryReader snap(reader.Find("snapshot"));
+      if (snap.U8() != 0) {
+        auto snapshot_or = bn::BnSnapshot::Deserialize(&snap);
+        if (!snapshot_or.ok()) return snapshot_or.status();
+        auto restored = snapshot_or.take();
+        snapshot_version_g_->Set(static_cast<double>(restored->version()));
+        snapshot_edges_g_->Set(static_cast<double>(restored->TotalEdges()));
+        snapshot_bytes_g_->Set(
+            static_cast<double>(restored->MemoryBytes()));
+        snapshot_.store(std::move(restored), std::memory_order_release);
+      }
+    }
+  }
+
+  // Replay the WAL tail through the normal ingest/advance paths — the
+  // engine is deterministic, so re-execution reproduces the writer's
+  // state bit for bit.
+  uint64_t last_seq = 0;
+  std::vector<uint64_t> seqs = storage::ListWalSegments(dir);
+  std::erase_if(seqs, [&](uint64_t s) { return s < start_seq; });
+  // The tail must begin exactly at start_seq — a later first segment
+  // means records between the checkpoint and it are gone (an empty list
+  // is fine: a crash between checkpoint publish and rotation leaves no
+  // uncovered segment).
+  if (!seqs.empty() && seqs[0] != start_seq) {
+    return Status::Internal(StrFormat(
+        "WAL replay must start at segment %llu but the first surviving "
+        "segment is %llu",
+        static_cast<unsigned long long>(start_seq),
+        static_cast<unsigned long long>(seqs[0])));
+  }
+  wal_replaying_ = true;
+  for (size_t i = 0; i < seqs.size(); ++i) {
+    if (i > 0 && seqs[i] != seqs[i - 1] + 1) {
+      wal_replaying_ = false;
+      return Status::Internal(StrFormat(
+          "missing WAL segment between %llu and %llu",
+          static_cast<unsigned long long>(seqs[i - 1]),
+          static_cast<unsigned long long>(seqs[i])));
+    }
+    auto segment_or =
+        storage::ReadWalSegment(storage::WalSegmentPath(dir, seqs[i]));
+    if (!segment_or.ok()) {
+      wal_replaying_ = false;
+      return segment_or.status();
+    }
+    const storage::WalSegment& segment = segment_or.value();
+    if (segment.torn && i + 1 < seqs.size()) {
+      wal_replaying_ = false;
+      return Status::Internal(StrFormat(
+          "WAL segment %llu has a torn tail but is not the last segment",
+          static_cast<unsigned long long>(seqs[i])));
+    }
+    for (const storage::WalRecord& record : segment.records) {
+      switch (record.kind) {
+        case storage::WalRecord::Kind::kIngest:
+          Ingest(record.log);
+          break;
+        case storage::WalRecord::Kind::kAdvance:
+          AdvanceTo(record.advance_to);
+          break;
+      }
+    }
+    wal_replayed_records_->Increment(segment.records.size());
+    last_seq = seqs[i];
+  }
+  wal_replaying_ = false;
+
+  if (!config_.wal_dir.empty()) {
+    TURBO_CHECK_MSG(config_.wal_dir == dir,
+                    "Recover dir must be wal_dir when the WAL is enabled");
+    // Never append to a (possibly torn) old segment: start a fresh one.
+    uint64_t next = last_seq + 1;
+    if (start_seq != UINT64_MAX && start_seq != 1) {
+      next = std::max(next, start_seq);
+    }
+    TURBO_RETURN_IF_ERROR(OpenWalSegment(next));
+  }
+  recovery_s_->Set(sw.ElapsedSeconds());
+  return Status::OK();
 }
 
 std::shared_ptr<const bn::BnSnapshot> BnServer::snapshot() const {

@@ -5,23 +5,37 @@
 // snapshot.
 //
 // Concurrency contract: ingestion, AdvanceTo (window jobs, TTL expiry,
-// snapshot builds) are single-writer operations; SampleSubgraph and
-// view() are lock-free readers that may run from any number of threads
-// concurrently with the writer. The writer builds the next snapshot off
-// to the side and publishes it with an atomic shared_ptr swap (RCU
-// style); readers keep the version they loaded alive via the shared_ptr
-// held by their GraphView, so a snapshot is reclaimed only after the last
-// in-flight sampler drops it.
+// snapshot builds), Checkpoint, and Recover are single-writer
+// operations; SampleSubgraph and view() are lock-free readers that may
+// run from any number of threads concurrently with the writer. The
+// writer builds the next snapshot off to the side and publishes it with
+// an atomic shared_ptr swap (RCU style); readers keep the version they
+// loaded alive via the shared_ptr held by their GraphView, so a snapshot
+// is reclaimed only after the last in-flight sampler drops it — this
+// holds across Checkpoint and Recover too: views pinned before either
+// keep serving their pre-recovery snapshot.
+//
+// Durability (DESIGN.md "Durability & recovery"): with wal_dir set,
+// every Ingest and AdvanceTo is appended to a write-ahead log before it
+// mutates memory, and Checkpoint() serializes the complete mutable state
+// (edges with exact weight bits, raw logs, cached 1h buckets, window
+// frontiers, clock, snapshot) into one checksummed "turbo-bn v1" file,
+// rotating the WAL. Recover() loads the latest checkpoint and replays
+// the WAL tail through the deterministic window-job engine, so the
+// recovered server is bit-identical to one that never crashed.
 #pragma once
 
 #include <atomic>
 #include <memory>
+#include <string>
 
 #include "bn/builder.h"
 #include "bn/sampler.h"
 #include "bn/snapshot.h"
 #include "obs/metrics.h"
 #include "storage/log_store.h"
+#include "storage/wal.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace turbo::server {
@@ -49,6 +63,14 @@ struct BnServerConfig {
   /// "Observability"). Not owned; null = a private per-server registry,
   /// which keeps test/bench instances isolated from each other.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Durability directory for the ingest WAL and checkpoints; empty
+  /// disables the WAL (state is lost on crash). When the directory holds
+  /// state from a previous incarnation, Recover() must be called before
+  /// the first Ingest/AdvanceTo — starting fresh over existing segments
+  /// would make them unreplayable.
+  std::string wal_dir;
+  /// Group-commit batching and fsync policy of the WAL.
+  storage::WalOptions wal;
 };
 
 class BnServer {
@@ -71,6 +93,26 @@ class BnServer {
   /// larger windows that merge them, keeping the cache bounded by the
   /// largest window (see DESIGN.md "Ingestion & window jobs").
   void AdvanceTo(SimTime now);
+
+  /// Serializes the server's complete mutable state into
+  /// `<dir>/checkpoint.bin` ("turbo-bn v1": magic + per-section CRC32s),
+  /// published atomically (temp file + fsync + rename). With the WAL
+  /// enabled, `dir` must be wal_dir; the log is rotated to a fresh
+  /// segment and segments covered by the checkpoint are deleted.
+  /// Writer-side operation: safe concurrently with samplers, not with
+  /// Ingest/AdvanceTo.
+  Status Checkpoint(const std::string& dir);
+
+  /// Restores state from `dir`: loads `checkpoint.bin` if present (its
+  /// config fingerprint must match this server's config), then replays
+  /// the WAL tail — ingests and clock advances re-execute through the
+  /// deterministic window-job engine, so the recovered server is
+  /// bit-identical (edges, weights, frontiers, snapshot version) to the
+  /// writer at its last durable point. A torn final record (crash
+  /// mid-append) truncates the replay cleanly; a torn non-final segment
+  /// is corruption and fails. Must be called on a freshly constructed
+  /// server, before any Ingest/AdvanceTo.
+  Status Recover(const std::string& dir);
 
   /// Samples the computation subgraph for `uid` from the last published
   /// snapshot. Lock-free; callable from any thread concurrently with
@@ -100,6 +142,12 @@ class BnServer {
 
  private:
   void RefreshSnapshot();
+  /// Opens the WAL writer on segment `seq` (wal_dir must be set).
+  Status OpenWalSegment(uint64_t seq);
+  /// Appends one record to the WAL unless disabled or replaying.
+  void WalAppend(const storage::WalRecord& record);
+  /// Lazily opens the first WAL segment before the first mutation.
+  void EnsureWalOpen();
 
   BnServerConfig config_;
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
@@ -122,6 +170,13 @@ class BnServer {
   obs::Gauge* snapshot_lag_s_ = nullptr;
   obs::Gauge* ingest_lag_s_ = nullptr;
   obs::Gauge* sample_pinned_version_ = nullptr;
+  obs::Counter* wal_records_ = nullptr;
+  obs::Counter* checkpoints_ = nullptr;
+  obs::Counter* wal_replayed_records_ = nullptr;
+  obs::Gauge* wal_bytes_g_ = nullptr;
+  obs::Gauge* checkpoint_bytes_g_ = nullptr;
+  obs::Gauge* recovery_s_ = nullptr;
+  obs::Histogram* checkpoint_ms_ = nullptr;
   /// Worker pool the window-job shards run on (null = serial shards).
   std::unique_ptr<util::ThreadPool> job_pool_;
   storage::LogStore logs_{config_.log_cost};
@@ -143,6 +198,13 @@ class BnServer {
   mutable std::atomic<uint64_t> sample_seq_{0};
   size_t jobs_run_ = 0;
   size_t edges_expired_ = 0;
+  /// Current WAL segment (closed when the WAL is disabled).
+  storage::WalWriter wal_writer_;
+  /// True while Recover() re-applies WAL records; suppresses re-logging.
+  bool wal_replaying_ = false;
+  /// True once Recover() or the first mutation ran; guards the
+  /// "Recover before first write" contract.
+  bool recovered_or_started_ = false;
 };
 
 }  // namespace turbo::server

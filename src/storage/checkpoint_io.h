@@ -1,0 +1,201 @@
+// Self-describing, checksummed binary container for durable BN state —
+// the "turbo-bn v1" format (DESIGN.md "Durability & recovery").
+//
+// A checkpoint file is a magic header followed by named sections, each
+// carrying its own CRC32:
+//
+//   "TURBOBN1"            8-byte magic ("turbo-bn v1")
+//   u32 format_version    currently 1
+//   u32 section_count
+//   per section:
+//     u64 name_len, name bytes
+//     u64 payload_len
+//     u32 crc32(payload)
+//     payload bytes
+//
+// Integers are little-endian, fixed width. Readers validate the magic,
+// the version, and every section CRC before any payload is interpreted,
+// so a truncated or bit-flipped file fails loudly with a Status instead
+// of deserializing garbage. Files are published with write-to-temp +
+// fsync + rename, so a crash mid-checkpoint leaves the previous
+// checkpoint intact.
+//
+// BinaryWriter/BinaryReader are the primitive encode/decode layer shared
+// by section payloads and the WAL record format (wal.h). BinaryReader is
+// sticky-failure: reads past the end return zeros and latch !ok(), so
+// deserializers can decode a whole struct and check ok() once.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace turbo::storage {
+
+/// IEEE CRC32 (zlib-compatible polynomial), table-based.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+/// Append-only little-endian encoder over a growable byte buffer.
+class BinaryWriter {
+ public:
+  void U8(uint8_t v) { Raw(&v, 1); }
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void I64(int64_t v) { Raw(&v, sizeof(v)); }
+  void F32(float v) { Raw(&v, sizeof(v)); }
+  void F64(double v) { Raw(&v, sizeof(v)); }
+  void Bytes(const void* p, size_t n) { Raw(p, n); }
+  void String(std::string_view s) {
+    U64(s.size());
+    Raw(s.data(), s.size());
+  }
+
+  const std::string& data() const { return buf_; }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  void Raw(const void* p, size_t n) {
+    buf_.append(static_cast<const char*>(p), n);
+  }
+  std::string buf_;
+};
+
+/// Bounds-checked little-endian decoder. Reads past the end latch a
+/// sticky failure and yield zero values; callers check ok() (and usually
+/// remaining() == 0) after decoding a payload.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  uint8_t U8() {
+    uint8_t v = 0;
+    Raw(&v, 1);
+    return v;
+  }
+  uint32_t U32() {
+    uint32_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  uint64_t U64() {
+    uint64_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  int64_t I64() {
+    int64_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  float F32() {
+    float v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  double F64() {
+    double v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  bool Bytes(void* p, size_t n) { return Raw(p, n); }
+  /// Zero-copy bulk access: returns a pointer to the next `n` bytes and
+  /// advances past them, or nullptr (latching failure) on overrun. The
+  /// pointer aliases the reader's underlying buffer — valid only while
+  /// that buffer lives. Lets row-decoding loops skip the per-field
+  /// bounds check.
+  const char* Take(size_t n) {
+    if (failed_ || n > remaining()) {
+      failed_ = true;
+      return nullptr;
+    }
+    const char* p = data_.data() + pos_;
+    pos_ += n;
+    return p;
+  }
+  std::string String() {
+    const uint64_t n = U64();
+    if (n > remaining()) {
+      failed_ = true;
+      return {};
+    }
+    std::string s(data_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+
+  bool ok() const { return !failed_; }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  bool Raw(void* p, size_t n) {
+    if (failed_ || n > remaining()) {
+      failed_ = true;
+      std::memset(p, 0, n);
+      return false;
+    }
+    std::memcpy(p, data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+/// Collects named sections and publishes them atomically as one
+/// checkpoint file (temp file + fsync + rename).
+class CheckpointWriter {
+ public:
+  /// Adds a section; names must be unique per file.
+  void AddSection(const std::string& name, const BinaryWriter& payload);
+
+  /// Serialized size of the file body so far (capacity planning).
+  size_t TotalBytes() const;
+
+  /// Writes `<path>.tmp`, fsyncs it, and renames over `path`.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  std::map<std::string, std::string> sections_;
+};
+
+/// Parses and validates a checkpoint file: magic, version, and every
+/// section CRC are checked up front. Sections are views into the file
+/// bytes held by the reader — no per-section copies — so they stay valid
+/// exactly as long as the reader does.
+class CheckpointReader {
+ public:
+  static Result<CheckpointReader> Open(const std::string& path);
+
+  CheckpointReader(CheckpointReader&&) = default;
+  CheckpointReader& operator=(CheckpointReader&&) = default;
+
+  bool Has(const std::string& name) const {
+    return sections_.contains(name);
+  }
+  /// Section payload (view into the reader's buffer), empty if absent.
+  std::string_view Find(const std::string& name) const;
+  size_t FileBytes() const { return file_->size(); }
+
+ private:
+  CheckpointReader() = default;
+
+  // unique_ptr so moves don't invalidate the section views.
+  std::unique_ptr<std::string> file_;
+  std::map<std::string, std::string_view> sections_;
+};
+
+/// Reads a whole file into memory (shared by checkpoint + WAL readers).
+Result<std::string> ReadFileBytes(const std::string& path);
+
+/// Writes bytes to `<path>.tmp`, fsyncs, then renames over `path` —
+/// readers see either the old file or the complete new one.
+Status WriteFileAtomic(const std::string& path, std::string_view bytes);
+
+}  // namespace turbo::storage

@@ -85,6 +85,58 @@ size_t EdgeStore::TotalEdges() const {
   return s;
 }
 
+void EdgeStore::Serialize(BinaryWriter* w) const {
+  for (int t = 0; t < kNumEdgeTypes; ++t) {
+    w->U64(edge_count_[t]);
+    const auto& adj = by_type_[t];
+    for (UserId u = 0; u < adj.size(); ++u) {
+      // Neighbor maps are unordered; emit ascending ids so equal stores
+      // serialize to equal bytes.
+      std::vector<UserId> nbrs;
+      nbrs.reserve(adj[u].size());
+      for (const auto& [v, e] : adj[u]) {
+        if (u < v) nbrs.push_back(v);
+      }
+      std::sort(nbrs.begin(), nbrs.end());
+      for (UserId v : nbrs) {
+        const EdgeInfo& e = adj[u].at(v);
+        w->U32(u);
+        w->U32(v);
+        w->F64(e.weight);
+        w->I64(e.last_update);
+      }
+    }
+  }
+}
+
+Status EdgeStore::Deserialize(BinaryReader* r) {
+  for (int t = 0; t < kNumEdgeTypes; ++t) {
+    by_type_[t].clear();
+    edge_count_[t] = 0;
+  }
+  for (int t = 0; t < kNumEdgeTypes; ++t) {
+    const uint64_t count = r->U64();
+    auto& adj = by_type_[t];
+    for (uint64_t i = 0; i < count; ++i) {
+      const UserId u = r->U32();
+      const UserId v = r->U32();
+      const double weight = r->F64();
+      const SimTime last_update = r->I64();
+      if (!r->ok()) {
+        return Status::InvalidArgument("truncated edge section");
+      }
+      if (u == v || weight <= 0.0) {
+        return Status::InvalidArgument("corrupt edge record");
+      }
+      EnsureSize(&adj, std::max(u, v));
+      adj[u][v] = EdgeInfo{weight, last_update};
+      adj[v][u] = EdgeInfo{weight, last_update};
+      ++edge_count_[t];
+    }
+  }
+  return Status::OK();
+}
+
 std::vector<UserId> EdgeStore::ConnectedUsers() const {
   size_t max_size = 0;
   for (const auto& adj : by_type_) max_size = std::max(max_size, adj.size());

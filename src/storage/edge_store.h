@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "storage/behavior_log.h"
+#include "storage/checkpoint_io.h"
 #include "util/check.h"
 
 namespace turbo::storage {
@@ -55,6 +56,15 @@ class EdgeStore {
 
   /// Users that have at least one edge of any type.
   std::vector<UserId> ConnectedUsers() const;
+
+  /// Checkpoint hook: writes every undirected edge (from its smaller
+  /// endpoint, endpoints ascending) with its exact double weight bits and
+  /// TTL timestamp. Deterministic: equal stores produce equal bytes.
+  void Serialize(BinaryWriter* w) const;
+
+  /// Restores a Serialize()d store, replacing current contents. Weights
+  /// are restored bit-exactly (not re-accumulated through float adds).
+  Status Deserialize(BinaryReader* r);
 
  private:
   using Adjacency = std::vector<std::unordered_map<UserId, EdgeInfo>>;

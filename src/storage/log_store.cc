@@ -1,6 +1,8 @@
 #include "storage/log_store.h"
 
 #include <algorithm>
+#include <cstring>
+#include <string>
 
 namespace turbo::storage {
 
@@ -110,6 +112,190 @@ std::vector<LogStore::ValueKey> LogStore::ActiveValues(SimTime t0,
     if (lo != idx.obs.end() && lo->time <= t1) out.push_back(key);
   }
   return out;
+}
+
+namespace {
+
+// Fixed row widths of the bulk log-section format (see log_store.h).
+constexpr size_t kUserRowBytes = 1 + 8 + 8;  // type, value, time
+constexpr size_t kObsRowBytes = 4 + 8;       // uid, time
+constexpr size_t kKeyRowBytes = 1 + 8;       // type, value
+
+}  // namespace
+
+void LogStore::Serialize(BinaryWriter* w) const {
+  w->U64(total_);
+
+  // Per-user log runs, uid ascending; uid is implicit in the rows.
+  w->U64(by_user_.size());
+  for (UserId uid : Users()) {
+    const UserIndex& idx = by_user_.at(uid);
+    w->U32(uid);
+    w->U8(idx.sorted ? 1 : 0);
+    w->U64(idx.logs.size());
+    for (const BehaviorLog& log : idx.logs) {
+      char row[kUserRowBytes];
+      row[0] = static_cast<char>(log.type);
+      std::memcpy(row + 1, &log.value, sizeof(log.value));
+      std::memcpy(row + 9, &log.time, sizeof(log.time));
+      w->Bytes(row, sizeof(row));
+    }
+  }
+
+  // Per-(type, value) observation runs, keys in (type, value) order.
+  std::vector<ValueKey> keys;
+  keys.reserve(by_value_.size());
+  for (const auto& [key, idx] : by_value_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end(),
+            [](const ValueKey& a, const ValueKey& b) {
+              return a.type != b.type ? a.type < b.type : a.value < b.value;
+            });
+  w->U64(keys.size());
+  for (const ValueKey& key : keys) {
+    const ValueIndex& idx = by_value_.at(key);
+    w->U8(static_cast<uint8_t>(key.type));
+    w->U64(key.value);
+    w->U8(idx.sorted ? 1 : 0);
+    w->U64(idx.obs.size());
+    for (const Observation& o : idx.obs) {
+      char row[kObsRowBytes];
+      std::memcpy(row, &o.uid, sizeof(o.uid));
+      std::memcpy(row + 4, &o.time, sizeof(o.time));
+      w->Bytes(row, sizeof(row));
+    }
+  }
+
+  // Hour buckets of touched keys, hours ascending, keys ordered.
+  std::vector<int64_t> hours;
+  hours.reserve(touched_by_hour_.size());
+  for (const auto& [hour, keys_in_hour] : touched_by_hour_) {
+    hours.push_back(hour);
+  }
+  std::sort(hours.begin(), hours.end());
+  w->U64(hours.size());
+  for (int64_t hour : hours) {
+    const auto& keys_in_hour = touched_by_hour_.at(hour);
+    std::vector<ValueKey> bucket(keys_in_hour.begin(), keys_in_hour.end());
+    std::sort(bucket.begin(), bucket.end(),
+              [](const ValueKey& a, const ValueKey& b) {
+                return a.type != b.type ? a.type < b.type
+                                        : a.value < b.value;
+              });
+    w->I64(hour);
+    w->U64(bucket.size());
+    for (const ValueKey& key : bucket) {
+      char row[kKeyRowBytes];
+      row[0] = static_cast<char>(key.type);
+      std::memcpy(row + 1, &key.value, sizeof(key.value));
+      w->Bytes(row, sizeof(row));
+    }
+  }
+}
+
+Status LogStore::Deserialize(BinaryReader* r) {
+  by_user_.clear();
+  by_value_.clear();
+  touched_by_hour_.clear();
+  total_ = 0;
+  auto fail = [this](const char* what) {
+    by_user_.clear();
+    by_value_.clear();
+    touched_by_hour_.clear();
+    total_ = 0;
+    return Status::InvalidArgument(std::string("log section: ") + what);
+  };
+
+  const uint64_t total = r->U64();
+
+  // Per-user runs. Every count is checked against the bytes actually
+  // remaining before any allocation, so a corrupt length field fails
+  // cleanly instead of triggering a huge resize.
+  const uint64_t num_users = r->U64();
+  if (!r->ok() || num_users > r->remaining() / (4 + 1 + 8)) {
+    return fail("bad user count");
+  }
+  by_user_.reserve(num_users);
+  uint64_t logs_seen = 0;
+  for (uint64_t u = 0; u < num_users; ++u) {
+    const UserId uid = r->U32();
+    const uint8_t sorted = r->U8();
+    const uint64_t count = r->U64();
+    if (!r->ok() || count > r->remaining() / kUserRowBytes) {
+      return fail("truncated user run");
+    }
+    UserIndex& idx = by_user_[uid];
+    if (!idx.logs.empty()) return fail("duplicate user run");
+    idx.sorted = sorted != 0;
+    idx.logs.resize(count);
+    const char* p = r->Take(count * kUserRowBytes);
+    for (uint64_t i = 0; i < count; ++i, p += kUserRowBytes) {
+      BehaviorLog& log = idx.logs[i];
+      log.uid = uid;
+      log.type = static_cast<BehaviorType>(static_cast<uint8_t>(p[0]));
+      std::memcpy(&log.value, p + 1, sizeof(log.value));
+      std::memcpy(&log.time, p + 9, sizeof(log.time));
+    }
+    logs_seen += count;
+  }
+  if (logs_seen != total) return fail("log count mismatch");
+
+  // Per-(type, value) observation runs.
+  const uint64_t num_keys = r->U64();
+  if (!r->ok() || num_keys > r->remaining() / (1 + 8 + 1 + 8)) {
+    return fail("bad value-key count");
+  }
+  by_value_.reserve(num_keys);
+  uint64_t obs_seen = 0;
+  for (uint64_t k = 0; k < num_keys; ++k) {
+    ValueKey key;
+    key.type = static_cast<BehaviorType>(r->U8());
+    key.value = r->U64();
+    const uint8_t sorted = r->U8();
+    const uint64_t count = r->U64();
+    if (!r->ok() || count > r->remaining() / kObsRowBytes) {
+      return fail("truncated observation run");
+    }
+    ValueIndex& idx = by_value_[key];
+    if (!idx.obs.empty()) return fail("duplicate value-key run");
+    idx.sorted = sorted != 0;
+    idx.obs.resize(count);
+    const char* p = r->Take(count * kObsRowBytes);
+    for (uint64_t i = 0; i < count; ++i, p += kObsRowBytes) {
+      Observation& o = idx.obs[i];
+      std::memcpy(&o.uid, p, sizeof(o.uid));
+      std::memcpy(&o.time, p + 4, sizeof(o.time));
+    }
+    obs_seen += count;
+  }
+  if (obs_seen != total) return fail("observation count mismatch");
+
+  // Hour buckets of touched keys.
+  const uint64_t num_hours = r->U64();
+  if (!r->ok() || num_hours > r->remaining() / (8 + 8)) {
+    return fail("bad hour-bucket count");
+  }
+  touched_by_hour_.reserve(num_hours);
+  for (uint64_t h = 0; h < num_hours; ++h) {
+    const int64_t hour = r->I64();
+    const uint64_t count = r->U64();
+    if (!r->ok() || count > r->remaining() / kKeyRowBytes) {
+      return fail("truncated hour bucket");
+    }
+    auto& bucket = touched_by_hour_[hour];
+    if (!bucket.empty()) return fail("duplicate hour bucket");
+    bucket.reserve(count);
+    const char* p = r->Take(count * kKeyRowBytes);
+    for (uint64_t i = 0; i < count; ++i, p += kKeyRowBytes) {
+      ValueKey key;
+      key.type = static_cast<BehaviorType>(static_cast<uint8_t>(p[0]));
+      std::memcpy(&key.value, p + 1, sizeof(key.value));
+      bucket.insert(key);
+    }
+    if (bucket.size() != count) return fail("duplicate key in hour bucket");
+  }
+
+  total_ = total;
+  return Status::OK();
 }
 
 std::vector<UserId> LogStore::Users() const {

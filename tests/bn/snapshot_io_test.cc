@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+
+#include "bn/snapshot.h"
+#include "storage/checkpoint_io.h"
+#include "storage/edge_store.h"
+
+namespace turbo::bn {
+namespace {
+
+std::shared_ptr<const BnSnapshot> MakeSnapshot(uint64_t version,
+                                               bool normalize) {
+  storage::EdgeStore store;
+  store.AddWeight(0, 0, 1, 1.0f, 10);
+  store.AddWeight(0, 1, 2, 2.5f, 20);
+  store.AddWeight(0, 0, 3, 0.5f, 30);
+  store.AddWeight(3, 2, 3, 4.0f, 40);
+  store.AddWeight(7, 0, 4, 1.25f, 50);
+  SnapshotOptions options;
+  options.normalize = normalize;
+  options.num_threads = 1;
+  return BnSnapshot::Build(store, /*num_nodes=*/5, options, version);
+}
+
+void ExpectBitIdentical(const BnSnapshot& a, const BnSnapshot& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  EXPECT_EQ(a.version(), b.version());
+  EXPECT_EQ(a.normalized(), b.normalized());
+  for (int t = 0; t < kNumEdgeTypes; ++t) {
+    ASSERT_EQ(a.NumEdges(t), b.NumEdges(t)) << "type " << t;
+    for (UserId u = 0; u < static_cast<UserId>(a.num_nodes()); ++u) {
+      NeighborSpan na = a.Neighbors(t, u);
+      NeighborSpan nb = b.Neighbors(t, u);
+      ASSERT_EQ(na.size(), nb.size()) << "type " << t << " uid " << u;
+      for (size_t i = 0; i < na.size(); ++i) {
+        EXPECT_EQ(na.id(i), nb.id(i));
+        // Bitwise float comparison: recovery must republish the exact
+        // weights, not approximately recomputed ones.
+        EXPECT_EQ(std::memcmp(&na.weights()[i], &nb.weights()[i],
+                              sizeof(float)),
+                  0)
+            << "type " << t << " uid " << u << " slot " << i;
+      }
+    }
+  }
+}
+
+TEST(SnapshotIoTest, RoundTripIsBitIdentical) {
+  for (bool normalize : {true, false}) {
+    auto original = MakeSnapshot(17, normalize);
+    storage::BinaryWriter w;
+    original->Serialize(&w);
+    storage::BinaryReader r(w.data());
+    auto restored_or = BnSnapshot::Deserialize(&r);
+    ASSERT_TRUE(restored_or.ok()) << restored_or.status().ToString();
+    ExpectBitIdentical(*original, *restored_or.value());
+  }
+}
+
+TEST(SnapshotIoTest, EmptySnapshotRoundTrips) {
+  storage::EdgeStore empty;
+  auto original = BnSnapshot::Build(empty, /*num_nodes=*/3, {}, 1);
+  storage::BinaryWriter w;
+  original->Serialize(&w);
+  storage::BinaryReader r(w.data());
+  auto restored_or = BnSnapshot::Deserialize(&r);
+  ASSERT_TRUE(restored_or.ok());
+  ExpectBitIdentical(*original, *restored_or.value());
+}
+
+TEST(SnapshotIoTest, TruncatedPayloadFails) {
+  auto original = MakeSnapshot(5, true);
+  storage::BinaryWriter w;
+  original->Serialize(&w);
+  for (size_t cut : {w.data().size() / 4, w.data().size() / 2,
+                     w.data().size() - 1}) {
+    storage::BinaryReader r(std::string_view(w.data()).substr(0, cut));
+    auto restored_or = BnSnapshot::Deserialize(&r);
+    EXPECT_FALSE(restored_or.ok()) << "cut at " << cut;
+  }
+}
+
+TEST(SnapshotIoTest, OutOfRangeNeighborIdFails) {
+  // Hand-craft a payload whose neighbor id exceeds the declared node
+  // count: it must be rejected, not served out of bounds later.
+  storage::BinaryWriter corrupt;
+  corrupt.U64(17);
+  corrupt.I64(1);  // num_nodes = 1
+  corrupt.U8(0);
+  for (int t = 0; t < kNumEdgeTypes; ++t) {
+    corrupt.U64(1);  // one entry
+    corrupt.U64(0);  // offsets[0]
+    corrupt.U64(1);  // offsets[1]
+    UserId evil = 7;  // >= num_nodes
+    corrupt.Bytes(&evil, sizeof(evil));
+    float weight = 1.0f;
+    corrupt.Bytes(&weight, sizeof(weight));
+  }
+  storage::BinaryReader r(corrupt.data());
+  auto restored_or = BnSnapshot::Deserialize(&r);
+  EXPECT_FALSE(restored_or.ok());
+}
+
+}  // namespace
+}  // namespace turbo::bn

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 
 #include <gtest/gtest.h>
 
@@ -82,6 +83,63 @@ TEST(ModelStoreTest, LoadRejectsGarbageFile) {
   EXPECT_EQ(LoadModel(path, &m).code(), StatusCode::kInvalidArgument);
   EXPECT_EQ(LoadModel("/nonexistent/x.model", &m).code(),
             StatusCode::kNotFound);
+  std::remove(path.c_str());
+}
+
+TEST(ModelStoreTest, TruncatedFileLeavesModelUntouched) {
+  // Regression: Load used to stream floats straight into the live
+  // parameters, so a file cut off mid-tensor left the model half
+  // overwritten while returning an error.
+  auto batch = testing::MakePath(8, 1);
+  Hag a(TinyConfig());
+  a.Init(6);
+  const auto path = TempPath("hag_truncated.model");
+  ASSERT_TRUE(SaveModel(a, path, "to be truncated").ok());
+  {
+    std::ifstream in(path);
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::trunc);
+    out << contents.substr(0, contents.size() * 2 / 3);
+  }
+
+  HagConfig cfg = TinyConfig();
+  cfg.seed = 999;
+  Hag b(cfg);
+  b.Init(6);
+  const auto before = b.Logits(batch, false, nullptr);
+  EXPECT_EQ(LoadModel(path, &b).code(), StatusCode::kInvalidArgument);
+  const auto after = b.Logits(batch, false, nullptr);
+  EXPECT_TRUE(la::AllClose(after->value, before->value, 0.0f, 0.0f));
+  std::remove(path.c_str());
+}
+
+TEST(ModelStoreTest, CorruptTensorDataLeavesModelUntouched) {
+  auto batch = testing::MakePath(8, 1);
+  Hag a(TinyConfig());
+  a.Init(6);
+  const auto path = TempPath("hag_corrupt.model");
+  ASSERT_TRUE(SaveModel(a, path, "to be corrupted").ok());
+  {
+    std::ifstream in(path);
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    // Replace the final float with a non-numeric token.
+    const auto last_space = contents.find_last_of(" \n", contents.size() - 2);
+    ASSERT_NE(last_space, std::string::npos);
+    contents = contents.substr(0, last_space + 1) + "garbage\n";
+    std::ofstream out(path, std::ios::trunc);
+    out << contents;
+  }
+
+  HagConfig cfg = TinyConfig();
+  cfg.seed = 999;
+  Hag b(cfg);
+  b.Init(6);
+  const auto before = b.Logits(batch, false, nullptr);
+  EXPECT_EQ(LoadModel(path, &b).code(), StatusCode::kInvalidArgument);
+  const auto after = b.Logits(batch, false, nullptr);
+  EXPECT_TRUE(la::AllClose(after->value, before->value, 0.0f, 0.0f));
   std::remove(path.c_str());
 }
 

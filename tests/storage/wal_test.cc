@@ -1,0 +1,168 @@
+#include "storage/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "storage/checkpoint_io.h"
+
+namespace turbo::storage {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+BehaviorLog L(UserId u, ValueId v, SimTime t) {
+  return BehaviorLog{u, BehaviorType::kIpv4, v, t};
+}
+
+TEST(WalTest, RoundTripsIngestAndAdvanceRecords) {
+  const std::string dir = FreshDir("wal_roundtrip");
+  WalWriter writer;
+  ASSERT_TRUE(writer.Open(dir, 1, {}).ok());
+  ASSERT_TRUE(writer.Append(WalRecord::Ingest(L(7, 42, 10))).ok());
+  ASSERT_TRUE(writer.Append(WalRecord::Advance(3600)).ok());
+  ASSERT_TRUE(writer.Append(WalRecord::Ingest(L(8, 43, 3700))).ok());
+  ASSERT_TRUE(writer.Close().ok());
+
+  auto segment_or = ReadWalSegment(WalSegmentPath(dir, 1));
+  ASSERT_TRUE(segment_or.ok()) << segment_or.status().ToString();
+  const WalSegment& segment = segment_or.value();
+  EXPECT_EQ(segment.seq, 1u);
+  EXPECT_FALSE(segment.torn);
+  ASSERT_EQ(segment.records.size(), 3u);
+  EXPECT_EQ(segment.records[0].kind, WalRecord::Kind::kIngest);
+  EXPECT_EQ(segment.records[0].log, L(7, 42, 10));
+  EXPECT_EQ(segment.records[1].kind, WalRecord::Kind::kAdvance);
+  EXPECT_EQ(segment.records[1].advance_to, 3600);
+  EXPECT_EQ(segment.records[2].log, L(8, 43, 3700));
+}
+
+TEST(WalTest, EmptySegmentHasNoRecordsAndNoTear) {
+  const std::string dir = FreshDir("wal_empty");
+  WalWriter writer;
+  ASSERT_TRUE(writer.Open(dir, 3, {}).ok());
+  ASSERT_TRUE(writer.Close().ok());
+  auto segment_or = ReadWalSegment(WalSegmentPath(dir, 3));
+  ASSERT_TRUE(segment_or.ok());
+  EXPECT_EQ(segment_or.value().seq, 3u);
+  EXPECT_TRUE(segment_or.value().records.empty());
+  EXPECT_FALSE(segment_or.value().torn);
+}
+
+TEST(WalTest, GroupCommitBuffersUntilThreshold) {
+  const std::string dir = FreshDir("wal_group");
+  WalOptions options;
+  options.fsync = WalOptions::Fsync::kNever;
+  options.group_commit_records = 8;
+  options.group_commit_bytes = 1 << 20;
+  WalWriter writer;
+  ASSERT_TRUE(writer.Open(dir, 1, options).ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        writer.Append(WalRecord::Ingest(L(1, i, i))).ok());
+  }
+  // Below the threshold: records live in the writer's buffer, not yet in
+  // the file (a crash here loses them — that is the kNever contract).
+  auto before_or = ReadWalSegment(WalSegmentPath(dir, 1));
+  ASSERT_TRUE(before_or.ok());
+  EXPECT_TRUE(before_or.value().records.empty());
+  ASSERT_TRUE(writer.Flush().ok());
+  auto after_or = ReadWalSegment(WalSegmentPath(dir, 1));
+  ASSERT_TRUE(after_or.ok());
+  EXPECT_EQ(after_or.value().records.size(), 5u);
+  ASSERT_TRUE(writer.Close().ok());
+}
+
+TEST(WalTest, EveryAppendPolicyIsImmediatelyDurable) {
+  const std::string dir = FreshDir("wal_every");
+  WalOptions options;
+  options.fsync = WalOptions::Fsync::kEveryAppend;
+  options.group_commit_records = 1000;
+  WalWriter writer;
+  ASSERT_TRUE(writer.Open(dir, 1, options).ok());
+  ASSERT_TRUE(writer.Append(WalRecord::Ingest(L(1, 1, 1))).ok());
+  // No Flush/Close: the record must already be on disk.
+  auto segment_or = ReadWalSegment(WalSegmentPath(dir, 1));
+  ASSERT_TRUE(segment_or.ok());
+  EXPECT_EQ(segment_or.value().records.size(), 1u);
+  ASSERT_TRUE(writer.Close().ok());
+}
+
+TEST(WalTest, TornFinalRecordKeepsValidPrefix) {
+  const std::string dir = FreshDir("wal_torn");
+  WalWriter writer;
+  ASSERT_TRUE(writer.Open(dir, 1, {}).ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(writer.Append(WalRecord::Ingest(L(1, i, i))).ok());
+  }
+  ASSERT_TRUE(writer.Close().ok());
+
+  // Tear the last record mid-payload, as a crash mid-write would.
+  const std::string path = WalSegmentPath(dir, 1);
+  auto bytes = ReadFileBytes(path);
+  ASSERT_TRUE(bytes.ok());
+  ASSERT_TRUE(
+      WriteFileAtomic(path, std::string_view(bytes.value())
+                                .substr(0, bytes.value().size() - 7))
+          .ok());
+
+  auto segment_or = ReadWalSegment(path);
+  ASSERT_TRUE(segment_or.ok());
+  EXPECT_TRUE(segment_or.value().torn);
+  EXPECT_EQ(segment_or.value().records.size(), 9u);
+  EXPECT_EQ(segment_or.value().records.back().log.value, 8u);
+}
+
+TEST(WalTest, CorruptCrcEndsSegmentAtThatRecord) {
+  const std::string dir = FreshDir("wal_crc");
+  WalWriter writer;
+  ASSERT_TRUE(writer.Open(dir, 1, {}).ok());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(writer.Append(WalRecord::Ingest(L(1, i, i))).ok());
+  }
+  ASSERT_TRUE(writer.Close().ok());
+
+  const std::string path = WalSegmentPath(dir, 1);
+  auto bytes = ReadFileBytes(path);
+  ASSERT_TRUE(bytes.ok());
+  std::string corrupted = bytes.value();
+  corrupted[corrupted.size() - 30] ^= 0x01;  // flip a bit in record 3
+  ASSERT_TRUE(WriteFileAtomic(path, corrupted).ok());
+
+  auto segment_or = ReadWalSegment(path);
+  ASSERT_TRUE(segment_or.ok());
+  EXPECT_TRUE(segment_or.value().torn);
+  EXPECT_LT(segment_or.value().records.size(), 4u);
+}
+
+TEST(WalTest, BadHeaderMagicIsAnError) {
+  const std::string dir = FreshDir("wal_magic");
+  const std::string path = WalSegmentPath(dir, 1);
+  std::ofstream(path, std::ios::binary) << "NOTAWAL!xxxxyyyyzzzz";
+  auto segment_or = ReadWalSegment(path);
+  ASSERT_FALSE(segment_or.ok());
+  EXPECT_EQ(segment_or.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WalTest, ListWalSegmentsSortsAndIgnoresForeignFiles) {
+  const std::string dir = FreshDir("wal_list");
+  for (uint64_t seq : {3u, 1u, 12u}) {
+    WalWriter writer;
+    ASSERT_TRUE(writer.Open(dir, seq, {}).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  std::ofstream(dir + "/checkpoint.bin") << "x";
+  std::ofstream(dir + "/wal-junk.log") << "x";
+  EXPECT_EQ(ListWalSegments(dir), (std::vector<uint64_t>{1, 3, 12}));
+  EXPECT_TRUE(ListWalSegments(dir + "/missing").empty());
+}
+
+}  // namespace
+}  // namespace turbo::storage
