@@ -71,6 +71,11 @@ BnServer::BnServer(BnServerConfig config)
 }
 
 void BnServer::EnsureWalOpen() {
+  // A failed rotation leaves the writer closed with durable state in the
+  // dir; the fresh-start check below would then misreport the cause.
+  TURBO_CHECK_MSG(wal_error_.empty(),
+                  "WAL is broken after a failed segment rotation ("
+                      << wal_error_ << "); restart and Recover()");
   recovered_or_started_ = true;
   if (config_.wal_dir.empty() || wal_replaying_ || wal_writer_.is_open()) {
     return;
@@ -90,9 +95,12 @@ void BnServer::EnsureWalOpen() {
 
 Status BnServer::OpenWalSegment(uint64_t seq) {
   TURBO_CHECK(!config_.wal_dir.empty());
-  TURBO_RETURN_IF_ERROR(wal_writer_.Close());
-  TURBO_RETURN_IF_ERROR(
-      wal_writer_.Open(config_.wal_dir, seq, config_.wal));
+  Status s = wal_writer_.Close();
+  if (s.ok()) s = wal_writer_.Open(config_.wal_dir, seq, config_.wal);
+  if (!s.ok()) {
+    wal_error_ = s.ToString();
+    return s;
+  }
   wal_bytes_g_->Set(static_cast<double>(wal_writer_.bytes_written()));
   return Status::OK();
 }
@@ -358,7 +366,8 @@ Status BnServer::Recover(const std::string& dir) {
     }
     {
       storage::BinaryReader edges(reader.Find("edges"));
-      TURBO_RETURN_IF_ERROR(edges_.Deserialize(&edges));
+      TURBO_RETURN_IF_ERROR(edges_.Deserialize(
+          &edges, static_cast<UserId>(config_.num_users)));
     }
     {
       storage::BinaryReader logs(reader.Find("logs"));
@@ -374,6 +383,14 @@ Status BnServer::Recover(const std::string& dir) {
         auto snapshot_or = bn::BnSnapshot::Deserialize(&snap);
         if (!snapshot_or.ok()) return snapshot_or.status();
         auto restored = snapshot_or.take();
+        // The meta section pins num_users, so a mismatched node count in
+        // a CRC-valid snapshot can only be corruption.
+        if (restored->num_nodes() != config_.num_users) {
+          return Status::InvalidArgument(StrFormat(
+              "checkpoint snapshot has %d nodes but the server is "
+              "configured for %d users",
+              restored->num_nodes(), config_.num_users));
+        }
         snapshot_version_g_->Set(static_cast<double>(restored->version()));
         snapshot_edges_g_->Set(static_cast<double>(restored->TotalEdges()));
         snapshot_bytes_g_->Set(
@@ -421,6 +438,19 @@ Status BnServer::Recover(const std::string& dir) {
       return Status::Internal(StrFormat(
           "WAL segment %llu has a torn tail but is not the last segment",
           static_cast<unsigned long long>(seqs[i])));
+    }
+    if (segment.torn && !config_.wal_dir.empty()) {
+      // Drop the torn tail on disk as well: once a post-recovery segment
+      // opens after this one it is no longer the last, and a torn
+      // non-final segment would (rightly) fail the next Recover. The
+      // torn bytes carry no replayable record, so truncation loses
+      // nothing.
+      const Status ts = storage::TruncateWalSegment(
+          storage::WalSegmentPath(dir, seqs[i]), segment.valid_bytes);
+      if (!ts.ok()) {
+        wal_replaying_ = false;
+        return ts;
+      }
     }
     for (const storage::WalRecord& record : segment.records) {
       switch (record.kind) {

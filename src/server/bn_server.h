@@ -109,9 +109,11 @@ class BnServer {
   /// deterministic window-job engine, so the recovered server is
   /// bit-identical (edges, weights, frontiers, snapshot version) to the
   /// writer at its last durable point. A torn final record (crash
-  /// mid-append) truncates the replay cleanly; a torn non-final segment
-  /// is corruption and fails. Must be called on a freshly constructed
-  /// server, before any Ingest/AdvanceTo.
+  /// mid-append) truncates the replay cleanly and the torn tail is also
+  /// truncated off the segment file, so a later restart — by then the
+  /// torn segment is no longer the last one — still recovers; a torn
+  /// non-final segment is corruption and fails. Must be called on a
+  /// freshly constructed server, before any Ingest/AdvanceTo.
   Status Recover(const std::string& dir);
 
   /// Samples the computation subgraph for `uid` from the last published
@@ -202,6 +204,10 @@ class BnServer {
   storage::WalWriter wal_writer_;
   /// True while Recover() re-applies WAL records; suppresses re-logging.
   bool wal_replaying_ = false;
+  /// Non-empty once a WAL segment rotation failed: the writer is closed
+  /// while durable state exists, so later writes must fail-stop with
+  /// this cause rather than the misleading fresh-start contract check.
+  std::string wal_error_;
   /// True once Recover() or the first mutation ran; guards the
   /// "Recover before first write" contract.
   bool recovered_or_started_ = false;

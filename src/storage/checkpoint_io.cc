@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <array>
+#include <cerrno>
 #include <cstdio>
 #include <fstream>
 
@@ -179,6 +180,7 @@ Status WriteFileAtomic(const std::string& path, std::string_view bytes) {
   while (off < bytes.size()) {
     const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
     if (n < 0) {
+      if (errno == EINTR) continue;  // interrupted by a signal; retry
       ::close(fd);
       return Status::Internal("write failed for " + tmp);
     }

@@ -109,7 +109,7 @@ void EdgeStore::Serialize(BinaryWriter* w) const {
   }
 }
 
-Status EdgeStore::Deserialize(BinaryReader* r) {
+Status EdgeStore::Deserialize(BinaryReader* r, UserId num_users) {
   for (int t = 0; t < kNumEdgeTypes; ++t) {
     by_type_[t].clear();
     edge_count_[t] = 0;
@@ -127,6 +127,10 @@ Status EdgeStore::Deserialize(BinaryReader* r) {
       }
       if (u == v || weight <= 0.0) {
         return Status::InvalidArgument("corrupt edge record");
+      }
+      if (u >= num_users || v >= num_users) {
+        return Status::InvalidArgument(
+            "edge record endpoint out of range");
       }
       EnsureSize(&adj, std::max(u, v));
       adj[u][v] = EdgeInfo{weight, last_update};

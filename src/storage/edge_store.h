@@ -64,7 +64,10 @@ class EdgeStore {
 
   /// Restores a Serialize()d store, replacing current contents. Weights
   /// are restored bit-exactly (not re-accumulated through float adds).
-  Status Deserialize(BinaryReader* r);
+  /// Records with an endpoint >= `num_users` are rejected as corrupt:
+  /// without the bound a CRC-valid but hand-crafted id near 2^32 would
+  /// drive a multi-billion-row adjacency resize instead of an error.
+  Status Deserialize(BinaryReader* r, UserId num_users);
 
  private:
   using Adjacency = std::vector<std::unordered_map<UserId, EdgeInfo>>;

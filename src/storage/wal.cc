@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <filesystem>
 
 #include "storage/checkpoint_io.h"
@@ -62,8 +63,12 @@ std::vector<uint64_t> ListWalSegments(const std::string& dir) {
        std::filesystem::directory_iterator(dir, ec)) {
     const std::string name = entry.path().filename().string();
     unsigned long long seq = 0;
+    // Validate by re-formatting rather than by length: sequences past
+    // 10^8 outgrow the %08llu zero padding but are still our files,
+    // while trailing junk or missing padding means a foreign file.
     if (std::sscanf(name.c_str(), "wal-%llu.log", &seq) == 1 &&
-        name.size() == std::string("wal-00000000.log").size()) {
+        std::filesystem::path(WalSegmentPath(dir, seq)).filename() ==
+            name) {
       seqs.push_back(seq);
     }
   }
@@ -142,6 +147,7 @@ Status WalWriter::WriteRaw(const char* p, size_t n) {
   while (off < n) {
     const ssize_t w = ::write(fd_, p + off, n - off);
     if (w < 0) {
+      if (errno == EINTR) continue;  // signal mid-append, not an error
       return Status::Internal(
           StrFormat("write failed for wal segment %llu",
                     static_cast<unsigned long long>(seq_)));
@@ -172,6 +178,7 @@ Result<WalSegment> ReadWalSegment(const std::string& path) {
   if (!r.ok()) {
     return Status::InvalidArgument(path + ": truncated WAL header");
   }
+  segment.valid_bytes = file.size() - r.remaining();
   while (r.remaining() > 0) {
     // Decode one record; any shortfall or CRC mismatch is a torn tail.
     const size_t record_start = file.size() - r.remaining();
@@ -204,8 +211,23 @@ Result<WalSegment> ReadWalSegment(const std::string& path) {
       break;
     }
     segment.records.push_back(record);
+    segment.valid_bytes = file.size() - r.remaining();
   }
   return segment;
+}
+
+Status TruncateWalSegment(const std::string& path, size_t valid_bytes) {
+  const int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) {
+    return Status::Internal("cannot open " + path + " for truncate");
+  }
+  if (::ftruncate(fd, static_cast<off_t>(valid_bytes)) != 0 ||
+      ::fsync(fd) != 0) {
+    ::close(fd);
+    return Status::Internal("truncate failed for " + path);
+  }
+  ::close(fd);
+  return Status::OK();
 }
 
 }  // namespace turbo::storage

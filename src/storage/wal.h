@@ -124,10 +124,17 @@ struct WalSegment {
   std::vector<WalRecord> records;
   bool torn = false;
   size_t bytes = 0;
+  /// Bytes of header + valid records; equals `bytes` unless torn, in
+  /// which case truncating the file here removes exactly the torn tail.
+  size_t valid_bytes = 0;
 };
 
 /// Reads and validates one segment file. A bad header is an error; a
 /// torn tail is not (records before it are returned, torn = true).
 Result<WalSegment> ReadWalSegment(const std::string& path);
+
+/// Truncates a torn segment file to its valid prefix (`valid_bytes` from
+/// ReadWalSegment) and fsyncs it, so later reads see a clean segment.
+Status TruncateWalSegment(const std::string& path, size_t valid_bytes);
 
 }  // namespace turbo::storage

@@ -241,6 +241,124 @@ TEST(RecoveryTest, TornFinalRecordRecoversTheDurablePrefix) {
   EXPECT_GT(storage::ListWalSegments(dir).back(), seqs[0]);
 }
 
+TEST(RecoveryTest, RestartAfterTornTailRecoveryStillRecovers) {
+  // Regression: recovering past a torn final segment used to leave the
+  // torn file on disk and open a new segment after it; on the next
+  // restart the torn segment was no longer the last one, so Recover()
+  // refused ("torn tail but is not the last segment") even though the
+  // state was fully reconstructible. Recover() now truncates the torn
+  // tail, so any number of crash/recover cycles replay cleanly.
+  const std::string dir = FreshDir("rec_torn_restart");
+  {
+    BnServer writer(SmallConfig(dir));
+    writer.Ingest(L(1, 42, 10 * kMinute));
+    writer.Ingest(L(2, 42, 20 * kMinute));
+    writer.AdvanceTo(kHour);
+    writer.Ingest(L(3, 99, kHour + kMinute));  // will be torn off
+  }
+  const auto seqs = storage::ListWalSegments(dir);
+  ASSERT_EQ(seqs.size(), 1u);
+  const std::string path = storage::WalSegmentPath(dir, seqs[0]);
+  auto bytes = storage::ReadFileBytes(path);
+  ASSERT_TRUE(bytes.ok());
+  ASSERT_TRUE(storage::WriteFileAtomic(
+                  path, std::string_view(bytes.value())
+                            .substr(0, bytes.value().size() - 5))
+                  .ok());
+
+  BnServer reference(SmallConfig());
+  reference.Ingest(L(1, 42, 10 * kMinute));
+  reference.Ingest(L(2, 42, 20 * kMinute));
+  reference.AdvanceTo(kHour);
+  {
+    // First recovery replays the valid prefix and writes to a fresh
+    // segment after the (now truncated) torn one.
+    BnServer recovered(SmallConfig(dir));
+    ASSERT_TRUE(recovered.Recover(dir).ok());
+    ExpectIdentical(reference, recovered);
+    recovered.Ingest(L(4, 5, kHour + 2 * kMinute));
+    recovered.AdvanceTo(2 * kHour);  // flushes the new segment
+    reference.Ingest(L(4, 5, kHour + 2 * kMinute));
+    reference.AdvanceTo(2 * kHour);
+    ASSERT_GT(storage::ListWalSegments(dir).size(), 1u);
+  }
+  // Second restart: the once-torn segment is now a non-final segment and
+  // must replay as a clean one.
+  BnServer again(SmallConfig(dir));
+  ASSERT_TRUE(again.Recover(dir).ok());
+  ExpectIdentical(reference, again);
+}
+
+TEST(RecoveryTest, SnapshotNodeCountMismatchIsRejected) {
+  // A CRC-valid checkpoint whose snapshot section claims a different
+  // node count than the (matching) meta section can only be corruption;
+  // it must fail cleanly, not publish a wrong-sized serving graph.
+  const std::string dir = FreshDir("rec_snap_nodes");
+  BnServer writer(SmallConfig(dir));
+  writer.IngestBatch(Traffic(0, kDay, 40));
+  writer.AdvanceTo(kDay);
+  ASSERT_TRUE(writer.Checkpoint(dir).ok());
+
+  const std::string path = dir + "/checkpoint.bin";
+  auto reader_or = storage::CheckpointReader::Open(path);
+  ASSERT_TRUE(reader_or.ok());
+  storage::CheckpointWriter rewriter;
+  for (const char* name : {"meta", "server", "edges", "logs", "buckets"}) {
+    storage::BinaryWriter section;
+    const std::string_view payload = reader_or.value().Find(name);
+    section.Bytes(payload.data(), payload.size());
+    rewriter.AddSection(name, section);
+  }
+  storage::BinaryWriter snap;
+  snap.U8(1);
+  storage::EdgeStore tiny;
+  tiny.AddWeight(0, 1, 2, 1.0f, 0);
+  bn::BnSnapshot::Build(tiny, /*num_nodes=*/32, {}, 1)->Serialize(&snap);
+  rewriter.AddSection("snapshot", snap);
+  ASSERT_TRUE(rewriter.WriteFile(path).ok());
+
+  BnServer recovered(SmallConfig(dir));
+  const Status s = recovered.Recover(dir);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RecoveryTest, OutOfRangeEdgeEndpointInCheckpointIsRejected) {
+  // Same section-swap attack on "edges": an endpoint beyond num_users
+  // must be a clean error, not a multi-billion-row adjacency resize.
+  const std::string dir = FreshDir("rec_edge_bound");
+  BnServer writer(SmallConfig(dir));
+  writer.IngestBatch(Traffic(0, kDay, 40));
+  writer.AdvanceTo(kDay);
+  ASSERT_TRUE(writer.Checkpoint(dir).ok());
+
+  const std::string path = dir + "/checkpoint.bin";
+  auto reader_or = storage::CheckpointReader::Open(path);
+  ASSERT_TRUE(reader_or.ok());
+  storage::CheckpointWriter rewriter;
+  for (const char* name :
+       {"meta", "server", "logs", "buckets", "snapshot"}) {
+    storage::BinaryWriter section;
+    const std::string_view payload = reader_or.value().Find(name);
+    section.Bytes(payload.data(), payload.size());
+    rewriter.AddSection(name, section);
+  }
+  storage::BinaryWriter edges;
+  edges.U64(1);  // type 0: one edge with a uid far past num_users
+  edges.U32(3000000000u);
+  edges.U32(1);
+  edges.F64(1.0);
+  edges.I64(0);
+  for (int t = 1; t < kNumEdgeTypes; ++t) edges.U64(0);
+  rewriter.AddSection("edges", edges);
+  ASSERT_TRUE(rewriter.WriteFile(path).ok());
+
+  BnServer recovered(SmallConfig(dir));
+  const Status s = recovered.Recover(dir);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
 TEST(RecoveryTest, ConfigMismatchIsRejected) {
   const std::string dir = FreshDir("rec_cfg");
   BnServer writer(SmallConfig(dir));

@@ -88,6 +88,56 @@ TEST(EdgeStoreDeathTest, RejectsWrappedNegativeIds) {
                "CHECK failed");
 }
 
+TEST(EdgeStoreTest, SerializeRoundTripsExactly) {
+  EdgeStore store;
+  store.AddWeight(0, 1, 2, 0.25f, 100);
+  store.AddWeight(0, 1, 2, 1.0f / 3.0f, 200);
+  store.AddWeight(2, 5, 7, 0.125f, 300);
+  BinaryWriter w;
+  store.Serialize(&w);
+  BinaryReader r(w.data());
+  EdgeStore restored;
+  ASSERT_TRUE(restored.Deserialize(&r, /*num_users=*/8).ok());
+  EXPECT_EQ(restored.TotalEdges(), 2u);
+  // Exact double bits, not re-accumulated floats.
+  EXPECT_EQ(restored.Neighbors(0, 1).at(2).weight,
+            store.Neighbors(0, 1).at(2).weight);
+  EXPECT_EQ(restored.Neighbors(0, 1).at(2).last_update, 200);
+  EXPECT_EQ(restored.Neighbors(2, 5).at(7).weight,
+            store.Neighbors(2, 5).at(7).weight);
+}
+
+TEST(EdgeStoreTest, DeserializeRejectsEndpointBeyondBound) {
+  // Regression: a CRC-valid but corrupt record with a uid near 2^32 must
+  // return InvalidArgument, not drive EnsureSize into a multi-billion-row
+  // adjacency resize.
+  BinaryWriter w;
+  w.U64(1);  // type 0: one edge
+  w.U32(3000000000u);
+  w.U32(1);
+  w.F64(1.0);
+  w.I64(0);
+  for (int t = 1; t < kNumEdgeTypes; ++t) w.U64(0);
+  BinaryReader r(w.data());
+  EdgeStore store;
+  const Status s = store.Deserialize(&r, /*num_users=*/64);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EdgeStoreTest, DeserializeRejectsEndpointJustPastBound) {
+  BinaryWriter w;
+  w.U64(1);
+  w.U32(1);
+  w.U32(64);  // == num_users, first out-of-range id
+  w.F64(1.0);
+  w.I64(0);
+  for (int t = 1; t < kNumEdgeTypes; ++t) w.U64(0);
+  BinaryReader r(w.data());
+  EdgeStore store;
+  EXPECT_FALSE(store.Deserialize(&r, /*num_users=*/64).ok());
+}
+
 TEST(EdgeStoreTest, ExpiryCountsEachUndirectedEdgeOnce) {
   EdgeStore store;
   for (UserId u = 0; u < 4; ++u) {

@@ -118,6 +118,17 @@ TEST(WalTest, TornFinalRecordKeepsValidPrefix) {
   EXPECT_TRUE(segment_or.value().torn);
   EXPECT_EQ(segment_or.value().records.size(), 9u);
   EXPECT_EQ(segment_or.value().records.back().log.value, 8u);
+
+  // valid_bytes marks the end of the record prefix: truncating there
+  // removes exactly the torn tail and the segment reads back clean.
+  const size_t valid = segment_or.value().valid_bytes;
+  EXPECT_LT(valid, segment_or.value().bytes);
+  ASSERT_TRUE(TruncateWalSegment(path, valid).ok());
+  auto clean_or = ReadWalSegment(path);
+  ASSERT_TRUE(clean_or.ok());
+  EXPECT_FALSE(clean_or.value().torn);
+  EXPECT_EQ(clean_or.value().records.size(), 9u);
+  EXPECT_EQ(clean_or.value().bytes, valid);
 }
 
 TEST(WalTest, CorruptCrcEndsSegmentAtThatRecord) {
@@ -160,8 +171,23 @@ TEST(WalTest, ListWalSegmentsSortsAndIgnoresForeignFiles) {
   }
   std::ofstream(dir + "/checkpoint.bin") << "x";
   std::ofstream(dir + "/wal-junk.log") << "x";
+  std::ofstream(dir + "/wal-1.log") << "x";  // missing zero padding
   EXPECT_EQ(ListWalSegments(dir), (std::vector<uint64_t>{1, 3, 12}));
   EXPECT_TRUE(ListWalSegments(dir + "/missing").empty());
+}
+
+TEST(WalTest, ListWalSegmentsSeesSeqsWiderThanThePadding) {
+  // Regression: sequence numbers past 10^8 outgrow the %08llu padding;
+  // a fixed-length name check made them invisible to listing, rotation
+  // cleanup, and recovery.
+  const std::string dir = FreshDir("wal_wide");
+  for (uint64_t seq : {99999999ull, 100000000ull, 123456789012ull}) {
+    WalWriter writer;
+    ASSERT_TRUE(writer.Open(dir, seq, {}).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  EXPECT_EQ(ListWalSegments(dir),
+            (std::vector<uint64_t>{99999999, 100000000, 123456789012}));
 }
 
 }  // namespace
