@@ -11,6 +11,8 @@ bench type is auto-detected from the JSON shape:
     engine (higher is better)
   - "bench": "recovery"              -> recovery_speedup and
     wal_replay_records_per_s (higher is better)
+  - "bench": "incremental"           -> publish_speedup and
+    checkpoint_shrink (higher is better)
   - "bench": "serving_throughput"    -> runs[].requests_per_second per
     (mode, threads, batch) cell (higher is better)
   - google-benchmark output ("benchmarks" list) -> real_time per
@@ -23,6 +25,14 @@ were recorded on a single-core box — so when baseline and fresh
 disagree on core count the gate prints a warning and SKIPS itself
 (exit 0) instead of producing a meaningless verdict.
 
+When both runs were recorded on a SINGLE core, multi-thread cells
+(threads=N / .../tN/... with N > 1) measure scheduler round-robin, not
+parallel scale-up — the curve is flat by construction and a real
+regression in one cell drowns in noise from the others. Those labels
+are therefore dropped from the gate, the skip is printed, and the fresh
+JSON is annotated with "parallel_gates_skipped" so the artifact records
+which cells were never gated.
+
 CI machines are also noisy even at matching core counts, so the default
 tolerance is deliberately loose (20%, the ISSUE 2 contract) and can be
 widened with --tolerance or BENCH_TOLERANCE.
@@ -32,6 +42,7 @@ Usage: check_bench_regression.py BASELINE.json FRESH.json [--tolerance=0.2]
 import argparse
 import json
 import os
+import re
 import sys
 
 
@@ -46,6 +57,38 @@ def hardware_threads(data):
         return data["hardware_threads"]
     context = data.get("context", {})
     return context.get("num_cpus")
+
+
+def parallel_thread_count(label):
+    """Thread count a metric label is keyed by, or None if unthreaded.
+
+    Recognizes the two threaded label shapes this gate produces:
+    "threads=N" (snapshot_concurrency) and ".../tN/..." cells
+    (serving_throughput).
+    """
+    m = re.fullmatch(r"threads=(\d+)", label)
+    if m is None:
+        m = re.search(r"/t(\d+)/", label)
+    return int(m.group(1)) if m else None
+
+
+def drop_parallel_labels(metrics):
+    """Splits metrics into (kept, skipped-label list) for a 1-core box."""
+    skipped = sorted(
+        label for label in metrics
+        if (parallel_thread_count(label) or 1) > 1
+    )
+    kept = {k: v for k, v in metrics.items() if k not in skipped}
+    return kept, skipped
+
+
+def annotate_skipped(path, skipped):
+    """Records the ungated labels in the bench JSON itself."""
+    data = load(path)
+    data["parallel_gates_skipped"] = skipped
+    with open(path, "w") as f:
+        json.dump(data, f, indent=2)
+        f.write("\n")
 
 
 def extract_metrics(data, path):
@@ -81,6 +124,19 @@ def extract_metrics(data, path):
                 "recovery_speedup": data["recovery_speedup"],
                 "wal_replay_records_per_s":
                     data["wal_replay_records_per_s"],
+            },
+            True,
+        )
+    if bench == "incremental":
+        # Flat machine-speed-independent ratios: incremental publish vs
+        # full rebuild, and delta checkpoint size vs full checkpoint.
+        for key in ("publish_speedup", "checkpoint_shrink"):
+            if key not in data:
+                sys.exit(f"error: missing '{key}' in {path}")
+        return (
+            {
+                "publish_speedup": data["publish_speedup"],
+                "checkpoint_shrink": data["checkpoint_shrink"],
             },
             True,
         )
@@ -133,6 +189,20 @@ def main():
     baseline, higher_is_better = extract_metrics(
         baseline_data, args.baseline)
     fresh, _ = extract_metrics(fresh_data, args.fresh)
+
+    if base_hw == 1 and fresh_hw == 1:
+        baseline, skipped = drop_parallel_labels(baseline)
+        fresh, _ = drop_parallel_labels(fresh)
+        if skipped:
+            print(
+                "NOTE: both runs were recorded on 1 hardware thread; "
+                "multi-thread cells measure scheduling, not scale-up — "
+                "skipping: " + ", ".join(skipped)
+            )
+            annotate_skipped(args.fresh, skipped)
+        if not baseline:
+            print("NOTE: no single-thread cells left to gate — PASS")
+            return 0
 
     failed = False
     for label in sorted(baseline):

@@ -37,6 +37,17 @@ void BnBuilder::SetMetrics(obs::MetricsRegistry* metrics) {
       metrics->GetCounter("bn_window_cache_merge_jobs_total");
   scan_jobs_ = metrics->GetCounter("bn_window_scan_jobs_total");
   cache_epochs_g_ = metrics->GetGauge("bn_bucket_cache_epochs");
+  cache_bytes_g_ = metrics->GetGauge("bn_bucket_cache_bytes");
+  UpdateCacheGauges();
+}
+
+void BnBuilder::UpdateCacheGauges() {
+  if (cache_epochs_g_ != nullptr) {
+    cache_epochs_g_->Set(static_cast<double>(base_buckets_.size()));
+  }
+  if (cache_bytes_g_ != nullptr) {
+    cache_bytes_g_->Set(static_cast<double>(cache_bytes_));
+  }
 }
 
 void BnBuilder::AppendBucketDeltas(int edge_type,
@@ -167,6 +178,10 @@ size_t BnBuilder::RunWindowJob(const storage::LogStore& store,
   for (ShardState& shard : shards) {
     for (const EdgeDelta& d : shard.deltas) {
       edges_->AddWeight(d.edge_type, d.u, d.v, d.w, epoch_end);
+      // Both endpoints' adjacency rows changed — the churn contract the
+      // incremental snapshot / delta checkpoint consumers rely on.
+      pending_churn_.Touch(d.edge_type, d.u);
+      pending_churn_.Touch(d.edge_type, d.v);
     }
     updates += shard.deltas.size();
     if (shard_ms_ != nullptr) {
@@ -180,6 +195,7 @@ size_t BnBuilder::RunWindowJob(const storage::LogStore& store,
     auto& slot = base_buckets_[epoch_end];
     for (ShardState& shard : shards) {
       for (auto& [key, users] : shard.buckets) {
+        cache_bytes_ += BucketBytes(users);
         slot.emplace(key, std::move(users));
       }
     }
@@ -187,7 +203,7 @@ size_t BnBuilder::RunWindowJob(const storage::LogStore& store,
   if (merge_ms_ != nullptr) {
     merge_ms_->Observe(merge_sw.ElapsedMillis());
     (from_cache ? cache_merge_jobs_ : scan_jobs_)->Increment();
-    cache_epochs_g_->Set(static_cast<double>(base_buckets_.size()));
+    UpdateCacheGauges();
   }
   return updates;
 }
@@ -209,6 +225,7 @@ void BnBuilder::BuildFromLogs(const BehaviorLogList& logs) {
     max_t = std::max(max_t, log.time);
   }
   base_buckets_.clear();
+  cache_bytes_ = 0;
   if (store.size() == 0) return;
 
   // Every window runs to the latest epoch boundary any window needs:
@@ -240,11 +257,26 @@ void BnBuilder::BuildFromLogs(const BehaviorLogList& logs) {
     EvictCachedBuckets(*std::min_element(last_end.begin(), last_end.end()));
   }
   base_buckets_.clear();
+  cache_bytes_ = 0;
+  // Offline builds have no incremental consumers; drop the churn the
+  // replayed jobs recorded instead of handing the whole graph to the
+  // next TakeChurn() caller.
+  pending_churn_.Clear();
+  UpdateCacheGauges();
 }
 
 void BnBuilder::SerializeCache(storage::BinaryWriter* w) const {
-  w->U64(base_buckets_.size());
-  for (const auto& [epoch_end, buckets] : base_buckets_) {
+  SerializeCacheSince(0, w);
+}
+
+void BnBuilder::SerializeCacheSince(SimTime after,
+                                    storage::BinaryWriter* w) const {
+  // Epoch ends are positive and the map is ordered, so `after == 0`
+  // degenerates to the full cache and the wire format stays identical.
+  const auto begin = base_buckets_.upper_bound(after);
+  w->U64(static_cast<uint64_t>(std::distance(begin, base_buckets_.end())));
+  for (auto eit = begin; eit != base_buckets_.end(); ++eit) {
+    const auto& [epoch_end, buckets] = *eit;
     w->I64(epoch_end);
     w->U64(buckets.size());
     // Canonical key order: the map is unordered and equal caches must
@@ -269,45 +301,72 @@ void BnBuilder::SerializeCache(storage::BinaryWriter* w) const {
 
 Status BnBuilder::DeserializeCache(storage::BinaryReader* r) {
   base_buckets_.clear();
+  cache_bytes_ = 0;
+  return DeserializeCacheDelta(r);
+}
+
+Status BnBuilder::DeserializeCacheDelta(storage::BinaryReader* r) {
+  const auto fail = [this] {
+    base_buckets_.clear();
+    cache_bytes_ = 0;
+    UpdateCacheGauges();
+    return Status::InvalidArgument("truncated bucket-cache section");
+  };
   const uint64_t epochs = r->U64();
   for (uint64_t i = 0; i < epochs; ++i) {
     const SimTime epoch_end = r->I64();
     const uint64_t num_keys = r->U64();
-    auto& slot = base_buckets_[epoch_end];
+    std::unordered_map<ValueKey, std::vector<UserId>, ValueKeyHash> slot;
     for (uint64_t k = 0; k < num_keys; ++k) {
       ValueKey key;
       key.type = static_cast<BehaviorType>(r->U8());
       key.value = r->U64();
       const uint64_t n = r->U64();
       if (!r->ok() || n > r->remaining() / sizeof(UserId)) {
-        base_buckets_.clear();
-        return Status::InvalidArgument("truncated bucket-cache section");
+        return fail();
       }
       std::vector<UserId> users(n);
       r->Bytes(users.data(), n * sizeof(UserId));
       slot.emplace(key, std::move(users));
     }
+    // Replace the epoch wholesale (on the delta path it is always new —
+    // epochs are only ever added above the previous maximum).
+    auto it = base_buckets_.find(epoch_end);
+    if (it != base_buckets_.end()) {
+      for (const auto& [key, users] : it->second) {
+        cache_bytes_ -= BucketBytes(users);
+      }
+      base_buckets_.erase(it);
+    }
+    for (const auto& [key, users] : slot) cache_bytes_ += BucketBytes(users);
+    base_buckets_.emplace(epoch_end, std::move(slot));
   }
   if (!r->ok()) {
-    base_buckets_.clear();
-    return Status::InvalidArgument("truncated bucket-cache section");
+    return fail();
   }
-  if (cache_epochs_g_ != nullptr) {
-    cache_epochs_g_->Set(static_cast<double>(base_buckets_.size()));
-  }
+  UpdateCacheGauges();
   return Status::OK();
 }
 
 size_t BnBuilder::ExpireOld(SimTime now) {
-  return edges_->ExpireBefore(now - config_.edge_ttl);
+  return edges_->ExpireBefore(now - config_.edge_ttl, &pending_churn_);
+}
+
+storage::EdgeChurn BnBuilder::TakeChurn() {
+  storage::EdgeChurn out = std::move(pending_churn_);
+  pending_churn_.Clear();
+  return out;
 }
 
 void BnBuilder::EvictCachedBuckets(SimTime upto) {
-  base_buckets_.erase(base_buckets_.begin(),
-                      base_buckets_.upper_bound(upto));
-  if (cache_epochs_g_ != nullptr) {
-    cache_epochs_g_->Set(static_cast<double>(base_buckets_.size()));
+  const auto end = base_buckets_.upper_bound(upto);
+  for (auto it = base_buckets_.begin(); it != end; ++it) {
+    for (const auto& [key, users] : it->second) {
+      cache_bytes_ -= BucketBytes(users);
+    }
   }
+  base_buckets_.erase(base_buckets_.begin(), end);
+  UpdateCacheGauges();
 }
 
 }  // namespace turbo::bn

@@ -111,7 +111,19 @@ class BnBuilder {
                       SimTime epoch_end);
 
   /// Expires edges older than `now - edge_ttl`. Returns edges removed.
+  /// Expired-edge endpoints are recorded in the pending churn set.
   size_t ExpireOld(SimTime now);
+
+  /// Both endpoints of every edge touched (weight added or expired) since
+  /// the last TakeChurn() call. This is the churn set the incremental
+  /// snapshot and delta-checkpoint paths consume: a node absent from it
+  /// has a bit-identical adjacency row in the EdgeStore.
+  const storage::EdgeChurn& PendingChurn() const { return pending_churn_; }
+
+  /// Returns the pending churn set and resets the accumulator. The
+  /// caller (BnServer) merges it into its per-consumer churn sets — one
+  /// cleared at each snapshot publish, one at each checkpoint.
+  storage::EdgeChurn TakeChurn();
 
   /// Drops cached base-window buckets for epochs ending at or before
   /// `upto`. The server calls this with the minimum per-window job
@@ -120,6 +132,18 @@ class BnBuilder {
 
   /// Base-window epochs currently cached (observability / tests).
   size_t CachedBucketEpochs() const { return base_buckets_.size(); }
+
+  /// Approximate bytes held by the bucket cache (keys + user arrays) —
+  /// mirrored into the bn_bucket_cache_bytes gauge.
+  size_t CachedBucketBytes() const { return cache_bytes_; }
+
+  /// Largest cached base-epoch end, or 0 when the cache is empty. New
+  /// epochs only ever appear above this (jobs run forward in time), so
+  /// (MaxCachedEpoch at checkpoint k, SerializeCacheSince at k+1) yields
+  /// exactly the epochs added in between.
+  SimTime MaxCachedEpoch() const {
+    return base_buckets_.empty() ? 0 : base_buckets_.rbegin()->first;
+  }
 
   /// Checkpoint hook: persists the cached base-window buckets (epoch by
   /// epoch, keys in canonical order) so a recovered builder's merge path
@@ -131,6 +155,16 @@ class BnBuilder {
   /// Restores a SerializeCache()d bucket cache, replacing the current
   /// one. Fails (cache cleared) on truncation.
   Status DeserializeCache(storage::BinaryReader* r);
+
+  /// Delta-checkpoint hook: like SerializeCache but only epochs ending
+  /// strictly after `after` (same wire format). Pass 0 for everything.
+  void SerializeCacheSince(SimTime after, storage::BinaryWriter* w) const;
+
+  /// Applies a SerializeCacheSince()d section on top of the current
+  /// cache: listed epochs replace same-keyed entries, others are kept.
+  /// The caller then evicts with the recovered job frontiers to drop
+  /// epochs the checkpoint writer had already evicted.
+  Status DeserializeCacheDelta(storage::BinaryReader* r);
 
   /// Epoch index of time `t` (>= 0) for `window`: epoch 1 covers
   /// [0, window], epoch j > 1 covers ((j-1)*window, j*window].
@@ -186,9 +220,21 @@ class BnBuilder {
                         SimTime epoch_end,
                         std::vector<UserId>* users) const;
 
+  /// Cache-accounting cost of one bucket (key + user array payload).
+  static size_t BucketBytes(const std::vector<UserId>& users) {
+    return sizeof(ValueKey) + users.size() * sizeof(UserId);
+  }
+
+  /// Mirrors the cache size counters into their gauges (when registered).
+  void UpdateCacheGauges();
+
   BnConfig config_;
   storage::EdgeStore* edges_;
   util::ThreadPool* pool_ = nullptr;
+  /// Endpoints touched since the last TakeChurn() (see PendingChurn).
+  storage::EdgeChurn pending_churn_;
+  /// Running BucketBytes() total over the cache (see CachedBucketBytes).
+  size_t cache_bytes_ = 0;
   /// True when every window is a multiple of the smallest — the
   /// precondition for base-bucket reuse.
   bool reuse_eligible_ = false;
@@ -206,6 +252,7 @@ class BnBuilder {
   obs::Counter* cache_merge_jobs_ = nullptr;
   obs::Counter* scan_jobs_ = nullptr;
   obs::Gauge* cache_epochs_g_ = nullptr;
+  obs::Gauge* cache_bytes_g_ = nullptr;
 };
 
 }  // namespace turbo::bn

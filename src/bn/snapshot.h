@@ -2,12 +2,16 @@
 // side of the BN server (Figure 2) and of every offline consumer
 // (sampling, analysis, GNN batch construction).
 //
-// Layout: one CSR block per edge type — a flat offsets array
-// (num_nodes + 1 entries) indexing into parallel neighbor-id and weight
-// arrays, neighbors sorted by id within each row. Compared to the
-// previous vector<vector<NeighborEntry>> adjacency this removes one
-// pointer indirection per row, keeps each row contiguous in memory, and
-// makes the whole snapshot trivially shareable across threads.
+// Layout: one CSR block per edge type, segmented into immutable row
+// groups of kRowGroupSize consecutive nodes. Each group holds its own
+// local offsets array plus parallel neighbor-id and weight arrays
+// (neighbors sorted by id within each row), so a row read is one shift,
+// one mask, and two contiguous array slices. Groups are held by
+// shared_ptr: ApplyDeltas() builds the next snapshot by *sharing* every
+// group no touched row falls into and rebuilding only the dirty ones
+// (copy-on-write), which makes publish cost proportional to churn
+// instead of graph size (DESIGN.md "Incremental snapshots & delta
+// checkpoints").
 //
 // The per-type symmetric degree normalization of Section III-A
 //   w'_r(u,v) = w_r(u,v) / sqrt(deg'_r(u) * deg'_r(v))
@@ -22,6 +26,7 @@
 // ablation no longer deep-copies the graph.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstddef>
 #include <cstdint>
@@ -144,12 +149,47 @@ struct SnapshotOptions {
 
 class BnSnapshot {
  public:
+  /// Row-group granularity of the copy-on-write CSR: a group covers 1024
+  /// consecutive node ids. Small enough that low-churn epochs rebuild a
+  /// small fraction of groups; large enough that the per-group pointer +
+  /// header overhead stays negligible.
+  static constexpr int kRowGroupShift = 10;
+  static constexpr size_t kRowGroupSize = size_t{1} << kRowGroupShift;
+
+  /// What ApplyDeltas actually did (observability / tests).
+  struct ApplyStats {
+    size_t touched_rows = 0;    // rows recomputed, summed over types
+    size_t rebuilt_groups = 0;  // groups rebuilt, summed over types
+    size_t shared_groups = 0;   // groups shared with prev, summed
+  };
+
   /// Snapshots the store into per-type CSR arrays. `num_nodes` fixes the
   /// node-id space (uids are dense in the datasets); `version` is the
   /// publisher-assigned snapshot id.
   static std::shared_ptr<const BnSnapshot> Build(
       const storage::EdgeStore& store, int num_nodes,
       const SnapshotOptions& options = {}, uint64_t version = 0);
+
+  /// Incremental publish: produces the snapshot Build(store, ...) would,
+  /// bit for bit, by patching `prev` — sharing every row group without a
+  /// recomputed row and rebuilding the rest from the store.
+  ///
+  /// `churn` must cover every node whose store adjacency changed since
+  /// `prev` was built (both endpoints of every added/expired edge — the
+  /// EdgeChurn contract). For a normalized snapshot the recomputed set
+  /// is the churned nodes plus their *current* store neighbors: a
+  /// churned node's weighted degree changes, and that degree sits under
+  /// the sqrt in every incident row. Exact double accumulation in the
+  /// store (see EdgeInfo) is what makes the renormalized floats
+  /// bit-identical to a full rebuild.
+  ///
+  /// `options.normalize` must match prev->normalized(); `num_threads`
+  /// parallelizes over dirty groups.
+  static std::shared_ptr<const BnSnapshot> ApplyDeltas(
+      const std::shared_ptr<const BnSnapshot>& prev,
+      const storage::EdgeStore& store, const storage::EdgeChurn& churn,
+      const SnapshotOptions& options, uint64_t version,
+      ApplyStats* stats = nullptr);
 
   int num_nodes() const { return num_nodes_; }
   uint64_t version() const { return version_; }
@@ -159,10 +199,12 @@ class BnSnapshot {
     TURBO_CHECK_GE(edge_type, 0);
     TURBO_CHECK_LT(edge_type, kNumEdgeTypes);
     TURBO_CHECK_LT(u, static_cast<UserId>(num_nodes_));
-    const TypeCsr& csr = csr_[edge_type];
-    const size_t begin = csr.offsets[u];
-    return {csr.neighbor.data() + begin, csr.weight.data() + begin,
-            csr.offsets[u + 1] - begin};
+    const RowGroup& g =
+        *csr_[edge_type].groups[static_cast<size_t>(u) >> kRowGroupShift];
+    const size_t local = static_cast<size_t>(u) & (kRowGroupSize - 1);
+    const size_t begin = g.offsets[local];
+    return {g.neighbor.data() + begin, g.weight.data() + begin,
+            g.offsets[local + 1] - begin};
   }
 
   size_t Degree(int edge_type, UserId u) const {
@@ -174,32 +216,79 @@ class BnSnapshot {
   size_t NumEdges(int edge_type) const {
     TURBO_CHECK_GE(edge_type, 0);
     TURBO_CHECK_LT(edge_type, kNumEdgeTypes);
-    return csr_[edge_type].neighbor.size() / 2;
+    return csr_[edge_type].entries / 2;
   }
   size_t TotalEdges() const;
 
   /// Bytes held by the CSR arrays (capacity planning / bench reporting).
+  /// Counts every group this snapshot references; groups shared with
+  /// other snapshots are counted in each (this is the serving footprint,
+  /// not the marginal allocation).
   size_t MemoryBytes() const;
 
-  /// Checkpoint hook: writes version, node count, normalization flag, and
-  /// the raw per-type CSR arrays (offsets / neighbor ids / weights), so a
-  /// recovered server republishes the exact snapshot its readers were
-  /// being served from — no rebuild on the recovery path.
+  /// Row groups (summed over types) this snapshot shares, pointer-
+  /// identical, with `other` — the structural-sharing observable the
+  /// incremental-publish tests assert on.
+  size_t SharedGroupsWith(const BnSnapshot& other) const;
+
+  /// Checkpoint hook: writes version, node count, normalization flag,
+  /// and per type the flattened CSR (global offsets / neighbor ids /
+  /// weights, plus the exact weighted-degree doubles when normalized),
+  /// so a recovered server republishes the exact snapshot its readers
+  /// were being served from — no rebuild on the recovery path. The
+  /// bytes depend only on content, never on how the group structure is
+  /// shared.
   void Serialize(storage::BinaryWriter* w) const;
 
   /// Restores a Serialize()d snapshot. Validates offset monotonicity and
   /// array sizing, so a corrupt payload fails instead of producing a
-  /// snapshot whose spans read out of bounds.
+  /// snapshot whose spans read out of bounds. The restored snapshot is a
+  /// bit-identical ApplyDeltas base: row contents and weighted degrees
+  /// round-trip exactly.
   static Result<std::shared_ptr<const BnSnapshot>> Deserialize(
       storage::BinaryReader* r);
 
+  /// Delta-checkpoint hook: writes only the row groups that are NOT
+  /// pointer-shared with `base` (plus the header). With incremental
+  /// publishes in between, that is O(churn) — the copy-on-write sharing
+  /// doubles as a free diff. `base` must have the same num_nodes and
+  /// normalization.
+  void SerializeDiff(const BnSnapshot& base, storage::BinaryWriter* w) const;
+
+  /// Restores a SerializeDiff()d snapshot over a base with the same
+  /// *content* as the diff's base (pointer identity not required —
+  /// recovery applies diffs over deserialized bases). Untouched groups
+  /// are shared with `base`.
+  static Result<std::shared_ptr<const BnSnapshot>> DeserializePatched(
+      const std::shared_ptr<const BnSnapshot>& base,
+      storage::BinaryReader* r);
+
  private:
-  struct TypeCsr {
-    std::vector<size_t> offsets;  // num_nodes + 1
+  /// One immutable block of kRowGroupSize consecutive rows (the last
+  /// group of a type may be shorter). `offsets` is group-local with
+  /// rows + 1 entries; `wdeg` holds the rows' exact weighted-degree
+  /// doubles and is only populated for normalized snapshots (ApplyDeltas
+  /// reads untouched endpoints' degrees from here).
+  struct RowGroup {
+    std::vector<size_t> offsets;
     std::vector<UserId> neighbor;
     std::vector<float> weight;
+    std::vector<double> wdeg;
+  };
+  struct TypeCsr {
+    std::vector<std::shared_ptr<const RowGroup>> groups;
+    size_t entries = 0;  // directed entries summed over groups
   };
 
+  static size_t NumGroups(int num_nodes) {
+    return (static_cast<size_t>(num_nodes) + kRowGroupSize - 1) >>
+           kRowGroupShift;
+  }
+  /// Rows covered by group `g` of a `num_nodes`-row CSR.
+  static size_t GroupRows(int num_nodes, size_t g) {
+    const size_t base = g << kRowGroupShift;
+    return std::min(kRowGroupSize, static_cast<size_t>(num_nodes) - base);
+  }
   BnSnapshot() = default;
 
   int num_nodes_ = 0;

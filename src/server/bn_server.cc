@@ -14,8 +14,9 @@ namespace {
 
 constexpr char kCheckpointFile[] = "checkpoint.bin";
 /// Version of the checkpoint *section contents* (the container format
-/// has its own version in checkpoint_io).
-constexpr uint32_t kStateVersion = 1;
+/// has its own version in checkpoint_io). Version 2 added the "churn"
+/// section and the row-group snapshot payload.
+constexpr uint32_t kStateVersion = 2;
 
 std::string CheckpointPath(const std::string& dir) {
   return dir + "/" + kCheckpointFile;
@@ -62,6 +63,17 @@ BnServer::BnServer(BnServerConfig config)
   checkpoint_bytes_g_ = metrics_->GetGauge("bn_checkpoint_bytes");
   recovery_s_ = metrics_->GetGauge("bn_recovery_s");
   checkpoint_ms_ = metrics_->GetHistogram("bn_checkpoint_ms");
+  snapshot_incrementals_ =
+      metrics_->GetCounter("bn_snapshot_incremental_total");
+  snapshot_full_rebuilds_ =
+      metrics_->GetCounter("bn_snapshot_full_rebuilds_total");
+  snapshot_incremental_ms_ =
+      metrics_->GetHistogram("bn_snapshot_incremental_ms");
+  snapshot_touched_nodes_g_ = metrics_->GetGauge("bn_snapshot_touched_nodes");
+  checkpoints_delta_ = metrics_->GetCounter("bn_checkpoints_delta_total");
+  checkpoint_delta_bytes_g_ =
+      metrics_->GetGauge("bn_checkpoint_delta_bytes");
+  checkpoint_chain_len_g_ = metrics_->GetGauge("bn_checkpoint_chain_len");
   if (config_.window_job_threads != 1) {
     job_pool_ =
         std::make_unique<util::ThreadPool>(config_.window_job_threads);
@@ -85,6 +97,7 @@ void BnServer::EnsureWalOpen() {
   // new records interleaved with old segments would be unreplayable.
   TURBO_CHECK_MSG(
       storage::ListWalSegments(config_.wal_dir).empty() &&
+          storage::ListCheckpointDeltas(config_.wal_dir).empty() &&
           !std::filesystem::exists(CheckpointPath(config_.wal_dir)),
       "wal_dir '" << config_.wal_dir
                   << "' contains existing WAL/checkpoint state; call "
@@ -124,6 +137,11 @@ void BnServer::Ingest(const BehaviorLog& log) {
   // a prefix of applied mutations, never a mutation the WAL missed.
   WalAppend(storage::WalRecord::Ingest(log));
   logs_.Append(log);
+  // Once a delta-eligible base checkpoint exists, the next delta's
+  // logs_delta section is exactly the logs appended since the last
+  // checkpoint. WAL replay runs through here too, which is correct:
+  // every replayed ingest postdates the recovered checkpoint chain.
+  if (have_ckpt_base_) pending_log_tail_.push_back(log);
   ingest_events_->Increment();
 }
 
@@ -183,6 +201,9 @@ void BnServer::AdvanceTo(SimTime now) {
     edges_expired_ += expired;
     ttl_expired_edges_->Increment(expired);
   }
+  // Fold the jobs' and sweep's churn into the publish/checkpoint scopes
+  // before the refresh below consumes the publish-scoped set.
+  AccumulateChurn();
   if (last_snapshot_ < 0 ||
       now - last_snapshot_ >= config_.snapshot_refresh) {
     RefreshSnapshot();
@@ -193,6 +214,13 @@ void BnServer::AdvanceTo(SimTime now) {
   snapshot_lag_s_->Set(static_cast<double>(now - last_snapshot_));
 }
 
+void BnServer::AccumulateChurn() {
+  storage::EdgeChurn churn = builder_.TakeChurn();
+  if (churn.Empty()) return;
+  snapshot_churn_.MergeFrom(churn);
+  if (have_ckpt_base_) checkpoint_churn_.MergeFrom(churn);
+}
+
 void BnServer::RefreshSnapshot() {
   // Build off to the side, then publish with one atomic pointer swap.
   // Readers that loaded the previous snapshot keep serving from it; its
@@ -200,16 +228,72 @@ void BnServer::RefreshSnapshot() {
   bn::SnapshotOptions options;
   options.normalize = true;
   options.num_threads = config_.snapshot_build_threads;
+  auto prev = snapshot_.load(std::memory_order_acquire);
+  // Patch the previous snapshot when the churn is small; both paths
+  // produce bit-identical snapshots, so this is purely a latency choice.
+  const size_t total_rows =
+      static_cast<size_t>(config_.num_users) * kNumEdgeTypes;
+  const bool incremental =
+      config_.incremental_snapshots && prev != nullptr &&
+      static_cast<double>(snapshot_churn_.TotalTouched()) <=
+          config_.snapshot_full_rebuild_fraction *
+              static_cast<double>(total_rows);
   Stopwatch build_sw;
-  auto next = bn::BnSnapshot::Build(edges_, config_.num_users, options,
-                                    ++next_version_);
-  snapshot_build_ms_->Observe(build_sw.ElapsedMillis());
+  std::shared_ptr<const bn::BnSnapshot> next;
+  if (incremental) {
+    bn::BnSnapshot::ApplyStats stats;
+    next = bn::BnSnapshot::ApplyDeltas(prev, edges_, snapshot_churn_,
+                                       options, ++next_version_, &stats);
+    snapshot_incremental_ms_->Observe(build_sw.ElapsedMillis());
+    snapshot_touched_nodes_g_->Set(
+        static_cast<double>(stats.touched_rows));
+    snapshot_incrementals_->Increment();
+  } else {
+    next = bn::BnSnapshot::Build(edges_, config_.num_users, options,
+                                 ++next_version_);
+    snapshot_build_ms_->Observe(build_sw.ElapsedMillis());
+    snapshot_full_rebuilds_->Increment();
+  }
   snapshot_builds_->Increment();
+  snapshot_churn_.Clear();
   snapshot_version_g_->Set(static_cast<double>(next->version()));
   snapshot_edges_g_->Set(static_cast<double>(next->TotalEdges()));
   snapshot_bytes_g_->Set(static_cast<double>(next->MemoryBytes()));
   snapshot_.store(std::move(next), std::memory_order_release);
   last_snapshot_ = now_.load(std::memory_order_relaxed);
+}
+
+void BnServer::BuildMetaSection(storage::BinaryWriter* meta) const {
+  meta->U32(kStateVersion);
+  meta->I64(config_.num_users);
+  meta->U64(config_.bn.windows.size());
+  for (SimTime w : config_.bn.windows) meta->I64(w);
+  meta->I64(config_.bn.edge_ttl);
+  meta->U8(config_.bn.inverse_weighting ? 1 : 0);
+  meta->I64(config_.bn.max_bucket_users);
+  meta->U64(config_.bn.bucket_sample_seed);
+  meta->I64(config_.snapshot_refresh);
+}
+
+void BnServer::BuildServerSection(storage::BinaryWriter* server,
+                                  uint64_t next_seq) const {
+  server->I64(now_.load(std::memory_order_relaxed));
+  server->U64(next_seq);
+  server->U64(last_job_end_.size());
+  for (SimTime t : last_job_end_) server->I64(t);
+  server->I64(last_expiry_);
+  server->I64(last_snapshot_);
+  server->U64(next_version_);
+  server->U64(jobs_run_);
+  server->U64(edges_expired_);
+}
+
+void BnServer::ResetChainTrackers(uint64_t covered_seq) {
+  last_ckpt_seq_ = covered_seq;
+  last_ckpt_snapshot_ = snapshot_.load(std::memory_order_acquire);
+  last_ckpt_cache_max_epoch_ = builder_.MaxCachedEpoch();
+  checkpoint_churn_.Clear();
+  pending_log_tail_.clear();
 }
 
 Status BnServer::Checkpoint(const std::string& dir) {
@@ -227,58 +311,147 @@ Status BnServer::Checkpoint(const std::string& dir) {
   Stopwatch sw;
   // The first segment whose records are NOT reflected in this
   // checkpoint; replay resumes here. 0 = checkpoint taken without a WAL.
+  // Doubles as the file's covered_seq (rotation makes it strictly
+  // increase checkpoint over checkpoint, so delta file names and chain
+  // links never collide).
   const uint64_t next_seq = wal_on ? wal_writer_.seq() + 1 : 0;
+  auto published = snapshot_.load(std::memory_order_acquire);
 
-  storage::CheckpointWriter writer;
-  {
-    storage::BinaryWriter meta;
-    meta.U32(kStateVersion);
-    meta.I64(config_.num_users);
-    meta.U64(config_.bn.windows.size());
-    for (SimTime w : config_.bn.windows) meta.I64(w);
-    meta.I64(config_.bn.edge_ttl);
-    meta.U8(config_.bn.inverse_weighting ? 1 : 0);
-    meta.I64(config_.bn.max_bucket_users);
-    meta.U64(config_.bn.bucket_sample_seed);
-    meta.I64(config_.snapshot_refresh);
-    writer.AddSection("meta", meta);
+  // Try a delta first when a base exists and the chain is not exhausted:
+  // it is O(churn) to assemble, and the size heuristic below falls back
+  // to a full checkpoint when churn grew too close to the full state.
+  bool wrote_delta = false;
+  if (wal_on && config_.delta_checkpoints && have_ckpt_base_ &&
+      delta_chain_len_ < config_.max_delta_chain) {
+    storage::CheckpointWriter writer;
+    writer.SetChain(storage::CheckpointKind::kDelta, next_seq,
+                    last_ckpt_seq_);
+    {
+      storage::BinaryWriter meta;
+      BuildMetaSection(&meta);
+      writer.AddSection("meta", meta);
+    }
+    {
+      storage::BinaryWriter server;
+      BuildServerSection(&server, next_seq);
+      writer.AddSection("server", server);
+    }
+    {
+      // Current rows of every node churned since the last checkpoint;
+      // apply = clear-then-insert over the parent state.
+      storage::BinaryWriter edges;
+      edges_.SerializeTouched(checkpoint_churn_, &edges);
+      writer.AddSection("edges_delta", edges);
+    }
+    {
+      // Raw logs appended since the last checkpoint, replayed through
+      // LogStore::Append on recovery (appends are order-deterministic).
+      storage::BinaryWriter logs;
+      logs.U64(pending_log_tail_.size());
+      for (const BehaviorLog& log : pending_log_tail_) {
+        logs.U32(log.uid);
+        logs.U8(static_cast<uint8_t>(log.type));
+        logs.U64(log.value);
+        logs.I64(log.time);
+      }
+      writer.AddSection("logs_delta", logs);
+    }
+    {
+      // Cache epochs created since the last checkpoint. Epochs evicted
+      // since then need no record: recovery re-evicts with the recovered
+      // job frontiers, which derive the same bound the writer used.
+      storage::BinaryWriter buckets;
+      builder_.SerializeCacheSince(last_ckpt_cache_max_epoch_, &buckets);
+      writer.AddSection("buckets_delta", buckets);
+    }
+    {
+      // Published-snapshot delta: unchanged (mode 0), first-ever
+      // snapshot (mode 1, full payload), or a row-group diff against
+      // the snapshot the last checkpoint persisted (mode 2).
+      storage::BinaryWriter snap;
+      if (published == last_ckpt_snapshot_) {
+        snap.U8(0);
+      } else if (last_ckpt_snapshot_ == nullptr) {
+        snap.U8(1);
+        published->Serialize(&snap);
+      } else {
+        snap.U8(2);
+        published->SerializeDiff(*last_ckpt_snapshot_, &snap);
+      }
+      writer.AddSection("snapshot_delta", snap);
+    }
+    {
+      storage::BinaryWriter churn;
+      snapshot_churn_.Serialize(&churn);
+      writer.AddSection("churn", churn);
+    }
+    const size_t delta_bytes = writer.TotalBytes();
+    if (static_cast<double>(delta_bytes) <=
+        config_.delta_checkpoint_max_fraction *
+            static_cast<double>(last_full_ckpt_bytes_)) {
+      TURBO_RETURN_IF_ERROR(
+          writer.WriteFile(storage::CheckpointDeltaPath(dir, next_seq)));
+      ++delta_chain_len_;
+      checkpoints_delta_->Increment();
+      checkpoint_delta_bytes_g_->Set(static_cast<double>(delta_bytes));
+      checkpoint_bytes_g_->Set(static_cast<double>(delta_bytes));
+      wrote_delta = true;
+    }
   }
-  {
-    storage::BinaryWriter server;
-    server.I64(now_.load(std::memory_order_relaxed));
-    server.U64(next_seq);
-    server.U64(last_job_end_.size());
-    for (SimTime t : last_job_end_) server.I64(t);
-    server.I64(last_expiry_);
-    server.I64(last_snapshot_);
-    server.U64(next_version_);
-    server.U64(jobs_run_);
-    server.U64(edges_expired_);
-    writer.AddSection("server", server);
+
+  if (!wrote_delta) {
+    storage::CheckpointWriter writer;
+    writer.SetChain(storage::CheckpointKind::kFull, next_seq, 0);
+    {
+      storage::BinaryWriter meta;
+      BuildMetaSection(&meta);
+      writer.AddSection("meta", meta);
+    }
+    {
+      storage::BinaryWriter server;
+      BuildServerSection(&server, next_seq);
+      writer.AddSection("server", server);
+    }
+    {
+      storage::BinaryWriter edges;
+      edges_.Serialize(&edges);
+      writer.AddSection("edges", edges);
+    }
+    {
+      storage::BinaryWriter logs;
+      logs_.Serialize(&logs);
+      writer.AddSection("logs", logs);
+    }
+    {
+      storage::BinaryWriter buckets;
+      builder_.SerializeCache(&buckets);
+      writer.AddSection("buckets", buckets);
+    }
+    {
+      storage::BinaryWriter snap;
+      snap.U8(published != nullptr ? 1 : 0);
+      if (published != nullptr) published->Serialize(&snap);
+      writer.AddSection("snapshot", snap);
+    }
+    {
+      storage::BinaryWriter churn;
+      snapshot_churn_.Serialize(&churn);
+      writer.AddSection("churn", churn);
+    }
+    TURBO_RETURN_IF_ERROR(writer.WriteFile(CheckpointPath(dir)));
+    // The new base supersedes every delta (including stale ones left by
+    // a crash between an earlier full checkpoint and this cleanup).
+    for (uint64_t seq : storage::ListCheckpointDeltas(dir)) {
+      std::filesystem::remove(storage::CheckpointDeltaPath(dir, seq));
+    }
+    delta_chain_len_ = 0;
+    last_full_ckpt_bytes_ = writer.TotalBytes();
+    have_ckpt_base_ = wal_on && config_.delta_checkpoints;
+    checkpoint_bytes_g_->Set(static_cast<double>(writer.TotalBytes()));
   }
-  {
-    storage::BinaryWriter edges;
-    edges_.Serialize(&edges);
-    writer.AddSection("edges", edges);
-  }
-  {
-    storage::BinaryWriter logs;
-    logs_.Serialize(&logs);
-    writer.AddSection("logs", logs);
-  }
-  {
-    storage::BinaryWriter buckets;
-    builder_.SerializeCache(&buckets);
-    writer.AddSection("buckets", buckets);
-  }
-  {
-    storage::BinaryWriter snap;
-    auto published = snapshot_.load(std::memory_order_acquire);
-    snap.U8(published != nullptr ? 1 : 0);
-    if (published != nullptr) published->Serialize(&snap);
-    writer.AddSection("snapshot", snap);
-  }
-  TURBO_RETURN_IF_ERROR(writer.WriteFile(CheckpointPath(dir)));
+  ResetChainTrackers(next_seq);
+  checkpoint_chain_len_g_->Set(static_cast<double>(delta_chain_len_));
+
   if (wal_on) {
     // The checkpoint is durable: rotate to a fresh segment and drop the
     // ones it covers.
@@ -290,8 +463,154 @@ Status BnServer::Checkpoint(const std::string& dir) {
     }
   }
   checkpoints_->Increment();
-  checkpoint_bytes_g_->Set(static_cast<double>(writer.TotalBytes()));
   checkpoint_ms_->Observe(sw.ElapsedMillis());
+  return Status::OK();
+}
+
+Status BnServer::CheckMeta(const storage::CheckpointReader& reader) const {
+  storage::BinaryReader meta(reader.Find("meta"));
+  const uint32_t state_version = meta.U32();
+  if (state_version != kStateVersion) {
+    return Status::InvalidArgument(StrFormat(
+        "unsupported checkpoint state version %u", state_version));
+  }
+  // Everything that shapes the deterministic engine's output must
+  // match the running config, or "recovered" state would silently
+  // diverge from what this server will compute going forward.
+  bool match = meta.I64() == config_.num_users;
+  match = match && meta.U64() == config_.bn.windows.size();
+  if (match) {
+    for (SimTime w : config_.bn.windows) match = match && meta.I64() == w;
+  }
+  match = match && meta.I64() == config_.bn.edge_ttl;
+  match = match && meta.U8() == (config_.bn.inverse_weighting ? 1 : 0);
+  match = match && meta.I64() == config_.bn.max_bucket_users;
+  match = match && meta.U64() == config_.bn.bucket_sample_seed;
+  match = match && meta.I64() == config_.snapshot_refresh;
+  if (!match || !meta.ok()) {
+    return Status::FailedPrecondition(
+        "checkpoint was written under a different BN config "
+        "(users/windows/ttl/weighting/seed/refresh must match)");
+  }
+  return Status::OK();
+}
+
+Status BnServer::DecodeServerSection(std::string_view payload,
+                                     uint64_t* start_seq) {
+  storage::BinaryReader server(payload);
+  const SimTime saved_now = server.I64();
+  *start_seq = server.U64();
+  if (*start_seq == 0) *start_seq = UINT64_MAX;
+  const uint64_t num_frontiers = server.U64();
+  if (num_frontiers != last_job_end_.size()) {
+    return Status::InvalidArgument("checkpoint frontier count mismatch");
+  }
+  for (SimTime& t : last_job_end_) t = server.I64();
+  last_expiry_ = server.I64();
+  last_snapshot_ = server.I64();
+  next_version_ = server.U64();
+  jobs_run_ = server.U64();
+  edges_expired_ = server.U64();
+  if (!server.ok() || server.remaining() != 0) {
+    return Status::InvalidArgument("corrupt checkpoint server section");
+  }
+  now_.store(saved_now, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status BnServer::ApplyCheckpointDelta(
+    const storage::CheckpointReader& reader, uint64_t* start_seq) {
+  for (const char* name : {"meta", "server", "edges_delta", "logs_delta",
+                           "buckets_delta", "snapshot_delta", "churn"}) {
+    if (!reader.Has(name)) {
+      return Status::InvalidArgument(
+          StrFormat("delta checkpoint missing section '%s'", name));
+    }
+  }
+  TURBO_RETURN_IF_ERROR(CheckMeta(reader));
+  TURBO_RETURN_IF_ERROR(
+      DecodeServerSection(reader.Find("server"), start_seq));
+  {
+    storage::BinaryReader edges(reader.Find("edges_delta"));
+    TURBO_RETURN_IF_ERROR(edges_.ApplyDeltaSection(
+        &edges, static_cast<UserId>(config_.num_users)));
+  }
+  {
+    // Appended directly, not through Ingest: replayed logs must not hit
+    // the WAL or the since-last-checkpoint tail — they are already
+    // durable in the chain being applied.
+    storage::BinaryReader logs(reader.Find("logs_delta"));
+    const uint64_t count = logs.U64();
+    constexpr size_t kLogBytes = sizeof(uint32_t) + sizeof(uint8_t) +
+                                 sizeof(uint64_t) + sizeof(int64_t);
+    if (!logs.ok() || count > logs.remaining() / kLogBytes) {
+      return Status::InvalidArgument("corrupt logs_delta section");
+    }
+    for (uint64_t i = 0; i < count; ++i) {
+      BehaviorLog log;
+      log.uid = logs.U32();
+      log.type = static_cast<BehaviorType>(logs.U8());
+      log.value = logs.U64();
+      log.time = logs.I64();
+      if (!logs.ok() ||
+          log.uid >= static_cast<UserId>(config_.num_users) ||
+          log.time < 0) {
+        return Status::InvalidArgument("corrupt logs_delta record");
+      }
+      logs_.Append(log);
+    }
+    if (logs.remaining() != 0) {
+      return Status::InvalidArgument("trailing bytes in logs_delta");
+    }
+  }
+  {
+    storage::BinaryReader buckets(reader.Find("buckets_delta"));
+    TURBO_RETURN_IF_ERROR(builder_.DeserializeCacheDelta(&buckets));
+    // The delta carries only epochs cached since its parent; epochs the
+    // writer *evicted* in that span leave no record. Re-evicting with
+    // the just-decoded frontiers reproduces the writer's bound exactly
+    // (it evicts with min(last_job_end_) after every job too).
+    if (!last_job_end_.empty()) {
+      builder_.EvictCachedBuckets(
+          *std::min_element(last_job_end_.begin(), last_job_end_.end()));
+    }
+  }
+  {
+    storage::BinaryReader snap(reader.Find("snapshot_delta"));
+    const uint8_t mode = snap.U8();
+    if (!snap.ok() || mode > 2) {
+      return Status::InvalidArgument("corrupt snapshot_delta section");
+    }
+    if (mode != 0) {
+      auto base = snapshot_.load(std::memory_order_acquire);
+      if (mode == 2 && base == nullptr) {
+        return Status::InvalidArgument(
+            "snapshot_delta diff with no base snapshot in the chain");
+      }
+      auto snapshot_or = mode == 1
+                             ? bn::BnSnapshot::Deserialize(&snap)
+                             : bn::BnSnapshot::DeserializePatched(base, &snap);
+      if (!snapshot_or.ok()) return snapshot_or.status();
+      auto restored = snapshot_or.take();
+      if (restored->num_nodes() != config_.num_users) {
+        return Status::InvalidArgument(StrFormat(
+            "delta checkpoint snapshot has %d nodes but the server is "
+            "configured for %d users",
+            restored->num_nodes(), config_.num_users));
+      }
+      snapshot_version_g_->Set(static_cast<double>(restored->version()));
+      snapshot_edges_g_->Set(static_cast<double>(restored->TotalEdges()));
+      snapshot_bytes_g_->Set(static_cast<double>(restored->MemoryBytes()));
+      snapshot_.store(std::move(restored), std::memory_order_release);
+    }
+  }
+  {
+    // Full replacement, not a merge: the section is the writer's entire
+    // since-last-publish set at checkpoint time.
+    storage::BinaryReader churn(reader.Find("churn"));
+    TURBO_RETURN_IF_ERROR(snapshot_churn_.Deserialize(
+        &churn, static_cast<UserId>(config_.num_users)));
+  }
   return Status::OK();
 }
 
@@ -307,63 +626,27 @@ Status BnServer::Recover(const std::string& dir) {
   // from WAL only. UINT64_MAX (checkpoint written with the WAL disabled)
   // replays nothing.
   uint64_t start_seq = 1;
+  bool checkpoint_loaded = false;
+  uint64_t chain_tail_seq = 0;  // covered_seq of the last applied link
+  int chain_links = 0;
   if (std::filesystem::exists(CheckpointPath(dir))) {
     auto reader_or = storage::CheckpointReader::Open(CheckpointPath(dir));
     if (!reader_or.ok()) return reader_or.status();
     const storage::CheckpointReader& reader = reader_or.value();
-    for (const char* name :
-         {"meta", "server", "edges", "logs", "buckets", "snapshot"}) {
+    if (reader.kind() != storage::CheckpointKind::kFull) {
+      return Status::InvalidArgument(
+          "checkpoint.bin is not a full checkpoint");
+    }
+    for (const char* name : {"meta", "server", "edges", "logs", "buckets",
+                             "snapshot", "churn"}) {
       if (!reader.Has(name)) {
         return Status::InvalidArgument(
             StrFormat("checkpoint missing section '%s'", name));
       }
     }
-    {
-      storage::BinaryReader meta(reader.Find("meta"));
-      const uint32_t state_version = meta.U32();
-      if (state_version != kStateVersion) {
-        return Status::InvalidArgument(StrFormat(
-            "unsupported checkpoint state version %u", state_version));
-      }
-      // Everything that shapes the deterministic engine's output must
-      // match the running config, or "recovered" state would silently
-      // diverge from what this server will compute going forward.
-      bool match = meta.I64() == config_.num_users;
-      match = match && meta.U64() == config_.bn.windows.size();
-      if (match) {
-        for (SimTime w : config_.bn.windows) match = match && meta.I64() == w;
-      }
-      match = match && meta.I64() == config_.bn.edge_ttl;
-      match = match && meta.U8() == (config_.bn.inverse_weighting ? 1 : 0);
-      match = match && meta.I64() == config_.bn.max_bucket_users;
-      match = match && meta.U64() == config_.bn.bucket_sample_seed;
-      match = match && meta.I64() == config_.snapshot_refresh;
-      if (!match || !meta.ok()) {
-        return Status::FailedPrecondition(
-            "checkpoint was written under a different BN config "
-            "(users/windows/ttl/weighting/seed/refresh must match)");
-      }
-    }
-    {
-      storage::BinaryReader server(reader.Find("server"));
-      const SimTime saved_now = server.I64();
-      start_seq = server.U64();
-      if (start_seq == 0) start_seq = UINT64_MAX;
-      const uint64_t num_frontiers = server.U64();
-      if (num_frontiers != last_job_end_.size()) {
-        return Status::InvalidArgument("checkpoint frontier count mismatch");
-      }
-      for (SimTime& t : last_job_end_) t = server.I64();
-      last_expiry_ = server.I64();
-      last_snapshot_ = server.I64();
-      next_version_ = server.U64();
-      jobs_run_ = server.U64();
-      edges_expired_ = server.U64();
-      if (!server.ok() || server.remaining() != 0) {
-        return Status::InvalidArgument("corrupt checkpoint server section");
-      }
-      now_.store(saved_now, std::memory_order_relaxed);
-    }
+    TURBO_RETURN_IF_ERROR(CheckMeta(reader));
+    TURBO_RETURN_IF_ERROR(
+        DecodeServerSection(reader.Find("server"), &start_seq));
     {
       storage::BinaryReader edges(reader.Find("edges"));
       TURBO_RETURN_IF_ERROR(edges_.Deserialize(
@@ -398,6 +681,63 @@ Status BnServer::Recover(const std::string& dir) {
         snapshot_.store(std::move(restored), std::memory_order_release);
       }
     }
+    {
+      storage::BinaryReader churn(reader.Find("churn"));
+      TURBO_RETURN_IF_ERROR(snapshot_churn_.Deserialize(
+          &churn, static_cast<UserId>(config_.num_users)));
+    }
+    checkpoint_loaded = true;
+    chain_tail_seq = reader.covered_seq();
+  }
+
+  // Apply the delta chain in covered_seq order. Deltas at or below the
+  // base's covered_seq are stale leftovers of a crash between a newer
+  // full checkpoint's publish and its delta cleanup — skipped here,
+  // deleted at the next full checkpoint.
+  const std::vector<uint64_t> delta_seqs =
+      storage::ListCheckpointDeltas(dir);
+  if (!checkpoint_loaded && !delta_seqs.empty()) {
+    return Status::Internal(
+        "delta checkpoints present without a base checkpoint.bin");
+  }
+  for (uint64_t seq : delta_seqs) {
+    if (seq <= chain_tail_seq) continue;
+    auto delta_or = storage::CheckpointReader::Open(
+        storage::CheckpointDeltaPath(dir, seq));
+    if (!delta_or.ok()) return delta_or.status();
+    const storage::CheckpointReader& delta = delta_or.value();
+    if (delta.kind() != storage::CheckpointKind::kDelta ||
+        delta.covered_seq() != seq) {
+      return Status::InvalidArgument(StrFormat(
+          "checkpoint-delta-%08llu.bin has an inconsistent chain header",
+          static_cast<unsigned long long>(seq)));
+    }
+    if (delta.parent_seq() != chain_tail_seq) {
+      return Status::Internal(StrFormat(
+          "broken delta chain: delta %llu expects parent %llu but the "
+          "chain tail is %llu",
+          static_cast<unsigned long long>(seq),
+          static_cast<unsigned long long>(delta.parent_seq()),
+          static_cast<unsigned long long>(chain_tail_seq)));
+    }
+    TURBO_RETURN_IF_ERROR(ApplyCheckpointDelta(delta, &start_seq));
+    chain_tail_seq = seq;
+    ++chain_links;
+  }
+
+  // Capture the chain trackers *before* WAL replay: replayed ingests and
+  // advances then re-accumulate the since-last-checkpoint state (log
+  // tail, churn) through the normal paths, exactly as the writer did.
+  if (checkpoint_loaded && !config_.wal_dir.empty() &&
+      config_.delta_checkpoints) {
+    have_ckpt_base_ = true;
+    delta_chain_len_ = chain_links;
+    std::error_code ec;
+    const auto base_bytes =
+        std::filesystem::file_size(CheckpointPath(dir), ec);
+    last_full_ckpt_bytes_ = ec ? 0 : static_cast<size_t>(base_bytes);
+    ResetChainTrackers(chain_tail_seq);
+    checkpoint_chain_len_g_->Set(static_cast<double>(delta_chain_len_));
   }
 
   // Replay the WAL tail through the normal ingest/advance paths — the

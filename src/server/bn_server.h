@@ -15,14 +15,18 @@
 // holds across Checkpoint and Recover too: views pinned before either
 // keep serving their pre-recovery snapshot.
 //
-// Durability (DESIGN.md "Durability & recovery"): with wal_dir set,
-// every Ingest and AdvanceTo is appended to a write-ahead log before it
-// mutates memory, and Checkpoint() serializes the complete mutable state
-// (edges with exact weight bits, raw logs, cached 1h buckets, window
-// frontiers, clock, snapshot) into one checksummed "turbo-bn v1" file,
-// rotating the WAL. Recover() loads the latest checkpoint and replays
-// the WAL tail through the deterministic window-job engine, so the
-// recovered server is bit-identical to one that never crashed.
+// Durability (DESIGN.md "Durability & recovery" and "Incremental
+// snapshots & delta checkpoints"): with wal_dir set, every Ingest and
+// AdvanceTo is appended to a write-ahead log before it mutates memory,
+// and Checkpoint() persists the complete mutable state (edges with exact
+// weight bits, raw logs, cached 1h buckets, window frontiers, clock,
+// snapshot, churn) into checksummed "turbo-bn v2" files, rotating the
+// WAL. After a full base checkpoint, later checkpoints may be *deltas*
+// carrying only the state touched since the previous one (size
+// heuristic + chain cap decide). Recover() loads the base, applies the
+// delta chain, and replays the WAL tail through the deterministic
+// window-job engine, so the recovered server is bit-identical to one
+// that never crashed.
 #pragma once
 
 #include <atomic>
@@ -54,6 +58,28 @@ struct BnServerConfig {
   SimTime snapshot_refresh = kHour;
   /// Threads for the snapshot build passes; 0 = hardware concurrency.
   int snapshot_build_threads = 0;
+  /// Publish refreshes via BnSnapshot::ApplyDeltas over the accumulated
+  /// churn set (bit-identical to a full build, cost proportional to
+  /// churn). The first publish, and any whose churn trips the fraction
+  /// below, still runs a full build.
+  bool incremental_snapshots = true;
+  /// Incremental publish falls back to a full rebuild when the churned
+  /// (type, node) rows exceed this fraction of all rows (num_users *
+  /// kNumEdgeTypes) — past that point rebuilding wholesale is cheaper
+  /// than patching group by group.
+  double snapshot_full_rebuild_fraction = 0.25;
+  /// After a full base checkpoint, write later checkpoints as deltas
+  /// (state touched since the previous link) when the WAL is enabled.
+  /// Every delta still leaves recovery bit-identical; this only trades
+  /// write amplification against chain length.
+  bool delta_checkpoints = true;
+  /// A delta is only written while its file stays below this fraction of
+  /// the last full checkpoint's bytes; otherwise the checkpoint is
+  /// written full (and the chain resets).
+  double delta_checkpoint_max_fraction = 0.5;
+  /// Hard cap on consecutive deltas: the next checkpoint after this many
+  /// links is full, bounding recovery's chain-apply work.
+  int max_delta_chain = 16;
   /// Workers for the sharded window jobs (bn.window_job_shards shards
   /// are spread over this pool): 0 = hardware concurrency, 1 = run the
   /// shards serially on the AdvanceTo thread (no pool). The engine is
@@ -94,24 +120,30 @@ class BnServer {
   /// largest window (see DESIGN.md "Ingestion & window jobs").
   void AdvanceTo(SimTime now);
 
-  /// Serializes the server's complete mutable state into
-  /// `<dir>/checkpoint.bin` ("turbo-bn v1": magic + per-section CRC32s),
-  /// published atomically (temp file + fsync + rename). With the WAL
-  /// enabled, `dir` must be wal_dir; the log is rotated to a fresh
-  /// segment and segments covered by the checkpoint are deleted.
+  /// Persists the server's complete mutable state ("turbo-bn v2": magic
+  /// + chain header + per-section CRC32s), published atomically (temp
+  /// file + fsync + rename). The first checkpoint (and any that trips
+  /// the delta size/chain heuristics) writes a full
+  /// `<dir>/checkpoint.bin`; later ones may write a
+  /// `<dir>/checkpoint-delta-<seq>.bin` carrying only the state touched
+  /// since the previous checkpoint — O(churn) bytes, not O(graph). With
+  /// the WAL enabled, `dir` must be wal_dir; the log is rotated to a
+  /// fresh segment and segments covered by the checkpoint are deleted.
   /// Writer-side operation: safe concurrently with samplers, not with
   /// Ingest/AdvanceTo.
   Status Checkpoint(const std::string& dir);
 
   /// Restores state from `dir`: loads `checkpoint.bin` if present (its
-  /// config fingerprint must match this server's config), then replays
-  /// the WAL tail — ingests and clock advances re-execute through the
-  /// deterministic window-job engine, so the recovered server is
-  /// bit-identical (edges, weights, frontiers, snapshot version) to the
-  /// writer at its last durable point. A torn final record (crash
-  /// mid-append) truncates the replay cleanly and the torn tail is also
-  /// truncated off the segment file, so a later restart — by then the
-  /// torn segment is no longer the last one — still recovers; a torn
+  /// config fingerprint must match this server's config), applies the
+  /// delta-checkpoint chain in sequence order (each link's parent must
+  /// match — a broken chain fails loudly), then replays the WAL tail —
+  /// ingests and clock advances re-execute through the deterministic
+  /// window-job engine, so the recovered server is bit-identical
+  /// (edges, weights, frontiers, snapshot version) to the writer at its
+  /// last durable point. A torn final record (crash mid-append)
+  /// truncates the replay cleanly and the torn tail is also truncated
+  /// off the segment file, so a later restart — by then the torn
+  /// segment is no longer the last one — still recovers; a torn
   /// non-final segment is corruption and fails. Must be called on a
   /// freshly constructed server, before any Ingest/AdvanceTo.
   Status Recover(const std::string& dir);
@@ -150,6 +182,26 @@ class BnServer {
   void WalAppend(const storage::WalRecord& record);
   /// Lazily opens the first WAL segment before the first mutation.
   void EnsureWalOpen();
+  /// Moves the builder's accumulated churn into the publish- and
+  /// checkpoint-scoped churn sets (called after every mutation batch).
+  void AccumulateChurn();
+  /// Shared meta/server section encoders (full and delta checkpoints
+  /// carry identical copies of both).
+  void BuildMetaSection(storage::BinaryWriter* w) const;
+  void BuildServerSection(storage::BinaryWriter* w,
+                          uint64_t next_seq) const;
+  /// Validates a checkpoint's meta section against this config.
+  Status CheckMeta(const storage::CheckpointReader& reader) const;
+  /// Decodes a server section into the live members; returns the replay
+  /// start sequence through `start_seq`.
+  Status DecodeServerSection(std::string_view payload,
+                             uint64_t* start_seq);
+  /// Applies one delta-checkpoint link over the current state.
+  Status ApplyCheckpointDelta(const storage::CheckpointReader& reader,
+                              uint64_t* start_seq);
+  /// Resets the delta-chain trackers to "parent = the checkpoint whose
+  /// state the server currently holds".
+  void ResetChainTrackers(uint64_t covered_seq);
 
   BnServerConfig config_;
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
@@ -179,6 +231,13 @@ class BnServer {
   obs::Gauge* checkpoint_bytes_g_ = nullptr;
   obs::Gauge* recovery_s_ = nullptr;
   obs::Histogram* checkpoint_ms_ = nullptr;
+  obs::Counter* snapshot_incrementals_ = nullptr;
+  obs::Counter* snapshot_full_rebuilds_ = nullptr;
+  obs::Histogram* snapshot_incremental_ms_ = nullptr;
+  obs::Gauge* snapshot_touched_nodes_g_ = nullptr;
+  obs::Counter* checkpoints_delta_ = nullptr;
+  obs::Gauge* checkpoint_delta_bytes_g_ = nullptr;
+  obs::Gauge* checkpoint_chain_len_g_ = nullptr;
   /// Worker pool the window-job shards run on (null = serial shards).
   std::unique_ptr<util::ThreadPool> job_pool_;
   storage::LogStore logs_{config_.log_cost};
@@ -211,6 +270,40 @@ class BnServer {
   /// True once Recover() or the first mutation ran; guards the
   /// "Recover before first write" contract.
   bool recovered_or_started_ = false;
+
+  // --- Incremental publish + delta checkpoint state -------------------
+  /// Nodes whose adjacency changed since the last snapshot publish; the
+  /// next RefreshSnapshot consumes (and clears) it. Persisted in every
+  /// checkpoint's "churn" section so a recovered server's first
+  /// incremental publish still covers churn accrued between the last
+  /// publish and the checkpoint.
+  storage::EdgeChurn snapshot_churn_;
+  /// Nodes whose adjacency changed since the last checkpoint (only
+  /// tracked once a delta-eligible base exists); drives the edges_delta
+  /// section. Cleared at every checkpoint.
+  storage::EdgeChurn checkpoint_churn_;
+  /// Logs ingested since the last checkpoint (same tracking scope);
+  /// drives the logs_delta section.
+  BehaviorLogList pending_log_tail_;
+  /// True once a full base checkpoint exists this incarnation and delta
+  /// checkpoints are enabled — the precondition for both the delta write
+  /// path and the since-last-checkpoint tracking above.
+  bool have_ckpt_base_ = false;
+  /// covered_seq of the last checkpoint written or recovered (the next
+  /// delta's parent link).
+  uint64_t last_ckpt_seq_ = 0;
+  /// Consecutive deltas since the last full checkpoint.
+  int delta_chain_len_ = 0;
+  /// Size of the last full checkpoint file — the denominator of the
+  /// delta-vs-full size heuristic.
+  size_t last_full_ckpt_bytes_ = 0;
+  /// Snapshot published at the last checkpoint: the SerializeDiff base
+  /// for the next snapshot_delta section. Diffing against this pointer
+  /// (not a rebuilt snapshot) is what keeps the diff O(churn).
+  std::shared_ptr<const bn::BnSnapshot> last_ckpt_snapshot_;
+  /// Builder cache frontier at the last checkpoint: the next
+  /// buckets_delta carries epochs strictly after it.
+  SimTime last_ckpt_cache_max_epoch_ = 0;
 };
 
 }  // namespace turbo::server

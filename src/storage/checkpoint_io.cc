@@ -14,8 +14,8 @@ namespace turbo::storage {
 
 namespace {
 
-constexpr char kMagic[8] = {'T', 'U', 'R', 'B', 'O', 'B', 'N', '1'};
-constexpr uint32_t kFormatVersion = 1;
+constexpr char kMagic[8] = {'T', 'U', 'R', 'B', 'O', 'B', 'N', '2'};
+constexpr uint32_t kFormatVersion = 2;
 
 /// Slicing-by-8 tables: table[0] is the classic byte-at-a-time table,
 /// table[j] advances a byte through j more zero bytes, so eight input
@@ -87,8 +87,16 @@ void CheckpointWriter::AddSection(const std::string& name,
   sections_.emplace(name, payload.data());
 }
 
+void CheckpointWriter::SetChain(CheckpointKind kind, uint64_t covered_seq,
+                                uint64_t parent_seq) {
+  kind_ = kind;
+  covered_seq_ = covered_seq;
+  parent_seq_ = parent_seq;
+}
+
 size_t CheckpointWriter::TotalBytes() const {
-  size_t n = sizeof(kMagic) + 2 * sizeof(uint32_t);
+  size_t n = sizeof(kMagic) + 2 * sizeof(uint32_t) + sizeof(uint8_t) +
+             2 * sizeof(uint64_t);
   for (const auto& [name, payload] : sections_) {
     n += 2 * sizeof(uint64_t) + sizeof(uint32_t) + name.size() +
          payload.size();
@@ -100,6 +108,9 @@ Status CheckpointWriter::WriteFile(const std::string& path) const {
   BinaryWriter out;
   out.Bytes(kMagic, sizeof(kMagic));
   out.U32(kFormatVersion);
+  out.U8(static_cast<uint8_t>(kind_));
+  out.U64(covered_seq_);
+  out.U64(parent_seq_);
   out.U32(static_cast<uint32_t>(sections_.size()));
   for (const auto& [name, payload] : sections_) {
     out.String(name);
@@ -128,6 +139,14 @@ Result<CheckpointReader> CheckpointReader::Open(const std::string& path) {
         "%s: unsupported checkpoint format version %u", path.c_str(),
         version));
   }
+  const uint8_t kind = r.U8();
+  if (kind > static_cast<uint8_t>(CheckpointKind::kDelta)) {
+    return Status::InvalidArgument(StrFormat(
+        "%s: unknown checkpoint kind %u", path.c_str(), kind));
+  }
+  reader.kind_ = static_cast<CheckpointKind>(kind);
+  reader.covered_seq_ = r.U64();
+  reader.parent_seq_ = r.U64();
   const uint32_t count = r.U32();
   for (uint32_t i = 0; i < count; ++i) {
     const std::string name = r.String();

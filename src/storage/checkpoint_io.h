@@ -1,17 +1,26 @@
 // Self-describing, checksummed binary container for durable BN state —
-// the "turbo-bn v1" format (DESIGN.md "Durability & recovery").
+// the "turbo-bn v2" format (DESIGN.md "Incremental snapshots & delta
+// checkpoints").
 //
-// A checkpoint file is a magic header followed by named sections, each
-// carrying its own CRC32:
+// A checkpoint file is a magic header, a chain header, and named
+// sections, each carrying its own CRC32:
 //
-//   "TURBOBN1"            8-byte magic ("turbo-bn v1")
-//   u32 format_version    currently 1
+//   "TURBOBN2"            8-byte magic ("turbo-bn v2")
+//   u32 format_version    currently 2
+//   u8  kind              0 = full checkpoint, 1 = delta
+//   u64 covered_seq       WAL sequence covered by this file's state
+//   u64 parent_seq        delta only: covered_seq of the previous link
 //   u32 section_count
 //   per section:
 //     u64 name_len, name bytes
 //     u64 payload_len
 //     u32 crc32(payload)
 //     payload bytes
+//
+// A full checkpoint is self-contained. A delta carries only state that
+// changed since its parent (the full base or the previous delta, chained
+// by parent_seq == parent's covered_seq); recovery loads the base and
+// applies the chain in covered_seq order before replaying the WAL tail.
 //
 // Integers are little-endian, fixed width. Readers validate the magic,
 // the version, and every section CRC before any payload is interpreted,
@@ -148,12 +157,20 @@ class BinaryReader {
   bool failed_ = false;
 };
 
+/// Position of a checkpoint file in the base + delta chain.
+enum class CheckpointKind : uint8_t { kFull = 0, kDelta = 1 };
+
 /// Collects named sections and publishes them atomically as one
 /// checkpoint file (temp file + fsync + rename).
 class CheckpointWriter {
  public:
   /// Adds a section; names must be unique per file.
   void AddSection(const std::string& name, const BinaryWriter& payload);
+
+  /// Sets the chain header. Defaults to a standalone full checkpoint
+  /// (kFull, covered_seq 0, parent_seq 0) when never called.
+  void SetChain(CheckpointKind kind, uint64_t covered_seq,
+                uint64_t parent_seq);
 
   /// Serialized size of the file body so far (capacity planning).
   size_t TotalBytes() const;
@@ -162,6 +179,9 @@ class CheckpointWriter {
   Status WriteFile(const std::string& path) const;
 
  private:
+  CheckpointKind kind_ = CheckpointKind::kFull;
+  uint64_t covered_seq_ = 0;
+  uint64_t parent_seq_ = 0;
   std::map<std::string, std::string> sections_;
 };
 
@@ -183,9 +203,16 @@ class CheckpointReader {
   std::string_view Find(const std::string& name) const;
   size_t FileBytes() const { return file_->size(); }
 
+  CheckpointKind kind() const { return kind_; }
+  uint64_t covered_seq() const { return covered_seq_; }
+  uint64_t parent_seq() const { return parent_seq_; }
+
  private:
   CheckpointReader() = default;
 
+  CheckpointKind kind_ = CheckpointKind::kFull;
+  uint64_t covered_seq_ = 0;
+  uint64_t parent_seq_ = 0;
   // unique_ptr so moves don't invalidate the section views.
   std::unique_ptr<std::string> file_;
   std::map<std::string, std::string_view> sections_;

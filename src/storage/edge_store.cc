@@ -6,7 +6,69 @@ namespace turbo::storage {
 
 namespace {
 const std::unordered_map<UserId, EdgeInfo> kEmptyNeighbors;
+
+std::vector<UserId> SortedIds(const std::unordered_set<UserId>& s) {
+  std::vector<UserId> ids(s.begin(), s.end());
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
 }  // namespace
+
+bool EdgeChurn::Empty() const {
+  for (const auto& s : nodes) {
+    if (!s.empty()) return false;
+  }
+  return true;
+}
+
+size_t EdgeChurn::TotalTouched() const {
+  size_t n = 0;
+  for (const auto& s : nodes) n += s.size();
+  return n;
+}
+
+void EdgeChurn::Clear() {
+  for (auto& s : nodes) s.clear();
+}
+
+void EdgeChurn::MergeFrom(const EdgeChurn& other) {
+  for (int t = 0; t < kNumEdgeTypes; ++t) {
+    nodes[t].insert(other.nodes[t].begin(), other.nodes[t].end());
+  }
+}
+
+void EdgeChurn::Serialize(BinaryWriter* w) const {
+  for (int t = 0; t < kNumEdgeTypes; ++t) {
+    const std::vector<UserId> ids = SortedIds(nodes[t]);
+    w->U64(ids.size());
+    w->Bytes(ids.data(), ids.size() * sizeof(UserId));
+  }
+}
+
+Status EdgeChurn::Deserialize(BinaryReader* r, UserId num_users) {
+  Clear();
+  for (int t = 0; t < kNumEdgeTypes; ++t) {
+    const uint64_t n = r->U64();
+    if (n > r->remaining() / sizeof(UserId)) {
+      Clear();
+      return Status::InvalidArgument("truncated churn section");
+    }
+    for (uint64_t i = 0; i < n; ++i) {
+      const UserId u = r->U32();
+      if (u >= num_users) {
+        Clear();
+        return Status::InvalidArgument("churn node id out of range");
+      }
+      nodes[t].insert(u);
+    }
+  }
+  if (!r->ok()) {
+    Clear();
+    return Status::InvalidArgument("truncated churn section");
+  }
+  return Status::OK();
+}
 
 void EdgeStore::AddWeight(int edge_type, UserId u, UserId v, float w,
                           SimTime now) {
@@ -30,7 +92,7 @@ void EdgeStore::AddWeight(int edge_type, UserId u, UserId v, float w,
   bwd.last_update = std::max(bwd.last_update, now);
 }
 
-size_t EdgeStore::ExpireBefore(SimTime cutoff) {
+size_t EdgeStore::ExpireBefore(SimTime cutoff, EdgeChurn* churn) {
   size_t removed = 0;
   for (int t = 0; t < kNumEdgeTypes; ++t) {
     auto& adj = by_type_[t];
@@ -42,6 +104,9 @@ size_t EdgeStore::ExpireBefore(SimTime cutoff) {
             ++removed;
             --edge_count_[t];
           }
+          // The mirrored visit records the other endpoint, so both ends
+          // of every expired edge land in the churn set.
+          if (churn != nullptr) churn->Touch(t, u);
           it = adj[u].erase(it);
         } else {
           ++it;
@@ -50,6 +115,16 @@ size_t EdgeStore::ExpireBefore(SimTime cutoff) {
     }
   }
   return removed;
+}
+
+void EdgeStore::ClearNode(int edge_type, UserId u) {
+  auto& adj = by_type_[edge_type];
+  if (u >= adj.size()) return;
+  for (const auto& [v, e] : adj[u]) {
+    adj[v].erase(u);
+    --edge_count_[edge_type];
+  }
+  adj[u].clear();
 }
 
 const std::unordered_map<UserId, EdgeInfo>& EdgeStore::Neighbors(
@@ -137,6 +212,99 @@ Status EdgeStore::Deserialize(BinaryReader* r, UserId num_users) {
       adj[v][u] = EdgeInfo{weight, last_update};
       ++edge_count_[t];
     }
+  }
+  return Status::OK();
+}
+
+void EdgeStore::SerializeTouched(const EdgeChurn& churn,
+                                 BinaryWriter* w) const {
+  for (int t = 0; t < kNumEdgeTypes; ++t) {
+    const auto& touched = churn.nodes[t];
+    const std::vector<UserId> ids = SortedIds(touched);
+    w->U64(ids.size());
+    w->Bytes(ids.data(), ids.size() * sizeof(UserId));
+    // Each edge with >= 1 touched endpoint is emitted exactly once: from
+    // its touched endpoint when only one is touched, from the smaller id
+    // when both are. Two passes (count, then rows) keep the layout
+    // self-describing without buffering the rows.
+    const auto emits = [&](UserId u, UserId v) {
+      return !touched.contains(v) || v > u;
+    };
+    uint64_t count = 0;
+    for (UserId u : ids) {
+      for (const auto& [v, e] : Neighbors(t, u)) {
+        if (emits(u, v)) ++count;
+      }
+    }
+    w->U64(count);
+    std::vector<UserId> nbrs;
+    for (UserId u : ids) {
+      const auto& row = Neighbors(t, u);
+      nbrs.clear();
+      nbrs.reserve(row.size());
+      for (const auto& [v, e] : row) {
+        if (emits(u, v)) nbrs.push_back(v);
+      }
+      std::sort(nbrs.begin(), nbrs.end());
+      for (UserId v : nbrs) {
+        const EdgeInfo& e = row.at(v);
+        w->U32(u);
+        w->U32(v);
+        w->F64(e.weight);
+        w->I64(e.last_update);
+      }
+    }
+  }
+}
+
+Status EdgeStore::ApplyDeltaSection(BinaryReader* r, UserId num_users) {
+  for (int t = 0; t < kNumEdgeTypes; ++t) {
+    const uint64_t num_touched = r->U64();
+    if (num_touched > r->remaining() / sizeof(UserId)) {
+      return Status::InvalidArgument("truncated edge-delta section");
+    }
+    // Clear-then-insert: the emitted rows are the complete current state
+    // of every touched node, so dropping the old rows first makes the
+    // apply an exact replacement rather than an accumulation.
+    for (uint64_t i = 0; i < num_touched; ++i) {
+      const UserId u = r->U32();
+      if (u >= num_users) {
+        return Status::InvalidArgument(
+            "edge-delta touched id out of range");
+      }
+      ClearNode(t, u);
+    }
+    const uint64_t count = r->U64();
+    constexpr size_t kRecordBytes = 2 * sizeof(UserId) + sizeof(double) +
+                                    sizeof(SimTime);
+    if (count > r->remaining() / kRecordBytes) {
+      return Status::InvalidArgument("truncated edge-delta section");
+    }
+    auto& adj = by_type_[t];
+    for (uint64_t i = 0; i < count; ++i) {
+      const UserId u = r->U32();
+      const UserId v = r->U32();
+      const double weight = r->F64();
+      const SimTime last_update = r->I64();
+      if (u == v || weight <= 0.0) {
+        return Status::InvalidArgument("corrupt edge-delta record");
+      }
+      if (u >= num_users || v >= num_users) {
+        return Status::InvalidArgument(
+            "edge-delta endpoint out of range");
+      }
+      EnsureSize(&adj, std::max(u, v));
+      if (adj[u].contains(v)) {
+        // Each edge is emitted once; a duplicate would double-count.
+        return Status::InvalidArgument("duplicate edge-delta record");
+      }
+      adj[u][v] = EdgeInfo{weight, last_update};
+      adj[v][u] = EdgeInfo{weight, last_update};
+      ++edge_count_[t];
+    }
+  }
+  if (!r->ok()) {
+    return Status::InvalidArgument("truncated edge-delta section");
   }
   return Status::OK();
 }

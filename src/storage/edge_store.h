@@ -9,11 +9,13 @@
 #include <array>
 #include <cstdint>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "storage/behavior_log.h"
 #include "storage/checkpoint_io.h"
 #include "util/check.h"
+#include "util/status.h"
 
 namespace turbo::storage {
 
@@ -30,6 +32,31 @@ struct EdgeInfo {
   SimTime last_update = 0;
 };
 
+/// Per-edge-type set of nodes whose adjacency rows changed since some
+/// reference point (the last snapshot publish, the last checkpoint).
+/// Both endpoints of every added or expired edge are recorded, so a
+/// node absent from the set is guaranteed to have a bit-identical row —
+/// the contract BnSnapshot::ApplyDeltas and the delta-checkpoint edge
+/// sections are built on.
+struct EdgeChurn {
+  std::array<std::unordered_set<UserId>, kNumEdgeTypes> nodes;
+
+  void Touch(int edge_type, UserId u) { nodes[edge_type].insert(u); }
+  bool Empty() const;
+  /// Sum of per-type touched-node counts (a node churned on two types
+  /// counts twice — it has two rows to recompute).
+  size_t TotalTouched() const;
+  void Clear();
+  void MergeFrom(const EdgeChurn& other);
+
+  /// Per type: u64 count, then the touched ids ascending (u32 each).
+  /// Deterministic: equal churn sets produce equal bytes.
+  void Serialize(BinaryWriter* w) const;
+  /// Restores a Serialize()d churn set, replacing current contents.
+  /// Ids at or past `num_users` are rejected as corrupt.
+  Status Deserialize(BinaryReader* r, UserId num_users);
+};
+
 class EdgeStore {
  public:
   /// Adds `w` to the weight of the undirected edge (u, v) of the given
@@ -37,8 +64,9 @@ class EdgeStore {
   void AddWeight(int edge_type, UserId u, UserId v, float w, SimTime now);
 
   /// Removes every edge whose last update is strictly before `cutoff`.
-  /// Returns the number of undirected edges removed.
-  size_t ExpireBefore(SimTime cutoff);
+  /// Returns the number of undirected edges removed. When `churn` is
+  /// given, both endpoints of every removed edge are recorded in it.
+  size_t ExpireBefore(SimTime cutoff, EdgeChurn* churn = nullptr);
 
   /// Neighbor map of u for one edge type (empty if none).
   const std::unordered_map<UserId, EdgeInfo>& Neighbors(int edge_type,
@@ -69,7 +97,23 @@ class EdgeStore {
   /// drive a multi-billion-row adjacency resize instead of an error.
   Status Deserialize(BinaryReader* r, UserId num_users);
 
+  /// Delta-checkpoint hook: writes, per type, the churned node ids
+  /// (ascending) followed by the *current* state of every edge with at
+  /// least one churned endpoint, each emitted exactly once with exact
+  /// weight bits. Deterministic for equal (store, churn) inputs.
+  void SerializeTouched(const EdgeChurn& churn, BinaryWriter* w) const;
+
+  /// Applies a SerializeTouched()d section: clears the recorded nodes'
+  /// rows (mirrors included), then inserts the emitted edges bit-exactly.
+  /// Applying the section written against this store's own baseline
+  /// reproduces the writer's store bit for bit. Validates endpoints
+  /// against `num_users` like Deserialize.
+  Status ApplyDeltaSection(BinaryReader* r, UserId num_users);
+
  private:
+  /// Removes every edge incident to u (both directions), keeping the
+  /// undirected edge counts consistent.
+  void ClearNode(int edge_type, UserId u);
   using Adjacency = std::vector<std::unordered_map<UserId, EdgeInfo>>;
 
   void EnsureSize(Adjacency* adj, UserId u) {

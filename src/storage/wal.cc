@@ -76,6 +76,31 @@ std::vector<uint64_t> ListWalSegments(const std::string& dir) {
   return seqs;
 }
 
+std::string CheckpointDeltaPath(const std::string& dir, uint64_t seq) {
+  return StrFormat("%s/checkpoint-delta-%08llu.bin", dir.c_str(),
+                   static_cast<unsigned long long>(seq));
+}
+
+std::vector<uint64_t> ListCheckpointDeltas(const std::string& dir) {
+  std::vector<uint64_t> seqs;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    unsigned long long seq = 0;
+    // Same re-format validation as ListWalSegments; a prefix sscanf
+    // match alone would also accept `.tmp` leftovers of an interrupted
+    // atomic publish.
+    if (std::sscanf(name.c_str(), "checkpoint-delta-%llu.bin", &seq) == 1 &&
+        std::filesystem::path(CheckpointDeltaPath(dir, seq)).filename() ==
+            name) {
+      seqs.push_back(seq);
+    }
+  }
+  std::sort(seqs.begin(), seqs.end());
+  return seqs;
+}
+
 WalWriter::~WalWriter() { Close(); }
 
 Status WalWriter::Open(const std::string& dir, uint64_t seq,

@@ -78,6 +78,15 @@ std::string WalSegmentPath(const std::string& dir, uint64_t seq);
 /// A missing directory yields an empty list.
 std::vector<uint64_t> ListWalSegments(const std::string& dir);
 
+/// Path of the delta checkpoint whose covered_seq is `seq` inside `dir`.
+/// Delta files are named by their own covered WAL sequence so the chain
+/// order is recoverable from the directory listing alone.
+std::string CheckpointDeltaPath(const std::string& dir, uint64_t seq);
+
+/// covered_seq values of the delta-checkpoint files present in `dir`,
+/// ascending. A missing directory yields an empty list.
+std::vector<uint64_t> ListCheckpointDeltas(const std::string& dir);
+
 /// Single-writer append handle for one WAL segment.
 class WalWriter {
  public:

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "bn/builder.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -170,6 +171,61 @@ TEST(BnBuilderParallelTest, StreamedJobsMatchOfflineBuild) {
     EXPECT_LE(builder.CachedBucketEpochs(),
               static_cast<size_t>(cfg.windows.back() / cfg.windows.front()));
   }
+}
+
+TEST(BnBuilderParallelTest, BucketCacheBytesGaugeTracksAndStaysBounded) {
+  // Regression for the bn_bucket_cache_bytes gauge: it must track the
+  // builder's byte accounting exactly, and the interleaved job schedule
+  // plus eviction must hold the cache at a steady state — a 10-day run
+  // must not use more cache than its first days established.
+  const BehaviorLogList logs = MakeLogs(0xB17E5, 12000, 10 * kDay);
+  BnConfig cfg = BaseConfig();
+  LogStore store;
+  store.AppendBatch(logs);
+  EdgeStore edges;
+  BnBuilder builder(cfg, &edges);
+  obs::MetricsRegistry registry;
+  builder.SetMetrics(&registry);
+  obs::Gauge* bytes_g = registry.GetGauge("bn_bucket_cache_bytes");
+
+  std::vector<SimTime> last_end(cfg.windows.size(), 0);
+  size_t early_max = 0;  // peak bytes in the first 3 days
+  size_t late_max = 0;   // peak bytes afterwards
+  for (;;) {
+    int best = -1;
+    SimTime best_end = 0;
+    for (size_t i = 0; i < cfg.windows.size(); ++i) {
+      const SimTime next = last_end[i] + cfg.windows[i];
+      if (next > 10 * kDay) continue;
+      if (best < 0 || next < best_end) {
+        best = static_cast<int>(i);
+        best_end = next;
+      }
+    }
+    if (best < 0) break;
+    builder.RunWindowJob(store, cfg.windows[best], best_end);
+    last_end[best] = best_end;
+    builder.EvictCachedBuckets(
+        *std::min_element(last_end.begin(), last_end.end()));
+    ASSERT_EQ(bytes_g->value(),
+              static_cast<double>(builder.CachedBucketBytes()));
+    size_t& peak = best_end <= 3 * kDay ? early_max : late_max;
+    peak = std::max(peak, builder.CachedBucketBytes());
+  }
+  EXPECT_GT(early_max, 0u);
+  // Steady state: the cache bound is enforced epoch after epoch instead
+  // of drifting upward with run length. (Uniform traffic, so identical
+  // load per day; a leak would make the late peak grow day over day.)
+  EXPECT_LE(late_max, 2 * early_max);
+  // Epoch-count bound: nothing older than the largest window survives.
+  EXPECT_LE(builder.CachedBucketEpochs(),
+            static_cast<size_t>(cfg.windows.back() / cfg.windows.front()));
+
+  // Draining the cache must zero both the accounting and the gauge.
+  builder.EvictCachedBuckets(20 * kDay);
+  EXPECT_EQ(builder.CachedBucketBytes(), 0u);
+  EXPECT_EQ(builder.CachedBucketEpochs(), 0u);
+  EXPECT_EQ(bytes_g->value(), 0.0);
 }
 
 }  // namespace

@@ -303,7 +303,8 @@ TEST(RecoveryTest, SnapshotNodeCountMismatchIsRejected) {
   auto reader_or = storage::CheckpointReader::Open(path);
   ASSERT_TRUE(reader_or.ok());
   storage::CheckpointWriter rewriter;
-  for (const char* name : {"meta", "server", "edges", "logs", "buckets"}) {
+  for (const char* name :
+       {"meta", "server", "edges", "logs", "buckets", "churn"}) {
     storage::BinaryWriter section;
     const std::string_view payload = reader_or.value().Find(name);
     section.Bytes(payload.data(), payload.size());
@@ -337,7 +338,7 @@ TEST(RecoveryTest, OutOfRangeEdgeEndpointInCheckpointIsRejected) {
   ASSERT_TRUE(reader_or.ok());
   storage::CheckpointWriter rewriter;
   for (const char* name :
-       {"meta", "server", "logs", "buckets", "snapshot"}) {
+       {"meta", "server", "logs", "buckets", "snapshot", "churn"}) {
     storage::BinaryWriter section;
     const std::string_view payload = reader_or.value().Find(name);
     section.Bytes(payload.data(), payload.size());
@@ -473,6 +474,155 @@ TEST(RecoveryTest, PinnedViewsSurviveRecoveryOfAReplacementServer) {
   EXPECT_TRUE(pinned.valid());
   EXPECT_EQ(pinned.version(), pinned_version);
   EXPECT_EQ(recovered.snapshot_version(), pinned_version);
+}
+
+TEST(RecoveryTest, DeltaChainRecoveryIsBitIdentical) {
+  // Full base + two delta checkpoints + WAL tail must recover to the
+  // same bits as a server that never crashed — and keep matching it
+  // under identical future traffic (so the recovered chain trackers and
+  // churn set are right, not just the recovered arrays).
+  const std::string dir = FreshDir("rec_delta_chain");
+  BnServer reference(SmallConfig());
+  BnServer writer(SmallConfig(dir));
+  for (const auto& log : Traffic(0, kDay, 200)) {
+    reference.Ingest(log);
+    writer.Ingest(log);
+  }
+  reference.AdvanceTo(kDay);
+  writer.AdvanceTo(kDay);
+  ASSERT_TRUE(writer.Checkpoint(dir).ok());  // full base
+  ASSERT_TRUE(storage::ListCheckpointDeltas(dir).empty());
+
+  for (int phase = 1; phase <= 2; ++phase) {
+    const SimTime t0 = kDay + (phase - 1) * kHour;
+    for (const auto& log : Traffic(t0, t0 + kHour, 5)) {
+      reference.Ingest(log);
+      writer.Ingest(log);
+    }
+    reference.AdvanceTo(t0 + kHour);
+    writer.AdvanceTo(t0 + kHour);
+    ASSERT_TRUE(writer.Checkpoint(dir).ok());
+    ASSERT_EQ(storage::ListCheckpointDeltas(dir).size(),
+              static_cast<size_t>(phase))
+        << "small-churn checkpoint " << phase << " should be a delta";
+  }
+  // The whole point: each link is much smaller than the base.
+  const auto base_bytes =
+      std::filesystem::file_size(dir + "/checkpoint.bin");
+  for (uint64_t seq : storage::ListCheckpointDeltas(dir)) {
+    EXPECT_LT(std::filesystem::file_size(
+                  storage::CheckpointDeltaPath(dir, seq)),
+              base_bytes);
+  }
+  // WAL tail past the last delta.
+  for (const auto& log : Traffic(kDay + 2 * kHour, kDay + 3 * kHour, 7)) {
+    reference.Ingest(log);
+    writer.Ingest(log);
+  }
+  reference.AdvanceTo(kDay + 3 * kHour);
+  writer.AdvanceTo(kDay + 3 * kHour);
+
+  BnServer recovered(SmallConfig(dir));
+  ASSERT_TRUE(recovered.Recover(dir).ok());
+  ExpectIdentical(reference, recovered);
+  ExpectIdentical(writer, recovered);
+
+  // Future traffic: exercises the recovered snapshot churn (incremental
+  // publishes off the recovered snapshot) and the recovered chain
+  // trackers (the next checkpoint extends the chain).
+  for (const auto& log : Traffic(kDay + 3 * kHour, kDay + 4 * kHour, 6)) {
+    reference.Ingest(log);
+    recovered.Ingest(log);
+  }
+  reference.AdvanceTo(kDay + 4 * kHour);
+  recovered.AdvanceTo(kDay + 4 * kHour);
+  ExpectIdentical(reference, recovered);
+  const size_t deltas_before = storage::ListCheckpointDeltas(dir).size();
+  ASSERT_TRUE(recovered.Checkpoint(dir).ok());
+  EXPECT_EQ(storage::ListCheckpointDeltas(dir).size(), deltas_before + 1)
+      << "post-recovery checkpoint should extend the delta chain";
+}
+
+TEST(RecoveryTest, BrokenDeltaChainIsRejected) {
+  // Deleting an intermediate link breaks the parent sequence; recovery
+  // must fail loudly instead of silently applying a gapped chain.
+  const std::string dir = FreshDir("rec_delta_broken");
+  BnServer writer(SmallConfig(dir));
+  writer.IngestBatch(Traffic(0, kDay, 200));
+  writer.AdvanceTo(kDay);
+  ASSERT_TRUE(writer.Checkpoint(dir).ok());
+  for (int phase = 1; phase <= 2; ++phase) {
+    const SimTime t0 = kDay + (phase - 1) * kHour;
+    writer.IngestBatch(Traffic(t0, t0 + kHour, 5));
+    writer.AdvanceTo(t0 + kHour);
+    ASSERT_TRUE(writer.Checkpoint(dir).ok());
+  }
+  std::vector<uint64_t> deltas = storage::ListCheckpointDeltas(dir);
+  ASSERT_EQ(deltas.size(), 2u);
+  std::filesystem::remove(storage::CheckpointDeltaPath(dir, deltas[0]));
+
+  BnServer recovered(SmallConfig(dir));
+  const Status s = recovered.Recover(dir);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("broken delta chain"), std::string::npos)
+      << s.ToString();
+}
+
+TEST(RecoveryTest, StaleDeltasFromBeforeAFullCheckpointAreSkipped) {
+  // Crash window: a full checkpoint is durable but the process dies
+  // before deleting the now-superseded delta files. Recovery must skip
+  // them (covered_seq at or below the base's) and still match the
+  // reference.
+  const std::string dir = FreshDir("rec_delta_stale");
+  BnServerConfig cfg = SmallConfig(dir);
+  cfg.max_delta_chain = 1;  // the checkpoint after one delta goes full
+  BnServer reference(SmallConfig());
+  BnServer writer(cfg);
+  auto feed = [&](SimTime t0, SimTime t1, int n) {
+    for (const auto& log : Traffic(t0, t1, n)) {
+      reference.Ingest(log);
+      writer.Ingest(log);
+    }
+    reference.AdvanceTo(t1);
+    writer.AdvanceTo(t1);
+  };
+  feed(0, kDay, 200);
+  ASSERT_TRUE(writer.Checkpoint(dir).ok());  // full base
+  feed(kDay, kDay + kHour, 5);
+  ASSERT_TRUE(writer.Checkpoint(dir).ok());  // delta
+  std::vector<uint64_t> deltas = storage::ListCheckpointDeltas(dir);
+  ASSERT_EQ(deltas.size(), 1u);
+  const std::string stale_path =
+      storage::CheckpointDeltaPath(dir, deltas[0]);
+  auto stale_bytes = storage::ReadFileBytes(stale_path);
+  ASSERT_TRUE(stale_bytes.ok());
+
+  feed(kDay + kHour, kDay + 2 * kHour, 5);
+  ASSERT_TRUE(writer.Checkpoint(dir).ok());  // chain cap -> full again
+  ASSERT_TRUE(storage::ListCheckpointDeltas(dir).empty());
+  // Resurrect the superseded delta, as a crash before cleanup would.
+  ASSERT_TRUE(
+      storage::WriteFileAtomic(stale_path, stale_bytes.value()).ok());
+
+  BnServerConfig rcfg = SmallConfig(dir);
+  rcfg.max_delta_chain = 1;
+  BnServer recovered(rcfg);
+  ASSERT_TRUE(recovered.Recover(dir).ok());
+  ExpectIdentical(reference, recovered);
+}
+
+TEST(RecoveryTest, DeltaCheckpointsDisabledAlwaysWritesFull) {
+  const std::string dir = FreshDir("rec_delta_off");
+  BnServerConfig cfg = SmallConfig(dir);
+  cfg.delta_checkpoints = false;
+  BnServer writer(cfg);
+  writer.IngestBatch(Traffic(0, kDay, 100));
+  writer.AdvanceTo(kDay);
+  ASSERT_TRUE(writer.Checkpoint(dir).ok());
+  writer.IngestBatch(Traffic(kDay, kDay + kHour, 5));
+  writer.AdvanceTo(kDay + kHour);
+  ASSERT_TRUE(writer.Checkpoint(dir).ok());
+  EXPECT_TRUE(storage::ListCheckpointDeltas(dir).empty());
 }
 
 }  // namespace

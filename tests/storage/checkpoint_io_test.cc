@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <string>
 
@@ -81,6 +82,59 @@ TEST(CheckpointIoTest, WriteAndReadBackSections) {
   EXPECT_EQ(ra.U32(), 123u);
   BinaryReader rb(reader.Find("beta"));
   EXPECT_EQ(rb.String(), "payload-b");
+}
+
+TEST(CheckpointIoTest, DefaultChainHeaderIsAFullCheckpoint) {
+  const std::string path = TempPath("ckpt_chain_default.bin");
+  CheckpointWriter writer;
+  BinaryWriter a;
+  a.U32(1);
+  writer.AddSection("alpha", a);
+  ASSERT_TRUE(writer.WriteFile(path).ok());
+  auto reader_or = CheckpointReader::Open(path);
+  ASSERT_TRUE(reader_or.ok());
+  EXPECT_EQ(reader_or.value().kind(), CheckpointKind::kFull);
+  EXPECT_EQ(reader_or.value().covered_seq(), 0u);
+  EXPECT_EQ(reader_or.value().parent_seq(), 0u);
+}
+
+TEST(CheckpointIoTest, ChainHeaderRoundTrips) {
+  const std::string path = TempPath("ckpt_chain.bin");
+  CheckpointWriter writer;
+  writer.SetChain(CheckpointKind::kDelta, /*covered_seq=*/9,
+                  /*parent_seq=*/4);
+  BinaryWriter a;
+  a.U32(1);
+  writer.AddSection("alpha", a);
+  ASSERT_TRUE(writer.WriteFile(path).ok());
+  // TotalBytes must predict the exact file size — the delta-vs-full
+  // heuristic trusts it before writing anything.
+  EXPECT_EQ(std::filesystem::file_size(path), writer.TotalBytes());
+  auto reader_or = CheckpointReader::Open(path);
+  ASSERT_TRUE(reader_or.ok()) << reader_or.status().ToString();
+  EXPECT_EQ(reader_or.value().kind(), CheckpointKind::kDelta);
+  EXPECT_EQ(reader_or.value().covered_seq(), 9u);
+  EXPECT_EQ(reader_or.value().parent_seq(), 4u);
+  BinaryReader ra(reader_or.value().Find("alpha"));
+  EXPECT_EQ(ra.U32(), 1u);
+}
+
+TEST(CheckpointIoTest, UnknownChainKindIsRejected) {
+  const std::string path = TempPath("ckpt_chain_kind.bin");
+  CheckpointWriter writer;
+  BinaryWriter a;
+  a.U32(1);
+  writer.AddSection("alpha", a);
+  ASSERT_TRUE(writer.WriteFile(path).ok());
+  // The kind byte sits right after the 8-byte magic + u32 version.
+  auto bytes_or = ReadFileBytes(path);
+  ASSERT_TRUE(bytes_or.ok());
+  std::string bytes = bytes_or.take();
+  bytes[8 + sizeof(uint32_t)] = 7;
+  ASSERT_TRUE(WriteFileAtomic(path, bytes).ok());
+  auto reader_or = CheckpointReader::Open(path);
+  ASSERT_FALSE(reader_or.ok());
+  EXPECT_NE(reader_or.status().ToString().find("kind"), std::string::npos);
 }
 
 TEST(CheckpointIoTest, BadMagicIsRejected) {

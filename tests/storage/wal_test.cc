@@ -190,5 +190,21 @@ TEST(WalTest, ListWalSegmentsSeesSeqsWiderThanThePadding) {
             (std::vector<uint64_t>{99999999, 100000000, 123456789012}));
 }
 
+TEST(WalTest, ListCheckpointDeltasSortsAndIgnoresForeignFiles) {
+  const std::string dir = FreshDir("delta_list");
+  for (uint64_t seq : {7u, 2u, 100000000u}) {
+    std::ofstream(CheckpointDeltaPath(dir, seq)) << "x";
+  }
+  std::ofstream(dir + "/checkpoint.bin") << "x";
+  std::ofstream(dir + "/wal-00000001.log") << "x";
+  std::ofstream(dir + "/checkpoint-delta-junk.bin") << "x";
+  std::ofstream(dir + "/checkpoint-delta-2.bin") << "x";  // no padding
+  // An interrupted atomic publish leaves a .tmp — never a chain link.
+  std::ofstream(dir + "/checkpoint-delta-00000009.bin.tmp") << "x";
+  EXPECT_EQ(ListCheckpointDeltas(dir),
+            (std::vector<uint64_t>{2, 7, 100000000}));
+  EXPECT_TRUE(ListCheckpointDeltas(dir + "/missing").empty());
+}
+
 }  // namespace
 }  // namespace turbo::storage
