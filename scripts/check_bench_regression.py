@@ -15,6 +15,10 @@ bench type is auto-detected from the JSON shape:
     checkpoint_shrink (higher is better)
   - "bench": "serving_throughput"    -> runs[].requests_per_second per
     (mode, threads, batch) cell (higher is better)
+  - "bench": "open_loop"             -> per gated sub-saturation rate:
+    goodput_frac (in-deadline completions / offered) and p99_headroom
+    (SLO/p99, clamped by the bench), plus the overload goodput ratio
+    (all higher is better)
   - google-benchmark output ("benchmarks" list) -> real_time per
     benchmark name (lower is better)
 
@@ -140,6 +144,27 @@ def extract_metrics(data, path):
             },
             True,
         )
+    if bench == "open_loop":
+        # Dispatch before the generic "runs" fallback: open-loop runs
+        # are keyed by (rate multiple, workers), and only the gated
+        # sub-saturation cells carry a stable SLO contract (the
+        # overload cell is summarized by overload_goodput_ratio, which
+        # is the no-congestion-collapse check). Labels embed /tN/ so
+        # the single-core skip below drops multi-worker cells.
+        runs = data.get("runs", [])
+        if not runs:
+            sys.exit(f"error: no 'runs' in {path}")
+        metrics = {}
+        for r in runs:
+            if not r.get("gate"):
+                continue
+            key = f"rate={r['rate_x']}x/t{r['workers']}/"
+            metrics[key + "goodput_frac"] = r["goodput_frac"]
+            metrics[key + "p99_headroom"] = r["p99_headroom"]
+        if "overload_goodput_ratio" not in data:
+            sys.exit(f"error: missing 'overload_goodput_ratio' in {path}")
+        metrics["overload_goodput_ratio"] = data["overload_goodput_ratio"]
+        return (metrics, True)
     if bench == "serving_throughput" or "runs" in data:
         runs = data.get("runs", [])
         if not runs:

@@ -16,5 +16,16 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" 2>&1 \
 
 for b in "$BUILD_DIR"/bench/*; do
   [ -x "$b" ] || continue
-  "$b"
+  case "$(basename "$b")" in
+    bench_open_loop)
+      # Writes the open-loop rate sweep straight to the committed
+      # baseline path (the other benches write relative to the cwd);
+      # the bench self-gates via its exit code, so a sub-saturation SLO
+      # violation or overload goodput collapse aborts the recording run.
+      "$b" --out="$REPO_ROOT/BENCH_load.json"
+      ;;
+    *)
+      "$b"
+      ;;
+  esac
 done 2>&1 | tee "$REPO_ROOT/bench_output.txt"

@@ -74,6 +74,13 @@ BnServer::BnServer(BnServerConfig config)
   checkpoint_delta_bytes_g_ =
       metrics_->GetGauge("bn_checkpoint_delta_bytes");
   checkpoint_chain_len_g_ = metrics_->GetGauge("bn_checkpoint_chain_len");
+  ingest_rejected_ = metrics_->GetCounter("bn_ingest_rejected_total");
+  ingest_queued_ = metrics_->GetCounter("bn_ingest_queued_total");
+  ingest_queue_depth_g_ = metrics_->GetGauge("bn_ingest_queue_depth");
+  if (config_.ingest_queue_capacity > 0) {
+    ingest_ring_ = std::make_unique<util::MpscRing<BehaviorLog>>(
+        config_.ingest_queue_capacity);
+  }
   if (config_.window_job_threads != 1) {
     job_pool_ =
         std::make_unique<util::ThreadPool>(config_.window_job_threads);
@@ -147,6 +154,39 @@ void BnServer::Ingest(const BehaviorLog& log) {
 
 void BnServer::IngestBatch(const BehaviorLogList& logs) {
   for (const auto& l : logs) Ingest(l);
+}
+
+bool BnServer::OfferIngest(const BehaviorLog& log) {
+  TURBO_CHECK_MSG(ingest_ring_ != nullptr,
+                  "OfferIngest requires ingest_queue_capacity > 0");
+  if (!ingest_ring_->TryPush(log)) {
+    ingest_rejected_->Increment();
+    return false;
+  }
+  ingest_queued_->Increment();
+  ingest_queue_depth_g_->Set(
+      static_cast<double>(ingest_ring_->size_approx()));
+  return true;
+}
+
+size_t BnServer::DrainIngest(size_t max_events) {
+  TURBO_CHECK_MSG(ingest_ring_ != nullptr,
+                  "DrainIngest requires ingest_queue_capacity > 0");
+  size_t applied = 0;
+  BehaviorLog log;
+  while (applied < max_events && ingest_ring_->TryPop(&log)) {
+    Ingest(log);
+    ++applied;
+  }
+  if (applied > 0) {
+    ingest_queue_depth_g_->Set(
+        static_cast<double>(ingest_ring_->size_approx()));
+  }
+  return applied;
+}
+
+size_t BnServer::ingest_queue_depth() const {
+  return ingest_ring_ != nullptr ? ingest_ring_->size_approx() : 0;
 }
 
 void BnServer::AdvanceTo(SimTime now) {

@@ -39,6 +39,7 @@
 #include "obs/metrics.h"
 #include "storage/log_store.h"
 #include "storage/wal.h"
+#include "util/mpsc_ring.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -89,6 +90,13 @@ struct BnServerConfig {
   /// "Observability"). Not owned; null = a private per-server registry,
   /// which keeps test/bench instances isolated from each other.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Capacity of the bounded lock-free MPSC ring in front of Ingest
+  /// (rounded up to a power of two); 0 disables the ring (OfferIngest /
+  /// DrainIngest must not be called). With the ring enabled, any number
+  /// of producer threads OfferIngest concurrently; a full ring rejects
+  /// the log (backpressure, counted in bn_ingest_rejected_total)
+  /// instead of blocking the producer or growing without bound.
+  size_t ingest_queue_capacity = 0;
   /// Durability directory for the ingest WAL and checkpoints; empty
   /// disables the WAL (state is lost on crash). When the directory holds
   /// state from a previous incarnation, Recover() must be called before
@@ -109,6 +117,22 @@ class BnServer {
   /// loudly here.
   void Ingest(const BehaviorLog& log);
   void IngestBatch(const BehaviorLogList& logs);
+
+  /// Admission-controlled ingestion front door (requires
+  /// config.ingest_queue_capacity > 0). Producer side: lock-free,
+  /// callable from any number of threads concurrently with the writer
+  /// and with samplers. Returns false — and counts the rejection in
+  /// bn_ingest_rejected_total — when the ring is full; the log is
+  /// dropped, which is the overload contract: producers shed instead of
+  /// stalling the ingest path.
+  bool OfferIngest(const BehaviorLog& log);
+  /// Writer-side drain: pops up to `max_events` queued logs and applies
+  /// them through Ingest (WAL, churn tracking, counters — identical to
+  /// a direct call). Same single-writer contract as Ingest/AdvanceTo.
+  /// Returns the number of logs applied.
+  size_t DrainIngest(size_t max_events = SIZE_MAX);
+  /// Instantaneous depth of the ingest ring (racy approximation).
+  size_t ingest_queue_depth() const;
 
   /// Advances the server clock, executing every window job whose epoch
   /// boundary was crossed (the 1-hour job runs hourly, the 1-day job
@@ -238,6 +262,13 @@ class BnServer {
   obs::Counter* checkpoints_delta_ = nullptr;
   obs::Gauge* checkpoint_delta_bytes_g_ = nullptr;
   obs::Gauge* checkpoint_chain_len_g_ = nullptr;
+  obs::Counter* ingest_rejected_ = nullptr;
+  obs::Counter* ingest_queued_ = nullptr;
+  obs::Gauge* ingest_queue_depth_g_ = nullptr;
+  /// Bounded admission ring in front of Ingest (null when
+  /// config.ingest_queue_capacity == 0). Producers push lock-free;
+  /// only the writer thread drains.
+  std::unique_ptr<util::MpscRing<BehaviorLog>> ingest_ring_;
   /// Worker pool the window-job shards run on (null = serial shards).
   std::unique_ptr<util::ThreadPool> job_pool_;
   storage::LogStore logs_{config_.log_cost};

@@ -32,6 +32,10 @@ PredictionServer::PredictionServer(PredictionConfig config, BnServer* bn,
   blocked_ = metrics_->GetCounter("predict_blocked_total");
   cache_hits_ = metrics_->GetCounter("predict_cache_hits_total");
   cache_misses_ = metrics_->GetCounter("predict_cache_misses_total");
+  deadline_shed_ = metrics_->GetCounter("prediction_deadline_shed_total");
+  queue_rejected_ =
+      metrics_->GetCounter("prediction_queue_rejected_total");
+  queue_depth_g_ = metrics_->GetGauge("prediction_queue_depth");
   sample_ms_ = metrics_->GetHistogram("predict_sample_ms");
   feature_ms_ = metrics_->GetHistogram("predict_feature_ms");
   inference_ms_ = metrics_->GetHistogram("predict_inference_ms");
@@ -221,22 +225,57 @@ void PredictionServer::StopBatching() {
   batch_workers_.clear();
 }
 
+PredictionResponse PredictionServer::ShedResponse() {
+  PredictionResponse r;
+  r.shed = true;
+  return r;
+}
+
 std::future<PredictionResponse> PredictionServer::SubmitAsync(UserId uid) {
+  return SubmitWithDeadline(uid, Deadline::max());
+}
+
+std::future<PredictionResponse> PredictionServer::SubmitWithDeadline(
+    UserId uid, Deadline deadline) {
+  // The promise rides in a shared_ptr because DoneCallback must be
+  // copyable; the callback fires exactly once.
+  auto p = std::make_shared<std::promise<PredictionResponse>>();
+  std::future<PredictionResponse> fut = p->get_future();
+  SubmitCallback(uid, deadline,
+                 [p](const PredictionResponse& r) { p->set_value(r); });
+  return fut;
+}
+
+bool PredictionServer::SubmitCallback(UserId uid, Deadline deadline,
+                                      DoneCallback done) {
   {
     std::unique_lock<std::mutex> lock(queue_mu_);
     if (batching_running_) {
-      queue_.push_back(PendingRequest{uid, {}});
-      std::future<PredictionResponse> fut =
-          queue_.back().promise.get_future();
+      if (batching_.max_queue > 0 &&
+          queue_.size() >= batching_.max_queue) {
+        // Admission rejection: queued past the cap the request would
+        // only wait to miss its deadline while delaying everyone else.
+        lock.unlock();
+        queue_rejected_->Increment();
+        done(ShedResponse());
+        return false;
+      }
+      queue_.push_back(PendingRequest{uid, deadline, std::move(done)});
+      queue_depth_g_->Set(static_cast<double>(queue_.size()));
       lock.unlock();
       queue_cv_.notify_one();
-      return fut;
+      return true;
     }
   }
-  // Queue not running: serve synchronously so callers never hang.
-  std::promise<PredictionResponse> p;
-  p.set_value(Handle(uid));
-  return p.get_future();
+  // Queue not running: serve synchronously so callers never hang — but
+  // still honor an already-expired deadline.
+  if (std::chrono::steady_clock::now() >= deadline) {
+    deadline_shed_->Increment();
+    done(ShedResponse());
+    return true;
+  }
+  done(Handle(uid));
+  return true;
 }
 
 void PredictionServer::BatchWorkerLoop() {
@@ -267,14 +306,31 @@ void PredictionServer::BatchWorkerLoop() {
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
+      queue_depth_g_->Set(static_cast<double>(queue_.size()));
     }
     if (batch.empty()) continue;
+    // Deadline check happens here — after the queue wait, before any
+    // sampling/feature/inference cost. Expired requests complete with a
+    // shed response; the survivors run the unchanged HandleBatch path,
+    // so admission control cannot alter a served prediction.
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<PendingRequest> live;
+    live.reserve(batch.size());
+    for (auto& r : batch) {
+      if (now >= r.deadline) {
+        deadline_shed_->Increment();
+        r.done(ShedResponse());
+      } else {
+        live.push_back(std::move(r));
+      }
+    }
+    if (live.empty()) continue;
     std::vector<UserId> uids;
-    uids.reserve(batch.size());
-    for (const auto& r : batch) uids.push_back(r.uid);
+    uids.reserve(live.size());
+    for (const auto& r : live) uids.push_back(r.uid);
     std::vector<PredictionResponse> resps = HandleBatch(uids);
-    for (size_t i = 0; i < batch.size(); ++i) {
-      batch[i].promise.set_value(std::move(resps[i]));
+    for (size_t i = 0; i < live.size(); ++i) {
+      live[i].done(resps[i]);
     }
   }
 }

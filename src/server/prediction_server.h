@@ -14,6 +14,18 @@
 //    gathers concurrent single requests into batches (up to
 //    max_batch_size, waiting at most max_wait_ms) and executes them on a
 //    private worker pool.
+//  * SubmitWithDeadline / SubmitCallback: the admission-controlled form
+//    of the queue. Each request carries a deadline; a worker popping a
+//    batch sheds every request whose deadline already passed — before
+//    sampling, features, or inference spend anything on it — and
+//    completes it with a `shed` response (prediction_deadline_shed_total
+//    counts these). BatchingConfig::max_queue bounds the queue itself:
+//    past the cap, submissions are rejected at admission
+//    (prediction_queue_rejected_total) rather than queued to miss their
+//    deadline anyway. In-deadline requests take exactly the same
+//    HandleBatch path as deadline-free ones, so admission control never
+//    changes a served prediction (bit-identical; see
+//    tests/server/admission_control_test.cc).
 //
 // With `use_inference_path` the model forward runs tape-free
 // (GnnModel::EmbedInference — no autograd Node/closure allocation),
@@ -35,8 +47,10 @@
 // sizes.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -80,6 +94,12 @@ struct BatchingConfig {
   /// How long a worker waits for the queue to fill past one request
   /// before running a partial batch.
   double max_wait_ms = 1.0;
+  /// Hard cap on queued requests; 0 = unbounded (the pre-admission-
+  /// control behavior). Beyond the cap a submission is rejected
+  /// immediately with a shed response — under sustained overload the
+  /// queue would only grow until every entry misses its deadline, so
+  /// bounding it is what keeps goodput from collapsing.
+  size_t max_queue = 0;
 };
 
 struct PredictionResponse {
@@ -96,6 +116,12 @@ struct PredictionResponse {
   /// True when the prediction came out of the snapshot-versioned cache
   /// (no sampling / features / forward ran for this uid).
   bool cache_hit = false;
+  /// True when admission control dropped the request — its deadline
+  /// passed while queued, or the queue cap rejected it outright. No
+  /// sampling/features/inference ran; fraud_probability is 0, blocked
+  /// is false, and request_id stays 0 (shed work never enters the
+  /// serving pipeline).
+  bool shed = false;
   // Per-module latency (milliseconds): wall-clock compute plus modeled
   // storage cost; for batched requests, the batch stage cost divided
   // evenly over its requests.
@@ -107,6 +133,16 @@ struct PredictionResponse {
 
 class PredictionServer {
  public:
+  /// Deadlines are absolute steady-clock points (a relative budget is
+  /// `steady_clock::now() + budget`); Deadline::max() means "no
+  /// deadline".
+  using Deadline = std::chrono::steady_clock::time_point;
+  /// Completion callback for SubmitCallback. Invoked exactly once, on a
+  /// batch worker thread for executed/deadline-shed requests or on the
+  /// submitting thread for queue-cap rejections and the synchronous
+  /// fallback. Must not call back into StartBatching/StopBatching.
+  using DoneCallback = std::function<void(const PredictionResponse&)>;
+
   /// `model` must already be trained; `scaler` must be the one fitted on
   /// the training features; `features` serves raw (unscaled) rows.
   PredictionServer(PredictionConfig config, BnServer* bn,
@@ -131,6 +167,17 @@ class PredictionServer {
   /// Enqueues one request for batched execution. Falls back to a
   /// synchronous Handle() when the queue is not running.
   std::future<PredictionResponse> SubmitAsync(UserId uid);
+  /// Like SubmitAsync, but the request is dropped (shed response) if
+  /// `deadline` passes before a worker gets to it, or immediately if
+  /// the queue is at BatchingConfig::max_queue.
+  std::future<PredictionResponse> SubmitWithDeadline(UserId uid,
+                                                     Deadline deadline);
+  /// Callback form of SubmitWithDeadline — the open-loop load generator
+  /// uses this to stamp completion times on the worker thread, without
+  /// a future hand-off adding scheduler noise to the measurement.
+  /// Returns false when the queue cap rejected the request at admission
+  /// (the callback has already run with a shed response by then).
+  bool SubmitCallback(UserId uid, Deadline deadline, DoneCallback done);
 
   /// Per-stage latency histograms (Fig. 8a breakdown), backed by the
   /// metrics registry.
@@ -152,8 +199,12 @@ class PredictionServer {
   };
   struct PendingRequest {
     UserId uid = 0;
-    std::promise<PredictionResponse> promise;
+    Deadline deadline = Deadline::max();
+    DoneCallback done;
   };
+
+  /// Response for a request admission control dropped.
+  static PredictionResponse ShedResponse();
 
   /// (uid, snapshot version) -> cache key. UserId is 32-bit, so the
   /// version occupies the high word.
@@ -174,6 +225,9 @@ class PredictionServer {
   obs::Counter* blocked_ = nullptr;
   obs::Counter* cache_hits_ = nullptr;
   obs::Counter* cache_misses_ = nullptr;
+  obs::Counter* deadline_shed_ = nullptr;
+  obs::Counter* queue_rejected_ = nullptr;
+  obs::Gauge* queue_depth_g_ = nullptr;
   obs::Histogram* sample_ms_ = nullptr;
   obs::Histogram* feature_ms_ = nullptr;
   obs::Histogram* inference_ms_ = nullptr;

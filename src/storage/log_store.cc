@@ -2,11 +2,22 @@
 
 #include <algorithm>
 #include <cstring>
+#include <mutex>
 #include <string>
 
 namespace turbo::storage {
 
 void LogStore::Append(const BehaviorLog& log) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  AppendLocked(log);
+}
+
+void LogStore::AppendBatch(const BehaviorLogList& logs) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  for (const auto& l : logs) AppendLocked(l);
+}
+
+void LogStore::AppendLocked(const BehaviorLog& log) {
   auto& ui = by_user_[log.uid];
   if (!ui.logs.empty() && ui.logs.back().time > log.time) ui.sorted = false;
   ui.logs.push_back(log);
@@ -19,25 +30,8 @@ void LogStore::Append(const BehaviorLog& log) {
   ++total_;
 }
 
-void LogStore::AppendBatch(const BehaviorLogList& logs) {
-  for (const auto& l : logs) Append(l);
-}
-
-BehaviorLogList LogStore::QueryUser(UserId uid, SimTime t0, SimTime t1,
-                                    SimClock* clock) const {
-  auto it = by_user_.find(uid);
-  if (it == by_user_.end()) {
-    if (clock) clock->ChargeQuery(cost_, 0);
-    return {};
-  }
-  auto& idx = it->second;
-  if (!idx.sorted) {
-    std::sort(idx.logs.begin(), idx.logs.end(),
-              [](const BehaviorLog& a, const BehaviorLog& b) {
-                return a.time < b.time;
-              });
-    idx.sorted = true;
-  }
+BehaviorLogList LogStore::SliceUser(const UserIndex& idx, SimTime t0,
+                                    SimTime t1, SimClock* clock) const {
   auto lo = std::lower_bound(idx.logs.begin(), idx.logs.end(), t0,
                              [](const BehaviorLog& l, SimTime t) {
                                return l.time < t;
@@ -51,9 +45,63 @@ BehaviorLogList LogStore::QueryUser(UserId uid, SimTime t0, SimTime t1,
   return out;
 }
 
+BehaviorLogList LogStore::QueryUser(UserId uid, SimTime t0, SimTime t1,
+                                    SimClock* clock) const {
+  // Fast path: a shared lock suffices once the index is time-sorted.
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = by_user_.find(uid);
+    if (it == by_user_.end()) {
+      if (clock) clock->ChargeQuery(cost_, 0);
+      return {};
+    }
+    if (it->second.sorted) return SliceUser(it->second, t0, t1, clock);
+  }
+  // Lazy sort mutates the index: retake exclusively and redo the lookup
+  // (the writer may have appended in the unlock/relock gap).
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = by_user_.find(uid);
+  if (it == by_user_.end()) {
+    if (clock) clock->ChargeQuery(cost_, 0);
+    return {};
+  }
+  auto& idx = it->second;
+  if (!idx.sorted) {
+    std::sort(idx.logs.begin(), idx.logs.end(),
+              [](const BehaviorLog& a, const BehaviorLog& b) {
+                return a.time < b.time;
+              });
+    idx.sorted = true;
+  }
+  return SliceUser(idx, t0, t1, clock);
+}
+
+std::vector<LogStore::Observation> LogStore::SliceValue(
+    const ValueIndex& idx, SimTime t0, SimTime t1, SimClock* clock) const {
+  auto lo = std::lower_bound(
+      idx.obs.begin(), idx.obs.end(), t0,
+      [](const Observation& o, SimTime t) { return o.time < t; });
+  auto hi = std::upper_bound(
+      idx.obs.begin(), idx.obs.end(), t1,
+      [](SimTime t, const Observation& o) { return t < o.time; });
+  std::vector<Observation> out(lo, hi);
+  if (clock) clock->ChargeQuery(cost_, static_cast<int64_t>(out.size()));
+  return out;
+}
+
 std::vector<LogStore::Observation> LogStore::QueryValue(
     BehaviorType t, ValueId v, SimTime t0, SimTime t1,
     SimClock* clock) const {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = by_value_.find(ValueKey{t, v});
+    if (it == by_value_.end()) {
+      if (clock) clock->ChargeQuery(cost_, 0);
+      return {};
+    }
+    if (it->second.sorted) return SliceValue(it->second, t0, t1, clock);
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = by_value_.find(ValueKey{t, v});
   if (it == by_value_.end()) {
     if (clock) clock->ChargeQuery(cost_, 0);
@@ -67,19 +115,14 @@ std::vector<LogStore::Observation> LogStore::QueryValue(
               });
     idx.sorted = true;
   }
-  auto lo = std::lower_bound(
-      idx.obs.begin(), idx.obs.end(), t0,
-      [](const Observation& o, SimTime t) { return o.time < t; });
-  auto hi = std::upper_bound(
-      idx.obs.begin(), idx.obs.end(), t1,
-      [](SimTime t, const Observation& o) { return t < o.time; });
-  std::vector<Observation> out(lo, hi);
-  if (clock) clock->ChargeQuery(cost_, static_cast<int64_t>(out.size()));
-  return out;
+  return SliceValue(idx, t0, t1, clock);
 }
 
 std::vector<LogStore::ValueKey> LogStore::ActiveValues(SimTime t0,
                                                        SimTime t1) const {
+  // Window jobs run on the writer thread and this path may lazily sort,
+  // so take the exclusive lock outright instead of upgrading per key.
+  std::unique_lock<std::shared_mutex> lock(mu_);
   // Union of the hour buckets overlapping [t0, t1]; bucket granularity
   // makes this proportional to the touched keys, not the key space.
   std::unordered_set<ValueKey, ValueKeyHash> seen;
@@ -124,11 +167,12 @@ constexpr size_t kKeyRowBytes = 1 + 8;       // type, value
 }  // namespace
 
 void LogStore::Serialize(BinaryWriter* w) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   w->U64(total_);
 
   // Per-user log runs, uid ascending; uid is implicit in the rows.
   w->U64(by_user_.size());
-  for (UserId uid : Users()) {
+  for (UserId uid : UsersLocked()) {
     const UserIndex& idx = by_user_.at(uid);
     w->U32(uid);
     w->U8(idx.sorted ? 1 : 0);
@@ -193,6 +237,7 @@ void LogStore::Serialize(BinaryWriter* w) const {
 }
 
 Status LogStore::Deserialize(BinaryReader* r) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   by_user_.clear();
   by_value_.clear();
   touched_by_hour_.clear();
@@ -299,6 +344,11 @@ Status LogStore::Deserialize(BinaryReader* r) {
 }
 
 std::vector<UserId> LogStore::Users() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return UsersLocked();
+}
+
+std::vector<UserId> LogStore::UsersLocked() const {
   std::vector<UserId> out;
   out.reserve(by_user_.size());
   for (const auto& [uid, idx] : by_user_) out.push_back(uid);

@@ -5,8 +5,17 @@
 // Plays the role of the paper's "local database" holding raw logs. Every
 // read can charge its modeled cost to a SimClock so the Section V cache
 // study can compare media without changing callers.
+//
+// Thread safety: one writer (Append / AppendBatch / Deserialize) may run
+// concurrently with any number of readers (QueryUser / QueryValue /
+// ActiveValues / Users / Serialize / size) — the online system drains
+// ingest on the BN writer thread while prediction workers read behavior
+// statistics. Internally a shared_mutex serializes them; query paths
+// take it shared and upgrade to exclusive only when a lazily-sorted
+// index actually needs sorting.
 #pragma once
 
+#include <shared_mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -28,7 +37,10 @@ class LogStore {
   void Append(const BehaviorLog& log);
   void AppendBatch(const BehaviorLogList& logs);
 
-  size_t size() const { return total_; }
+  size_t size() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return total_;
+  }
 
   /// All logs of `uid` with time in [t0, t1], charged to `clock` if given.
   BehaviorLogList QueryUser(UserId uid, SimTime t0, SimTime t1,
@@ -101,7 +113,18 @@ class LogStore {
     bool sorted = true;
   };
 
+  void AppendLocked(const BehaviorLog& log);
+  std::vector<UserId> UsersLocked() const;
+  BehaviorLogList SliceUser(const UserIndex& idx, SimTime t0, SimTime t1,
+                            SimClock* clock) const;
+  std::vector<Observation> SliceValue(const ValueIndex& idx, SimTime t0,
+                                      SimTime t1, SimClock* clock) const;
+
   MediumCost cost_;
+  /// Writer-vs-reader guard (see the thread-safety note above). Mutable
+  /// because const query paths lock it — and, when an index is lazily
+  /// sorted, lock it exclusively.
+  mutable std::shared_mutex mu_;
   size_t total_ = 0;
   mutable std::unordered_map<UserId, UserIndex> by_user_;
   mutable std::unordered_map<ValueKey, ValueIndex, ValueKeyHash> by_value_;

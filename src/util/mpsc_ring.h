@@ -1,0 +1,131 @@
+// Bounded lock-free multi-producer ring buffer (Vyukov-style array
+// queue with per-slot sequence numbers). The ingestion front door of
+// BnServer uses it as an MPSC queue: any number of producer threads
+// TryPush concurrently while the single writer thread TryPops — but the
+// algorithm is a full MPMC queue, so a pool of consumers is also safe.
+//
+// Properties the admission-control path relies on:
+//  * Bounded: capacity is fixed at construction (rounded up to a power
+//    of two). TryPush on a full ring fails immediately instead of
+//    blocking or allocating — that failure IS the backpressure signal.
+//  * Lock-free: producers contend only on a CAS over the enqueue
+//    cursor; no mutex, no producer ever waits on the consumer.
+//  * FIFO per producer: a producer acquires enqueue tickets in program
+//    order and the consumer drains tickets in order, so two pushes from
+//    one thread are always popped in push order (pushes from different
+//    threads interleave by ticket acquisition, which is the only
+//    meaningful order under concurrency).
+//
+// A full ring is detected from the slot sequence, not the cursors, so a
+// TryPush racing an in-progress pop of the oldest slot may fail
+// spuriously-early by one slot — acceptable for admission control,
+// where "the queue is effectively full" is the answer either way.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "util/check.h"
+
+namespace turbo::util {
+
+template <typename T>
+class MpscRing {
+ public:
+  /// `capacity` is rounded up to the next power of two (minimum 2).
+  explicit MpscRing(size_t capacity) {
+    size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (size_t i = 0; i < cap; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  /// Producer side: callable from any thread. Returns false when the
+  /// ring is full (the value is untouched and nothing was enqueued).
+  bool TryPush(const T& value) {
+    Cell* cell;
+    size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const size_t seq = cell->seq.load(std::memory_order_acquire);
+      const intptr_t dif = static_cast<intptr_t>(seq) -
+                           static_cast<intptr_t>(pos);
+      if (dif == 0) {
+        if (enqueue_pos_.compare_exchange_weak(
+                pos, pos + 1, std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // the slot still holds an unconsumed value
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = value;
+    cell->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side (single consumer in the MPSC deployment, but safe
+  /// for many). Returns false when the ring is empty.
+  bool TryPop(T* out) {
+    Cell* cell;
+    size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const size_t seq = cell->seq.load(std::memory_order_acquire);
+      const intptr_t dif = static_cast<intptr_t>(seq) -
+                           static_cast<intptr_t>(pos + 1);
+      if (dif == 0) {
+        if (dequeue_pos_.compare_exchange_weak(
+                pos, pos + 1, std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // the slot has not been published yet
+      } else {
+        pos = dequeue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    *out = std::move(cell->value);
+    cell->seq.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+  size_t capacity() const { return mask_ + 1; }
+
+  /// Racy by nature (cursors move concurrently); clamped to
+  /// [0, capacity]. Good enough for a depth gauge.
+  size_t size_approx() const {
+    const size_t enq = enqueue_pos_.load(std::memory_order_relaxed);
+    const size_t deq = dequeue_pos_.load(std::memory_order_relaxed);
+    const size_t d = enq >= deq ? enq - deq : 0;
+    return d > capacity() ? capacity() : d;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<size_t> seq{0};
+    T value{};
+  };
+
+  static constexpr size_t kCacheLine = 64;
+
+  std::unique_ptr<Cell[]> cells_;
+  size_t mask_ = 0;
+  // The two cursors live on their own cache lines so producer CAS
+  // traffic does not invalidate the consumer's line and vice versa.
+  alignas(kCacheLine) std::atomic<size_t> enqueue_pos_{0};
+  alignas(kCacheLine) std::atomic<size_t> dequeue_pos_{0};
+};
+
+}  // namespace turbo::util
