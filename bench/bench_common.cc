@@ -1,14 +1,52 @@
 #include "bench/bench_common.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "gnn/gat.h"
 #include "gnn/gcn.h"
 #include "gnn/sage.h"
 
+// Stamped by bench/CMakeLists.txt with the generator's $<CONFIG>; empty
+// when the build directory was configured without CMAKE_BUILD_TYPE.
+#ifndef TURBO_BENCH_BUILD_TYPE
+#define TURBO_BENCH_BUILD_TYPE ""
+#endif
+
 namespace turbo::benchx {
 
+void RequireReleaseBuild() {
+  const std::string build_type = TURBO_BENCH_BUILD_TYPE;
+#if defined(__OPTIMIZE__)
+  const bool optimized = true;
+#else
+  const bool optimized = false;
+#endif
+  // Release and RelWithDebInfo both qualify; MinSizeRel trades speed for
+  // size, so it does not.
+  const bool release_like =
+      optimized &&
+      (build_type == "Release" || build_type == "RelWithDebInfo");
+  if (release_like) return;
+  std::fprintf(stderr,
+               "bench built from a non-Release configuration "
+               "(CMAKE_BUILD_TYPE=\"%s\", optimization %s) — numbers "
+               "would be meaningless.\n",
+               build_type.c_str(), optimized ? "on" : "off");
+  if (std::getenv("TURBO_ALLOW_DEBUG_BENCH") != nullptr) {
+    std::fprintf(stderr,
+                 "TURBO_ALLOW_DEBUG_BENCH set: continuing anyway; do NOT "
+                 "record these numbers.\n");
+    return;
+  }
+  std::fprintf(stderr,
+               "Reconfigure with -DCMAKE_BUILD_TYPE=Release (or set "
+               "TURBO_ALLOW_DEBUG_BENCH=1 to smoke-test).\n");
+  std::exit(1);
+}
+
 Flags::Flags(int argc, char** argv) {
+  RequireReleaseBuild();
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) continue;

@@ -17,7 +17,15 @@
 
 namespace turbo::benchx {
 
-/// --key=value flags with typed getters.
+/// Aborts unless this binary was built with optimization AND a
+/// Release-family CMAKE_BUILD_TYPE: numbers from unoptimized builds are
+/// meaningless and have been committed as baselines by accident before.
+/// Set TURBO_ALLOW_DEBUG_BENCH=1 to downgrade the abort to a warning
+/// (for smoke-testing bench code paths, never for recording).
+void RequireReleaseBuild();
+
+/// --key=value flags with typed getters. Construction runs
+/// RequireReleaseBuild(), so every bench using Flags is Release-gated.
 class Flags {
  public:
   Flags(int argc, char** argv);

@@ -7,6 +7,8 @@
 #include "bench/bench_common.h"
 #include "bn/builder.h"
 #include "features/stat_features.h"
+#include "la/kernel_dispatch.h"
+#include "la/quant.h"
 
 using namespace turbo;
 
@@ -68,6 +70,54 @@ void BM_MatMulTransB(benchmark::State& state) {
 }
 BENCHMARK(BM_MatMulTransB)->Arg(64)->Arg(256);
 
+// SIMD dispatch cells: the same GEMM through la::dispatch on the best
+// host tier vs forced scalar. check_bench_regression.py holds
+// dispatch/256 to >= 3x scalar/256 whenever the host has a SIMD tier.
+void BM_MatMulDispatch(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  auto a = la::Matrix::Randn(n, n, &rng);
+  auto b = la::Matrix::Randn(n, n, &rng);
+  for (auto _ : state) {
+    auto c = la::dispatch::MatMul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+  state.SetLabel(la::IsaName(la::ActiveIsa()));
+}
+BENCHMARK(BM_MatMulDispatch)->Arg(64)->Arg(256);
+
+void BM_MatMulScalar(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  auto a = la::Matrix::Randn(n, n, &rng);
+  auto b = la::Matrix::Randn(n, n, &rng);
+  la::ScopedKernelIsa scalar(la::KernelIsa::kScalar);
+  for (auto _ : state) {
+    auto c = la::dispatch::MatMul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMulScalar)->Arg(64)->Arg(256);
+
+// Int8 row-quantized GEMM (weights pre-quantized, as in serving where
+// the QuantCache is filled once at SetInferenceMode time).
+void BM_MatMulInt8(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  auto a = la::Matrix::Randn(n, n, &rng);
+  auto w = la::Matrix::Randn(n, n, &rng);
+  const la::QuantizedMatrix q = la::QuantizedMatrix::Quantize(w);
+  for (auto _ : state) {
+    auto c = la::dispatch::MatMulQuant(a, q);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+  state.SetLabel(la::IsaName(la::ActiveIsa()));
+}
+BENCHMARK(BM_MatMulInt8)->Arg(64)->Arg(256);
+
 void BM_SpMM(benchmark::State& state) {
   const size_t n = 20000, nnz = 200000, d = 32;
   Rng rng(2);
@@ -86,6 +136,85 @@ void BM_SpMM(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * adj.nnz() * d);
 }
 BENCHMARK(BM_SpMM);
+
+/// CSR fixture shared by the dispatched SpMM cells.
+const la::SparseMatrix& SharedSparse() {
+  static const la::SparseMatrix adj = [] {
+    const size_t n = 20000, nnz = 200000;
+    Rng rng(2);
+    std::vector<la::Triplet> trips;
+    trips.reserve(nnz);
+    for (size_t i = 0; i < nnz; ++i) {
+      trips.push_back({static_cast<uint32_t>(rng.NextUint(n)),
+                       static_cast<uint32_t>(rng.NextUint(n)), 1.0f});
+    }
+    return la::SparseMatrix::FromTriplets(n, n, trips);
+  }();
+  return adj;
+}
+
+// Dispatched SpMM, best tier vs forced scalar; the regression gate holds
+// dispatch to >= 2x scalar on SIMD hosts.
+void BM_SpMMDispatch(benchmark::State& state) {
+  const size_t d = 32;
+  const auto& adj = SharedSparse();
+  Rng rng(3);
+  auto x = la::Matrix::Randn(adj.cols(), d, &rng);
+  for (auto _ : state) {
+    auto y = la::dispatch::Spmm(adj, x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * adj.nnz() * d);
+  state.SetLabel(la::IsaName(la::ActiveIsa()));
+}
+BENCHMARK(BM_SpMMDispatch);
+
+void BM_SpMMScalar(benchmark::State& state) {
+  const size_t d = 32;
+  const auto& adj = SharedSparse();
+  Rng rng(3);
+  auto x = la::Matrix::Randn(adj.cols(), d, &rng);
+  la::ScopedKernelIsa scalar(la::KernelIsa::kScalar);
+  for (auto _ : state) {
+    auto y = la::dispatch::Spmm(adj, x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * adj.nnz() * d);
+}
+BENCHMARK(BM_SpMMScalar);
+
+// Fused act(S*X + addend) epilogue vs the unfused three-pass compose —
+// the win the reassociated inference forwards bank on.
+void BM_SpMMBiasActFused(benchmark::State& state) {
+  const size_t d = 32;
+  const auto& adj = SharedSparse();
+  Rng rng(3);
+  auto x = la::Matrix::Randn(adj.cols(), d, &rng);
+  auto addend = la::Matrix::Randn(adj.rows(), d, &rng);
+  for (auto _ : state) {
+    auto y = la::dispatch::SpmmBiasAct(adj, x, &addend, la::Act::kRelu);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * adj.nnz() * d);
+  state.SetLabel(la::IsaName(la::ActiveIsa()));
+}
+BENCHMARK(BM_SpMMBiasActFused);
+
+void BM_SpMMBiasActUnfused(benchmark::State& state) {
+  const size_t d = 32;
+  const auto& adj = SharedSparse();
+  Rng rng(3);
+  auto x = la::Matrix::Randn(adj.cols(), d, &rng);
+  auto addend = la::Matrix::Randn(adj.rows(), d, &rng);
+  for (auto _ : state) {
+    auto y = la::dispatch::Spmm(adj, x);
+    y.Add(addend, 1.0f);
+    y = la::dispatch::MapAct(y, la::Act::kRelu);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * adj.nnz() * d);
+}
+BENCHMARK(BM_SpMMBiasActUnfused);
 
 // Shared dataset fixture (generated once).
 const datagen::Dataset& SharedDataset() {
@@ -229,4 +358,19 @@ BENCHMARK(BM_GbdtFit)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main (instead of BENCHMARK_MAIN) so the run is Release-gated
+// like every other bench and the JSON context records which kernel ISA
+// the dispatch cells ran on — check_bench_regression.py keys its SIMD
+// floor gates on "turbo_best_isa" and skips them on scalar-only hosts.
+int main(int argc, char** argv) {
+  turbo::benchx::RequireReleaseBuild();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::AddCustomContext("turbo_best_isa",
+                              la::IsaName(la::BestIsa()));
+  benchmark::AddCustomContext("turbo_active_isa",
+                              la::IsaName(la::ActiveIsa()));
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

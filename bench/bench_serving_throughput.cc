@@ -18,11 +18,13 @@
 #include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "la/cpu_features.h"
 #include "obs/metrics.h"
 #include "server/prediction_server.h"
 #include "util/string_util.h"
@@ -94,7 +96,9 @@ ServingStack BuildStack(int users, const BenchScale& scale) {
 }
 
 struct RunResult {
-  std::string mode;  // "autograd" | "inference" | "inference+cache"
+  // "autograd" | "inference" | "inference[scalar]" | "inference[int8]"
+  // | "inference+cache"
+  std::string mode;
   int threads = 0;
   int batch = 0;
   size_t requests = 0;
@@ -121,6 +125,15 @@ RunResult RunOne(ServingStack* s, const std::string& mode, int threads,
   pcfg.metrics = &reg;
   pcfg.use_inference_path = mode != "autograd";
   pcfg.cache_capacity = cache_capacity;
+  // "inference[scalar]" ablates the SIMD tiers (dispatch forced to the
+  // scalar kernels); "inference[int8]" serves from row-quantized
+  // weights via the server config flag.
+  pcfg.quantized_inference = mode == "inference[int8]";
+  std::unique_ptr<la::ScopedKernelIsa> forced_scalar;
+  if (mode == "inference[scalar]") {
+    forced_scalar =
+        std::make_unique<la::ScopedKernelIsa>(la::KernelIsa::kScalar);
+  }
   server::PredictionServer srv(pcfg, s->bn.get(), s->features.get(),
                                s->model.get(), &s->data->scaler);
 
@@ -145,6 +158,11 @@ RunResult RunOne(ServingStack* s, const std::string& mode, int threads,
     });
   }
   for (auto& w : workers) w.join();
+  if (pcfg.quantized_inference) {
+    // The server ctor switched the shared model to int8; restore the
+    // float path for the runs that follow.
+    s->model->SetInferenceMode(gnn::InferenceMode::kFloat);
+  }
 
   RunResult r;
   r.mode = mode;
@@ -198,6 +216,14 @@ int Main(int argc, char** argv) {
                             0, stack.pool));
     }
   }
+  // SIMD ablation and int8 quantized serving at the t1/b8 cell (the
+  // smallest gated batched cell): the scalar run isolates what the
+  // dispatched kernels buy end-to-end, the int8 run measures the
+  // quantized weight path the AUC gate admits.
+  runs.push_back(RunOne(&stack, "inference[scalar]", 1, 8, requests, 0,
+                        stack.pool));
+  runs.push_back(RunOne(&stack, "inference[int8]", 1, 8, requests, 0,
+                        stack.pool));
   // Snapshot-versioned cache: a small hot set cycled repeatedly, so the
   // second and later passes are served from the cache.
   std::vector<UserId> hot(stack.pool.begin(),
@@ -236,6 +262,7 @@ int Main(int argc, char** argv) {
     << "  \"users\": " << users << ",\n"
     << "  \"requests_per_run\": " << requests << ",\n"
     << "  \"hardware_threads\": " << hw << ",\n"
+    << "  \"kernel_isa\": \"" << la::IsaName(la::ActiveIsa()) << "\",\n"
     << "  \"baseline_requests_per_second\": " << baseline_rps << ",\n"
     << "  \"runs\": [\n";
   for (size_t i = 0; i < runs.size(); ++i) {

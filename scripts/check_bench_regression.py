@@ -41,6 +41,14 @@ CI machines are also noisy even at matching core counts, so the default
 tolerance is deliberately loose (20%, the ISSUE 2 contract) and can be
 widened with --tolerance or BENCH_TOLERANCE.
 
+Independently of the baseline comparison, the FRESH run is held to
+within-run SIMD floors when it carries the cells for them (see
+check_simd_floors): dispatched GEMM >= 3x forced-scalar and dispatched
+SpMM >= 2x forced-scalar in the micro-kernel JSON, and the serving
+inference cell no slower than the forced-scalar serving cell.
+These floors compare cells from the same run on the same machine, so
+they bind even when the core-count skip disables the baseline gate.
+
 Usage: check_bench_regression.py BASELINE.json FRESH.json [--tolerance=0.2]
 """
 import argparse
@@ -93,6 +101,85 @@ def annotate_skipped(path, skipped):
     with open(path, "w") as f:
         json.dump(data, f, indent=2)
         f.write("\n")
+
+
+def check_simd_floors(data, path, tolerance):
+    """Self-contained SIMD floors on the FRESH run, if it carries them.
+
+    These run before the core-count skip: they compare cells within one
+    JSON, so they are valid on any hardware. Two shapes are recognized:
+
+      - micro-kernel google-benchmark JSON with a "turbo_best_isa"
+        context: dispatched GEMM must be >= 3x the forced-scalar GEMM at
+        n=256 and dispatched SpMM >= 2x forced-scalar SpMM (the SIMD
+        acceptance bars). Skipped when the host's best ISA is scalar —
+        there is nothing to vectorize with.
+      - serving JSON with an "inference[scalar]" cell and a non-scalar
+        "kernel_isa": the dispatched inference cell must not fall more
+        than `tolerance` below the forced-scalar cell (serving is
+        sampling/feature-bound, so the gate is no-slower-than-scalar,
+        not a speedup floor). The int8 cell is deliberately ungated on
+        speed — quantization trades per-element compute for a 4x weight
+        memory shrink and is admitted by an AUC gate, not a throughput
+        one.
+
+    Returns a list of failure strings (empty = pass/skip).
+    """
+    failures = []
+    if "benchmarks" in data:
+        isa = data.get("context", {}).get("turbo_best_isa", "scalar")
+        if isa == "scalar":
+            print("NOTE: best ISA is scalar — SIMD floor gates skipped.")
+            return failures
+        times = {
+            b["name"]: b["real_time"]
+            for b in data["benchmarks"]
+            if b.get("run_type", "iteration") == "iteration"
+        }
+        floors = [
+            ("BM_MatMulDispatch/256", "BM_MatMulScalar/256", 3.0),
+            ("BM_SpMMDispatch", "BM_SpMMScalar", 2.0),
+        ]
+        for simd, scalar, floor in floors:
+            if simd not in times or scalar not in times:
+                continue  # filtered run; nothing to gate
+            speedup = times[scalar] / times[simd]
+            status = "ok" if speedup >= floor else "BELOW FLOOR"
+            print(
+                f"SIMD floor [{isa}] {simd} vs {scalar}: "
+                f"{speedup:.2f}x (floor {floor:.1f}x) [{status}]"
+            )
+            if speedup < floor:
+                failures.append(
+                    f"{simd}: {speedup:.2f}x < required {floor:.1f}x "
+                    f"over {scalar}"
+                )
+    elif data.get("bench") == "serving_throughput":
+        if data.get("kernel_isa", "scalar") == "scalar":
+            return failures
+        rps = {
+            f"{r['mode']}/t{r['threads']}/b{r['batch']}":
+                r["requests_per_second"]
+            for r in data.get("runs", [])
+        }
+        scalar_cell = "inference[scalar]/t1/b8"
+        if scalar_cell not in rps:
+            return failures
+        for cell in ("inference/t1/b8",):
+            if cell not in rps:
+                continue
+            ratio = rps[cell] / max(rps[scalar_cell], 1e-9)
+            status = "ok" if ratio >= 1.0 - tolerance else "BELOW FLOOR"
+            print(
+                f"serving SIMD gate {cell} vs {scalar_cell}: "
+                f"{ratio:.2f}x [{status}]"
+            )
+            if ratio < 1.0 - tolerance:
+                failures.append(
+                    f"{cell}: {ratio:.2f}x of the forced-scalar cell "
+                    f"(must be >= {1.0 - tolerance:.2f}x)"
+                )
+    return failures
 
 
 def extract_metrics(data, path):
@@ -200,6 +287,15 @@ def main():
 
     baseline_data = load(args.baseline)
     fresh_data = load(args.fresh)
+
+    # Within-run SIMD floors bind regardless of core count, so they run
+    # before (and independently of) the baseline comparison below.
+    simd_failures = check_simd_floors(fresh_data, args.fresh,
+                                      args.tolerance)
+    if simd_failures:
+        for failure in simd_failures:
+            print(f"SIMD FLOOR FAIL: {failure}")
+        return 1
 
     base_hw = hardware_threads(baseline_data)
     fresh_hw = hardware_threads(fresh_data)

@@ -9,7 +9,10 @@ set -euo pipefail
 BUILD_DIR="${BUILD_DIR:-build}"
 REPO_ROOT="$(cd "$(dirname "$0")" && pwd)"
 
-cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
+# Release is required: the bench binaries hard-fail from non-Release
+# build dirs (see benchx::RequireReleaseBuild), so a recording run from
+# an unoptimized build aborts instead of committing garbage baselines.
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" 2>&1 \
   | tee "$REPO_ROOT/test_output.txt"

@@ -72,25 +72,34 @@ Tensor Hag::ApplySao(const SaoLayer& layer, const Tensor& h,
 la::Matrix Hag::ApplySaoInference(const SaoLayer& layer,
                                   const la::Matrix& h,
                                   const la::SparseMatrix& mean_adj) const {
-  la::Matrix hn = mean_adj.Multiply(h);
-  la::Matrix self_term = la::MatMul(h, layer.w_self->value);
-  la::Matrix neigh_term = la::MatMul(hn, layer.w_neigh->value);
   if (!cfg_.use_sao) {
-    la::Matrix z = self_term;
-    z.Add(neigh_term);
-    return la::MapT(z, la::kernels::Relu);
+    // SAO(-), inference-only reassociation: ReLU(H Wls + (Ā H) Wln)
+    // computed as ReLU(Ā (H Wln) + H Wls) so the SpMM runs on the
+    // transformed (narrow) features and fuses with the self-term addend
+    // and the activation. Equal in exact arithmetic; float difference
+    // is bounded by the inference-equivalence test.
+    la::Matrix self_term = InfMul(h, layer.w_self);
+    return la::dispatch::SpmmBiasAct(mean_adj, InfMul(h, layer.w_neigh),
+                                     &self_term, la::Act::kRelu);
   }
-  la::Matrix hs = la::MatMul(h, layer.w_s->value);
-  la::Matrix hnn = la::MatMul(hn, layer.w_n->value);
-  la::Matrix a_self = la::MatMul(
-      la::MapT(la::ConcatCols(hs, hs), la::kernels::Tanh), layer.p->value);
-  la::Matrix a_neigh = la::MatMul(
-      la::MapT(la::ConcatCols(hnn, hs), la::kernels::Tanh), layer.p->value);
+  // Full SAO needs Ā H itself for the gate (Eq. 7–9), so the original
+  // structure stays; the products run on the dispatched kernels.
+  la::Matrix hn = la::dispatch::Spmm(mean_adj, h);
+  la::Matrix self_term = InfMul(h, layer.w_self);
+  la::Matrix neigh_term = InfMul(hn, layer.w_neigh);
+  la::Matrix hs = InfMul(h, layer.w_s);
+  la::Matrix hnn = InfMul(hn, layer.w_n);
+  la::Matrix a_self = la::dispatch::MatMul(
+      la::dispatch::MapAct(la::ConcatCols(hs, hs), la::Act::kTanh),
+      layer.p->value);
+  la::Matrix a_neigh = la::dispatch::MatMul(
+      la::dispatch::MapAct(la::ConcatCols(hnn, hs), la::Act::kTanh),
+      layer.p->value);
   la::Matrix alphas = la::SoftmaxRows(la::ConcatCols(a_self, a_neigh));
   la::Matrix z =
       la::MulColBroadcast(self_term, la::SliceCols(alphas, 0, 1));
   z.Add(la::MulColBroadcast(neigh_term, la::SliceCols(alphas, 1, 1)));
-  return la::MapT(z, la::kernels::Relu);
+  return la::dispatch::MapAct(z, la::Act::kRelu);
 }
 
 la::Matrix Hag::EmbedInference(const gnn::GraphBatch& batch) const {
@@ -118,9 +127,9 @@ la::Matrix Hag::EmbedInference(const gnn::GraphBatch& batch) const {
 
   la::Matrix scores;
   for (int r = 0; r < kNumEdgeTypes; ++r) {
-    la::Matrix sr = la::MatMul(
-        la::MapT(la::MatMul(type_embeddings[r], cfo_[r].w_attn->value),
-                 la::kernels::Tanh),
+    la::Matrix sr = la::dispatch::MatMul(
+        la::dispatch::MapAct(InfMul(type_embeddings[r], cfo_[r].w_attn),
+                             la::Act::kTanh),
         cfo_[r].v_attn->value);
     scores = (r == 0) ? std::move(sr) : la::ConcatCols(scores, sr);
   }
@@ -129,7 +138,7 @@ la::Matrix Hag::EmbedInference(const gnn::GraphBatch& batch) const {
   la::Matrix fused;
   for (int r = 0; r < kNumEdgeTypes; ++r) {
     la::Matrix term =
-        la::MulColBroadcast(la::MatMul(type_embeddings[r], cfo_[r].m->value),
+        la::MulColBroadcast(InfMul(type_embeddings[r], cfo_[r].m),
                             la::SliceCols(alphas, r, 1));
     if (r == 0) {
       fused = std::move(term);
@@ -188,6 +197,25 @@ Tensor Hag::Embed(const gnn::GraphBatch& batch, bool training, Rng* rng) {
     fused = (r == 0) ? term : ag::Add(fused, term);
   }
   return fused;
+}
+
+void Hag::RegisterQuantWeights(la::QuantCache* cache) const {
+  for (const auto& chain : chains_) {
+    for (const auto& l : chain) {
+      cache->Add(l.w_self.get(), l.w_self->value);
+      cache->Add(l.w_neigh.get(), l.w_neigh->value);
+      if (cfg_.use_sao) {
+        cache->Add(l.w_s.get(), l.w_s->value);
+        cache->Add(l.w_n.get(), l.w_n->value);
+        // p is a [2t, 1] projection vector; stays float.
+      }
+    }
+  }
+  for (const auto& c : cfo_) {
+    cache->Add(c.w_attn.get(), c.w_attn->value);
+    cache->Add(c.m.get(), c.m->value);
+    // v_attn is [d_a, 1]; stays float.
+  }
 }
 
 std::vector<Tensor> Hag::Params() const {

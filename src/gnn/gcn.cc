@@ -30,10 +30,19 @@ la::Matrix Gcn::EmbedInference(const GraphBatch& batch) const {
   TURBO_CHECK(!weights_.empty());
   la::Matrix h = batch.features;
   for (const auto& w : weights_) {
-    h = la::MapT(la::MatMul(batch.union_rw_self.Multiply(h), w->value),
-                 la::kernels::Relu);
+    // Inference-only reassociation of Eq. 1: ReLU((Â H) W) is computed
+    // as ReLU(Â (H W)) so the SpMM is the last product and fuses with
+    // the activation. H W also makes the SpMM operand the (smaller)
+    // output width. Equal in exact arithmetic; float difference is
+    // bounded by the inference-equivalence test.
+    h = la::dispatch::SpmmBiasAct(batch.union_rw_self, InfMul(h, w),
+                                  /*addend=*/nullptr, la::Act::kRelu);
   }
   return h;
+}
+
+void Gcn::RegisterQuantWeights(la::QuantCache* cache) const {
+  for (const auto& w : weights_) cache->Add(w.get(), w->value);
 }
 
 std::vector<Tensor> Gcn::Params() const {

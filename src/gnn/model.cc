@@ -1,0 +1,34 @@
+#include "gnn/model.h"
+
+namespace turbo::gnn {
+
+void GnnModel::SetInferenceMode(InferenceMode mode) {
+  qcache_.Clear();
+  if (mode == InferenceMode::kInt8) {
+    RegisterQuantWeights(&qcache_);
+    head_.RegisterQuantWeights(&qcache_);
+  }
+  inference_mode_ = mode;
+}
+
+la::Matrix GnnModel::InfMul(const la::Matrix& a, const ag::Tensor& w) const {
+  if (const la::QuantCache* qc = QuantWeights()) {
+    if (const la::QuantizedMatrix* q = qc->Find(w.get())) {
+      return la::dispatch::MatMulQuant(a, *q);
+    }
+  }
+  return la::dispatch::MatMul(a, w->value);
+}
+
+la::Matrix GnnModel::InfMulBiasAct(const la::Matrix& a, const ag::Tensor& w,
+                                   const la::Matrix* addend,
+                                   la::Act act) const {
+  if (const la::QuantCache* qc = QuantWeights()) {
+    if (const la::QuantizedMatrix* q = qc->Find(w.get())) {
+      return la::dispatch::MatMulQuantBiasAct(a, *q, addend, act);
+    }
+  }
+  return la::dispatch::MatMulBiasAct(a, w->value, addend, act);
+}
+
+}  // namespace turbo::gnn

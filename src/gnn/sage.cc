@@ -33,12 +33,21 @@ la::Matrix GraphSage::EmbedInference(const GraphBatch& batch) const {
   TURBO_CHECK(!self_w_.empty());
   la::Matrix h = batch.features;
   for (size_t l = 0; l < self_w_.size(); ++l) {
-    la::Matrix hn = batch.union_mean.Multiply(h);
-    la::Matrix z = la::MatMul(h, self_w_[l]->value);
-    z.Add(la::MatMul(hn, neigh_w_[l]->value));
-    h = la::MapT(z, la::kernels::Relu);
+    // Inference-only reassociation: ReLU(H Ws + (Ā H) Wn) computed as
+    // ReLU(Ā (H Wn) + H Ws) — the SpMM runs on the transformed (narrow)
+    // features and fuses with the self-term addend and the activation
+    // in one pass. Equal in exact arithmetic; float difference is
+    // bounded by the inference-equivalence test.
+    la::Matrix self_term = InfMul(h, self_w_[l]);
+    h = la::dispatch::SpmmBiasAct(batch.union_mean, InfMul(h, neigh_w_[l]),
+                                  &self_term, la::Act::kRelu);
   }
   return h;
+}
+
+void GraphSage::RegisterQuantWeights(la::QuantCache* cache) const {
+  for (const auto& w : self_w_) cache->Add(w.get(), w->value);
+  for (const auto& w : neigh_w_) cache->Add(w.get(), w->value);
 }
 
 std::vector<Tensor> GraphSage::Params() const {

@@ -1,0 +1,168 @@
+#include "la/cpu_features.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace turbo::la {
+
+namespace {
+
+CpuFeatures Probe() {
+  CpuFeatures f;
+#if defined(__x86_64__) || defined(__i386__)
+  // __builtin_cpu_supports consults cpuid AND xgetbv, so it already
+  // accounts for OS XSAVE support of the wide register files.
+  f.avx2 = __builtin_cpu_supports("avx2");
+  f.fma = __builtin_cpu_supports("fma");
+  f.avx512f = __builtin_cpu_supports("avx512f");
+#elif defined(__aarch64__)
+  // Advanced SIMD is part of the aarch64 baseline; no HWCAP probe is
+  // needed for the plain-NEON kernels this library ships.
+  f.neon = true;
+#endif
+  return f;
+}
+
+bool CompiledIsa(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::kScalar:
+      return true;
+    case KernelIsa::kAvx2:
+#if defined(TURBO_LA_HAVE_AVX2)
+      return true;
+#else
+      return false;
+#endif
+    case KernelIsa::kAvx512:
+#if defined(TURBO_LA_HAVE_AVX512)
+      return true;
+#else
+      return false;
+#endif
+    case KernelIsa::kNeon:
+#if defined(TURBO_LA_HAVE_NEON)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+// Resolved active tier; kUnresolved until the first ActiveIsa() call or
+// SetKernelIsa override.
+constexpr int kUnresolved = -1;
+std::atomic<int> g_active_isa{kUnresolved};
+
+KernelIsa ResolveFromEnvironment() {
+  if (const char* env = std::getenv("TURBO_KERNEL_ISA")) {
+    KernelIsa isa;
+    TURBO_CHECK_MSG(ParseIsaName(env, &isa),
+                    "TURBO_KERNEL_ISA: unknown ISA name '" << env << "'");
+    TURBO_CHECK_MSG(IsaSupported(isa),
+                    "TURBO_KERNEL_ISA=" << env
+                                        << " is not supported on this host "
+                                           "(or not compiled in)");
+    return isa;
+  }
+  return BestIsa();
+}
+
+}  // namespace
+
+const CpuFeatures& CpuFeatures::Get() {
+  static const CpuFeatures features = Probe();
+  return features;
+}
+
+bool IsaSupported(KernelIsa isa) {
+  if (!CompiledIsa(isa)) return false;
+  const CpuFeatures& f = CpuFeatures::Get();
+  switch (isa) {
+    case KernelIsa::kScalar:
+      return true;
+    case KernelIsa::kAvx2:
+      return f.avx2 && f.fma;
+    case KernelIsa::kAvx512:
+      return f.avx512f;
+    case KernelIsa::kNeon:
+      return f.neon;
+  }
+  return false;
+}
+
+KernelIsa BestIsa(const CpuFeatures& features) {
+  if (features.avx512f && CompiledIsa(KernelIsa::kAvx512)) {
+    return KernelIsa::kAvx512;
+  }
+  if (features.avx2 && features.fma && CompiledIsa(KernelIsa::kAvx2)) {
+    return KernelIsa::kAvx2;
+  }
+  if (features.neon && CompiledIsa(KernelIsa::kNeon)) {
+    return KernelIsa::kNeon;
+  }
+  return KernelIsa::kScalar;
+}
+
+KernelIsa ActiveIsa() {
+  int isa = g_active_isa.load(std::memory_order_acquire);
+  if (isa == kUnresolved) {
+    // Benign race: concurrent first calls resolve to the same value.
+    isa = static_cast<int>(ResolveFromEnvironment());
+    g_active_isa.store(isa, std::memory_order_release);
+  }
+  return static_cast<KernelIsa>(isa);
+}
+
+void SetKernelIsa(KernelIsa isa) {
+  TURBO_CHECK_MSG(IsaSupported(isa), "kernel ISA "
+                                         << IsaName(isa)
+                                         << " is not supported on this host "
+                                            "(or not compiled in)");
+  g_active_isa.store(static_cast<int>(isa), std::memory_order_release);
+}
+
+void ResetKernelIsa() {
+  g_active_isa.store(kUnresolved, std::memory_order_release);
+}
+
+const char* IsaName(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::kScalar:
+      return "scalar";
+    case KernelIsa::kAvx2:
+      return "avx2";
+    case KernelIsa::kAvx512:
+      return "avx512";
+    case KernelIsa::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+bool ParseIsaName(const std::string& name, KernelIsa* out) {
+  if (name == "scalar") {
+    *out = KernelIsa::kScalar;
+  } else if (name == "avx2") {
+    *out = KernelIsa::kAvx2;
+  } else if (name == "avx512") {
+    *out = KernelIsa::kAvx512;
+  } else if (name == "neon") {
+    *out = KernelIsa::kNeon;
+  } else if (name == "auto") {
+    *out = BestIsa();
+  } else {
+    return false;
+  }
+  return true;
+}
+
+ScopedKernelIsa::ScopedKernelIsa(KernelIsa isa) : previous_(ActiveIsa()) {
+  SetKernelIsa(isa);
+}
+
+ScopedKernelIsa::~ScopedKernelIsa() { SetKernelIsa(previous_); }
+
+}  // namespace turbo::la

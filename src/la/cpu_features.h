@@ -1,0 +1,88 @@
+// Runtime CPU-capability probe and kernel-ISA selection.
+//
+// The SIMD kernel tiers (see kernel_dispatch.h) are compiled per-file
+// with the matching -m flags and picked at runtime: CpuFeatures::Get()
+// probes the host once (cpuid-backed __builtin_cpu_supports on x86,
+// the architecture baseline on arm64), BestIsa() maps the probe to the
+// widest tier this binary both compiled and the host supports, and the
+// kernel table resolves against that choice the first time a dispatched
+// kernel runs.
+//
+// Every tier is overridable for testing: SetKernelIsa() forces a
+// specific tier (so one AVX-512 machine can exercise the scalar, AVX2,
+// and AVX-512 paths in a single test binary), and the TURBO_KERNEL_ISA
+// environment variable ("scalar" | "avx2" | "avx512" | "neon" | "auto")
+// applies the same override at process start. Forcing a tier the host
+// cannot execute is a CHECK failure, not an illegal instruction.
+//
+// The training path never consults this: autograd kernels are the plain
+// scalar la:: functions regardless of the active ISA, so training stays
+// bit-exact across machines (see DESIGN.md §13).
+#pragma once
+
+#include <string>
+
+namespace turbo::la {
+
+/// Kernel instruction-set tiers, narrowest first. kScalar is always
+/// available; the SIMD tiers exist only when the binary was compiled
+/// with the matching per-file flags AND the host CPU reports support.
+enum class KernelIsa {
+  kScalar = 0,
+  kAvx2 = 1,    // AVX2 + FMA (x86-64-v3)
+  kAvx512 = 2,  // AVX-512F (+FMA)
+  kNeon = 3,    // aarch64 baseline
+};
+
+/// One-time host probe. Fields are false on architectures where the
+/// feature does not exist.
+struct CpuFeatures {
+  bool avx2 = false;
+  bool fma = false;
+  bool avx512f = false;
+  bool neon = false;
+
+  /// Probed once, cached for the process lifetime.
+  static const CpuFeatures& Get();
+};
+
+/// True when this binary contains the tier's kernels AND the host CPU
+/// can execute them. kScalar is always true.
+bool IsaSupported(KernelIsa isa);
+
+/// Widest supported tier for the given probe (host probe by default).
+KernelIsa BestIsa(const CpuFeatures& features = CpuFeatures::Get());
+
+/// The tier dispatched kernels currently run on. Resolution order:
+/// SetKernelIsa override > TURBO_KERNEL_ISA env var > BestIsa().
+KernelIsa ActiveIsa();
+
+/// Forces the active tier (CHECKs IsaSupported). Pass-through for
+/// tests and benches; not meant to be called while kernels are in
+/// flight on other threads.
+void SetKernelIsa(KernelIsa isa);
+
+/// Drops any override and re-resolves from the environment / probe.
+void ResetKernelIsa();
+
+/// "scalar" | "avx2" | "avx512" | "neon".
+const char* IsaName(KernelIsa isa);
+
+/// Inverse of IsaName; also accepts "auto" (reported as BestIsa()).
+/// Returns false on an unknown name.
+bool ParseIsaName(const std::string& name, KernelIsa* out);
+
+/// RAII tier override for tests: forces `isa` on construction, restores
+/// the previous resolution on destruction.
+class ScopedKernelIsa {
+ public:
+  explicit ScopedKernelIsa(KernelIsa isa);
+  ~ScopedKernelIsa();
+  ScopedKernelIsa(const ScopedKernelIsa&) = delete;
+  ScopedKernelIsa& operator=(const ScopedKernelIsa&) = delete;
+
+ private:
+  KernelIsa previous_;
+};
+
+}  // namespace turbo::la

@@ -1,0 +1,59 @@
+// Runtime-dispatched dense/sparse kernels for the tape-free inference
+// path, plus the fused epilogues the model forwards use.
+//
+// Each function here mirrors the blocking and thread-pool structure of
+// its plain la:: counterpart (la::MatMul, la::MatMulTransB,
+// SparseMatrix::Multiply, MapT) but routes the inner row-range loops
+// through the per-ISA kernel table selected by la::ActiveIsa() (see
+// cpu_features.h). With KernelIsa::kScalar forced, every function is
+// bit-identical to its la:: counterpart; SIMD tiers keep the same
+// accumulation order and are held to a <= 4-ULP elementwise bound by
+// tests/la/dispatch_test.cc and tests/core/simd_equivalence_test.cc.
+//
+// The autograd/training path never calls through here — it uses the
+// plain scalar la:: kernels so training is bit-exact across machines.
+#pragma once
+
+#include "la/cpu_features.h"
+#include "la/kernel_table.h"
+#include "la/matrix.h"
+#include "la/sparse.h"
+
+namespace turbo::la::dispatch {
+
+/// C = A * B, dispatched. Same shapes/blocking/parallelism as la::MatMul.
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+/// C = A * B^T, dispatched. Same contract as la::MatMulTransB.
+Matrix MatMulTransB(const Matrix& a, const Matrix& b);
+
+/// Y = S * X, dispatched. Same contract as SparseMatrix::Multiply.
+Matrix Spmm(const SparseMatrix& s, const Matrix& x);
+
+/// Fused Y = act(S * X + addend): SpMM, addend and activation in one
+/// pass over Y. `addend` may be null (no addend), [1,n] (row-broadcast
+/// bias) or [m,n] (full addend, e.g. the self-transform branch of a
+/// SAGE-style layer). The addend is applied after ALL accumulation, so
+/// the result is bitwise equal to act(Spmm(s,x) + addend) composed from
+/// unfused calls on the same ISA tier.
+Matrix SpmmBiasAct(const SparseMatrix& s, const Matrix& x,
+                   const Matrix* addend, Act act);
+
+/// Fused C = act(A * B + addend); addend as in SpmmBiasAct. Bitwise
+/// equal to act(MatMul(a,b) + addend) on the same tier.
+Matrix MatMulBiasAct(const Matrix& a, const Matrix& b, const Matrix* addend,
+                     Act act);
+
+/// Elementwise out = act(a), dispatched. kRelu/kIdentity are exact on
+/// every tier; kTanh/kSigmoid use the scalar libm path on every tier,
+/// so MapAct is bit-identical across tiers (and to la::MapT with the
+/// matching la::kernels functor).
+Matrix MapAct(const Matrix& a, Act act);
+
+namespace internal {
+/// Kernel table for the currently active ISA (scalar fallback if the
+/// active tier was not compiled in — unreachable via SetKernelIsa).
+const la::internal::KernelTable& ActiveTable();
+}  // namespace internal
+
+}  // namespace turbo::la::dispatch

@@ -1,0 +1,194 @@
+// NEON (aarch64 Advanced SIMD) kernel tier. Part of the aarch64
+// baseline, so no per-file -m flags are needed; gated on
+// TURBO_LA_HAVE_NEON which la/CMakeLists.txt defines only for arm64
+// builds. Same structural contract as the AVX2 tier (kernels_avx2.cc):
+// lanes span output columns, depth advances sequentially, scalar tails,
+// transcendental epilogues stay scalar.
+#if defined(TURBO_LA_HAVE_NEON)
+
+#include <arm_neon.h>
+
+#include "la/kernel_table.h"
+
+namespace turbo::la::internal {
+namespace {
+
+void GemmRows(const float* a, const float* b, float* c, size_t k, size_t n,
+              size_t r0, size_t r1, size_t p0, size_t p1) {
+  for (size_t i = r0; i < r1; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    size_t j = 0;
+    for (; j + 16 <= n; j += 16) {
+      float* cj = crow + j;
+      float32x4_t acc0 = vld1q_f32(cj);
+      float32x4_t acc1 = vld1q_f32(cj + 4);
+      float32x4_t acc2 = vld1q_f32(cj + 8);
+      float32x4_t acc3 = vld1q_f32(cj + 12);
+      for (size_t p = p0; p < p1; ++p) {
+        const float32x4_t av = vdupq_n_f32(arow[p]);
+        const float* bj = b + p * n + j;
+        acc0 = vfmaq_f32(acc0, av, vld1q_f32(bj));
+        acc1 = vfmaq_f32(acc1, av, vld1q_f32(bj + 4));
+        acc2 = vfmaq_f32(acc2, av, vld1q_f32(bj + 8));
+        acc3 = vfmaq_f32(acc3, av, vld1q_f32(bj + 12));
+      }
+      vst1q_f32(cj, acc0);
+      vst1q_f32(cj + 4, acc1);
+      vst1q_f32(cj + 8, acc2);
+      vst1q_f32(cj + 12, acc3);
+    }
+    for (; j + 4 <= n; j += 4) {
+      float* cj = crow + j;
+      float32x4_t acc = vld1q_f32(cj);
+      for (size_t p = p0; p < p1; ++p) {
+        acc = vfmaq_f32(acc, vdupq_n_f32(arow[p]), vld1q_f32(b + p * n + j));
+      }
+      vst1q_f32(cj, acc);
+    }
+    for (; j < n; ++j) {
+      float s = crow[j];
+      for (size_t p = p0; p < p1; ++p) s += arow[p] * b[p * n + j];
+      crow[j] = s;
+    }
+  }
+}
+
+void GemmTransBRows(const float* a, const float* b, float* c, size_t k,
+                    size_t n, size_t r0, size_t r1) {
+  for (size_t i = r0; i < r1; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (size_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float32x4_t acc = vdupq_n_f32(0.0f);
+      size_t p = 0;
+      for (; p + 4 <= k; p += 4) {
+        acc = vfmaq_f32(acc, vld1q_f32(arow + p), vld1q_f32(brow + p));
+      }
+      float s = vaddvq_f32(acc);
+      for (; p < k; ++p) s += arow[p] * brow[p];
+      crow[j] = s;
+    }
+  }
+}
+
+void SpmmRows(const uint32_t* row_ptr, const uint32_t* cols,
+              const float* vals, const float* x, float* y, size_t n,
+              size_t r0, size_t r1) {
+  for (size_t r = r0; r < r1; ++r) {
+    float* yrow = y + r * n;
+    const uint32_t e0 = row_ptr[r], e1 = row_ptr[r + 1];
+    size_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      float32x4_t acc0 = vld1q_f32(yrow + j);
+      float32x4_t acc1 = vld1q_f32(yrow + j + 4);
+      for (uint32_t e = e0; e < e1; ++e) {
+        const float32x4_t v = vdupq_n_f32(vals[e]);
+        const float* xj = x + static_cast<size_t>(cols[e]) * n + j;
+        acc0 = vfmaq_f32(acc0, v, vld1q_f32(xj));
+        acc1 = vfmaq_f32(acc1, v, vld1q_f32(xj + 4));
+      }
+      vst1q_f32(yrow + j, acc0);
+      vst1q_f32(yrow + j + 4, acc1);
+    }
+    for (; j < n; ++j) {
+      float s = yrow[j];
+      for (uint32_t e = e0; e < e1; ++e) {
+        s += vals[e] * x[static_cast<size_t>(cols[e]) * n + j];
+      }
+      yrow[j] = s;
+    }
+  }
+}
+
+void EpilogueRows(float* c, const float* add, size_t add_stride, size_t n,
+                  size_t r0, size_t r1, Act act) {
+  if (act == Act::kTanh || act == Act::kSigmoid) {
+    for (size_t r = r0; r < r1; ++r) {
+      float* crow = c + r * n;
+      const float* arow = add == nullptr ? nullptr : add + r * add_stride;
+      for (size_t j = 0; j < n; ++j) {
+        const float z = arow == nullptr ? crow[j] : crow[j] + arow[j];
+        crow[j] = ApplyAct(act, z);
+      }
+    }
+    return;
+  }
+  const float32x4_t zero = vdupq_n_f32(0.0f);
+  for (size_t r = r0; r < r1; ++r) {
+    float* crow = c + r * n;
+    const float* arow = add == nullptr ? nullptr : add + r * add_stride;
+    size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      float32x4_t z = vld1q_f32(crow + j);
+      if (arow != nullptr) z = vaddq_f32(z, vld1q_f32(arow + j));
+      if (act == Act::kRelu) z = vmaxq_f32(z, zero);
+      vst1q_f32(crow + j, z);
+    }
+    for (; j < n; ++j) {
+      const float z = arow == nullptr ? crow[j] : crow[j] + arow[j];
+      crow[j] = ApplyAct(act, z);
+    }
+  }
+}
+
+void MapAct(Act act, const float* in, float* out, size_t count) {
+  if (act == Act::kRelu) {
+    const float32x4_t zero = vdupq_n_f32(0.0f);
+    size_t i = 0;
+    for (; i + 4 <= count; i += 4) {
+      vst1q_f32(out + i, vmaxq_f32(vld1q_f32(in + i), zero));
+    }
+    for (; i < count; ++i) out[i] = ApplyAct(act, in[i]);
+    return;
+  }
+  for (size_t i = 0; i < count; ++i) out[i] = ApplyAct(act, in[i]);
+}
+
+void GemmQuantRows(const float* a, const int8_t* q, const float* scale,
+                   const int32_t* zero_point, float* c, size_t k, size_t n,
+                   size_t r0, size_t r1) {
+  for (size_t i = r0; i < r1; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (size_t p = 0; p < k; ++p) {
+      const float m = arow[p] * scale[p];
+      const int32_t zp = zero_point[p];
+      const int8_t* qrow = q + p * n;
+      const float32x4_t vm = vdupq_n_f32(m);
+      const int32x4_t vzp = vdupq_n_s32(zp);
+      size_t j = 0;
+      for (; j + 8 <= n; j += 8) {
+        const int8x8_t q8 = vld1_s8(qrow + j);
+        const int16x8_t q16 = vmovl_s8(q8);
+        const int32x4_t lo = vsubq_s32(vmovl_s16(vget_low_s16(q16)), vzp);
+        const int32x4_t hi = vsubq_s32(vmovl_s16(vget_high_s16(q16)), vzp);
+        float32x4_t c0 = vld1q_f32(crow + j);
+        float32x4_t c1 = vld1q_f32(crow + j + 4);
+        c0 = vfmaq_f32(c0, vm, vcvtq_f32_s32(lo));
+        c1 = vfmaq_f32(c1, vm, vcvtq_f32_s32(hi));
+        vst1q_f32(crow + j, c0);
+        vst1q_f32(crow + j + 4, c1);
+      }
+      for (; j < n; ++j) {
+        crow[j] +=
+            m * static_cast<float>(static_cast<int32_t>(qrow[j]) - zp);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const KernelTable& NeonKernels() {
+  static const KernelTable table = {
+      GemmRows,     GemmTransBRows, SpmmRows,
+      EpilogueRows, MapAct,         GemmQuantRows,
+  };
+  return table;
+}
+
+}  // namespace turbo::la::internal
+
+#endif  // TURBO_LA_HAVE_NEON

@@ -1,0 +1,131 @@
+// Scalar kernel tier: the reference implementations every SIMD tier is
+// ULP-gated against.
+//
+// The loop bodies mirror la::MatMul / la::MatMulTransB /
+// la::SparseMatrix::Multiply exactly (same loop order, same accumulation
+// sequence, no FMA contraction beyond what the base compile flags already
+// allow), so forcing KernelIsa::kScalar makes the dispatched inference
+// kernels bit-identical to the autograd/training kernels.
+#include <cmath>
+
+#include "la/kernel_table.h"
+
+namespace turbo::la::internal {
+
+float ApplyAct(Act act, float x) {
+  switch (act) {
+    case Act::kIdentity:
+      return x;
+    case Act::kRelu:
+      return x > 0.0f ? x : 0.0f;
+    case Act::kTanh:
+      return std::tanh(x);
+    case Act::kSigmoid:
+      // Same numerically-stable split as la::kernels::Sigmoid.
+      return x >= 0.0f ? 1.0f / (1.0f + std::exp(-x))
+                       : std::exp(x) / (1.0f + std::exp(x));
+  }
+  return x;
+}
+
+namespace {
+
+void GemmRows(const float* a, const float* b, float* c, size_t k, size_t n,
+              size_t r0, size_t r1, size_t p0, size_t p1) {
+  for (size_t i = r0; i < r1; ++i) {
+    float* crow = c + i * n;
+    const float* arow = a + i * k;
+    for (size_t p = p0; p < p1; ++p) {
+      const float av = arow[p];
+      const float* brow = b + p * n;
+      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void GemmTransBRows(const float* a, const float* b, float* c, size_t k,
+                    size_t n, size_t r0, size_t r1) {
+  for (size_t i = r0; i < r1; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    size_t j = 0;
+    for (; j + 1 < n; j += 2) {
+      const float* b0 = b + j * k;
+      const float* b1 = b + (j + 1) * k;
+      float s0 = 0.0f, s1 = 0.0f;
+      for (size_t p = 0; p < k; ++p) {
+        const float av = arow[p];
+        s0 += av * b0[p];
+        s1 += av * b1[p];
+      }
+      crow[j] = s0;
+      crow[j + 1] = s1;
+    }
+    if (j < n) {
+      const float* brow = b + j * k;
+      float s = 0.0f;
+      for (size_t p = 0; p < k; ++p) s += arow[p] * brow[p];
+      crow[j] = s;
+    }
+  }
+}
+
+void SpmmRows(const uint32_t* row_ptr, const uint32_t* cols,
+              const float* vals, const float* x, float* y, size_t n,
+              size_t r0, size_t r1) {
+  for (size_t r = r0; r < r1; ++r) {
+    float* yrow = y + r * n;
+    for (uint32_t e = row_ptr[r]; e < row_ptr[r + 1]; ++e) {
+      const float v = vals[e];
+      const float* xrow = x + static_cast<size_t>(cols[e]) * n;
+      for (size_t j = 0; j < n; ++j) yrow[j] += v * xrow[j];
+    }
+  }
+}
+
+void EpilogueRows(float* c, const float* add, size_t add_stride, size_t n,
+                  size_t r0, size_t r1, Act act) {
+  for (size_t r = r0; r < r1; ++r) {
+    float* crow = c + r * n;
+    const float* arow = add == nullptr ? nullptr : add + r * add_stride;
+    for (size_t j = 0; j < n; ++j) {
+      const float z = arow == nullptr ? crow[j] : crow[j] + arow[j];
+      crow[j] = ApplyAct(act, z);
+    }
+  }
+}
+
+void MapAct(Act act, const float* in, float* out, size_t count) {
+  for (size_t i = 0; i < count; ++i) out[i] = ApplyAct(act, in[i]);
+}
+
+void GemmQuantRows(const float* a, const int8_t* q, const float* scale,
+                   const int32_t* zero_point, float* c, size_t k, size_t n,
+                   size_t r0, size_t r1) {
+  for (size_t i = r0; i < r1; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (size_t p = 0; p < k; ++p) {
+      // Per-row affine dequantization folded into the multiplier: float
+      // accumulate, int8 memory traffic.
+      const float m = arow[p] * scale[p];
+      const int32_t zp = zero_point[p];
+      const int8_t* qrow = q + p * n;
+      for (size_t j = 0; j < n; ++j) {
+        crow[j] += m * static_cast<float>(static_cast<int32_t>(qrow[j]) - zp);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const KernelTable& ScalarKernels() {
+  static const KernelTable table = {
+      GemmRows,     GemmTransBRows, SpmmRows,
+      EpilogueRows, MapAct,         GemmQuantRows,
+  };
+  return table;
+}
+
+}  // namespace turbo::la::internal

@@ -212,15 +212,6 @@ Matrix Transpose(const Matrix& a) {
   return t;
 }
 
-Matrix Map(const Matrix& a, const std::function<float(float)>& f) {
-  return MapT(a, f);
-}
-
-Matrix Zip(const Matrix& a, const Matrix& b,
-           const std::function<float(float, float)>& f) {
-  return ZipT(a, b, f);
-}
-
 Matrix AddRowBroadcast(const Matrix& a, const Matrix& bias) {
   TURBO_CHECK_EQ(bias.rows(), 1u);
   TURBO_CHECK_EQ(bias.cols(), a.cols());

@@ -1,10 +1,10 @@
 // Dense row-major float matrix and the kernels used by the autograd
 // engine and the classical ML models.
 //
-// Deliberately simple: contiguous std::vector<float> storage, explicit
-// shapes, bounds-checked accessors (TURBO_CHECK stays on in Release), and
-// free-function kernels. No expression templates — the autograd layer is
-// the composition mechanism.
+// Deliberately simple: contiguous 64-byte-aligned vector storage,
+// explicit shapes, bounds-checked accessors (TURBO_CHECK stays on in
+// Release), and free-function kernels. No expression templates — the
+// autograd layer is the composition mechanism.
 #pragma once
 
 #include <cmath>
@@ -13,10 +13,22 @@
 #include <string>
 #include <vector>
 
+#include "util/aligned_alloc.h"
 #include "util/check.h"
 #include "util/rng.h"
 
 namespace turbo::la {
+
+/// Matrix/SparseMatrix storage alignment: one cache line, which also
+/// covers the widest vector load the SIMD kernel tiers issue (64-byte
+/// zmm). Row STRIDES are not padded, so only row 0 is guaranteed
+/// aligned — the kernel tiers use unaligned loads and this alignment
+/// simply keeps them on their fast path for the common row-0 case and
+/// avoids cache-line splits for small matrices.
+inline constexpr std::size_t kMatrixAlignment = 64;
+
+template <typename T>
+using AlignedVector = std::vector<T, util::AlignedAllocator<T, kMatrixAlignment>>;
 
 class Matrix {
  public:
@@ -24,7 +36,7 @@ class Matrix {
   Matrix(size_t rows, size_t cols, float fill = 0.0f)
       : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
   Matrix(size_t rows, size_t cols, std::vector<float> data)
-      : rows_(rows), cols_(cols), data_(std::move(data)) {
+      : rows_(rows), cols_(cols), data_(data.begin(), data.end()) {
     TURBO_CHECK_EQ(data_.size(), rows_ * cols_);
   }
 
@@ -85,7 +97,7 @@ class Matrix {
 
  private:
   size_t rows_, cols_;
-  std::vector<float> data_;
+  AlignedVector<float> data_;
 };
 
 // ---- kernels ----
@@ -153,12 +165,6 @@ inline constexpr auto Sigmoid = [](float x) {
                    : std::exp(x) / (1.0f + std::exp(x));
 };
 }  // namespace kernels
-
-/// Elementwise map (type-erased convenience; prefer MapT in hot code).
-Matrix Map(const Matrix& a, const std::function<float(float)>& f);
-/// Elementwise binary op; shapes must match. Prefer ZipT in hot code.
-Matrix Zip(const Matrix& a, const Matrix& b,
-           const std::function<float(float, float)>& f);
 
 /// C[r,:] = a[r,:] + bias[0,:]; bias is [1, n].
 Matrix AddRowBroadcast(const Matrix& a, const Matrix& bias);

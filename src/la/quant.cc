@@ -1,0 +1,109 @@
+#include "la/quant.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/kernel_dispatch.h"
+
+namespace turbo::la {
+
+QuantizedMatrix QuantizedMatrix::Quantize(const Matrix& w) {
+  QuantizedMatrix q;
+  q.rows = w.rows();
+  q.cols = w.cols();
+  q.data.resize(w.size());
+  q.scale.resize(w.rows());
+  q.zero_point.resize(w.rows());
+  for (size_t r = 0; r < w.rows(); ++r) {
+    const float* in = w.row(r);
+    float lo = in[0], hi = in[0];
+    for (size_t c = 1; c < w.cols(); ++c) {
+      lo = std::min(lo, in[c]);
+      hi = std::max(hi, in[c]);
+    }
+    float scale;
+    int32_t zp;
+    if (hi == lo) {
+      // Constant row: pick a scale that represents the value exactly
+      // (q = +-127 or 0), zero-point 0.
+      scale = lo == 0.0f ? 1.0f : std::abs(lo) / 127.0f;
+      zp = 0;
+    } else {
+      scale = (hi - lo) / 255.0f;
+      zp = static_cast<int32_t>(std::lround(-lo / scale)) - 128;
+    }
+    q.scale[r] = scale;
+    q.zero_point[r] = zp;
+    int8_t* out = q.data.data() + r * w.cols();
+    for (size_t c = 0; c < w.cols(); ++c) {
+      const long code = std::lround(in[c] / scale) + zp;
+      out[c] = static_cast<int8_t>(std::clamp<long>(code, -128, 127));
+    }
+  }
+  return q;
+}
+
+Matrix QuantizedMatrix::Dequantize() const {
+  Matrix w(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    const int8_t* in = data.data() + r * cols;
+    float* out = w.row(r);
+    for (size_t c = 0; c < cols; ++c) {
+      out[c] = scale[r] *
+               static_cast<float>(static_cast<int32_t>(in[c]) - zero_point[r]);
+    }
+  }
+  return w;
+}
+
+const QuantizedMatrix& QuantCache::Add(const void* key, const Matrix& w) {
+  return cache_[key] = QuantizedMatrix::Quantize(w);
+}
+
+const QuantizedMatrix* QuantCache::Find(const void* key) const {
+  auto it = cache_.find(key);
+  return it == cache_.end() ? nullptr : &it->second;
+}
+
+namespace dispatch {
+namespace {
+
+Matrix MatMulQuantImpl(const Matrix& a, const QuantizedMatrix& q,
+                       const Matrix* addend, Act act, bool fused) {
+  TURBO_CHECK_EQ(a.cols(), q.rows);
+  Matrix c(a.rows(), q.cols);
+  const size_t m = a.rows(), k = a.cols(), n = q.cols;
+  size_t add_stride = 0;
+  const float* add = nullptr;
+  if (fused && addend != nullptr) {
+    TURBO_CHECK_EQ(addend->cols(), n);
+    if (addend->rows() == 1) {
+      add_stride = 0;
+    } else {
+      TURBO_CHECK_EQ(addend->rows(), m);
+      add_stride = n;
+    }
+    add = addend->data();
+  }
+  const auto& t = internal::ActiveTable();
+  detail::ParallelRows(m, k * n, [&](size_t r0, size_t r1) {
+    t.gemm_quant_rows(a.data(), q.data.data(), q.scale.data(),
+                      q.zero_point.data(), c.data(), k, n, r0, r1);
+    if (fused) t.epilogue_rows(c.data(), add, add_stride, n, r0, r1, act);
+  });
+  return c;
+}
+
+}  // namespace
+
+Matrix MatMulQuant(const Matrix& a, const QuantizedMatrix& q) {
+  return MatMulQuantImpl(a, q, nullptr, Act::kIdentity, /*fused=*/false);
+}
+
+Matrix MatMulQuantBiasAct(const Matrix& a, const QuantizedMatrix& q,
+                          const Matrix* addend, Act act) {
+  return MatMulQuantImpl(a, q, addend, act, /*fused=*/true);
+}
+
+}  // namespace dispatch
+}  // namespace turbo::la

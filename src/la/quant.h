@@ -1,0 +1,75 @@
+// Int8 row-quantized weights for the inference path.
+//
+// Weights are quantized per ROW with an affine (scale, zero-point)
+// mapping: row p of a [k,n] weight matrix is stored as int8 with
+// dequant(q) = scale[p] * (q - zero_point[p]). Activations stay float;
+// the quantized GEMM folds the multiplier a[i,p] * scale[p] once per
+// (i,p) and accumulates in float, so only the weight memory traffic
+// shrinks (4x) — there is no int32 accumulation path to overflow and
+// the accumulation order matches the float GEMM exactly.
+//
+// Quantization is lossy (max elementwise weight error is scale/2), so
+// the int8 inference mode is gated by an AUC-equivalence test
+// (tests/core/quantized_inference_test.cc, |dAUC| <= 0.002), not a ULP
+// bound. It is opt-in per model via GnnModel::SetInferenceMode and per
+// server via PredictionConfig::quantized_inference.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "la/kernel_table.h"
+#include "la/matrix.h"
+#include "util/aligned_alloc.h"
+
+namespace turbo::la {
+
+struct QuantizedMatrix {
+  size_t rows = 0;
+  size_t cols = 0;
+  /// Row-major [rows, cols] int8 codes, 64-byte aligned like Matrix.
+  std::vector<int8_t, util::AlignedAllocator<int8_t, 64>> data;
+  std::vector<float> scale;        // [rows]
+  std::vector<int32_t> zero_point;  // [rows]
+
+  /// Per-row affine quantization of a float weight matrix. Each row's
+  /// [min, max] range maps onto [-128, 127]; constant rows (including
+  /// all-zero) get an exact representation.
+  static QuantizedMatrix Quantize(const Matrix& w);
+
+  /// Reconstructs the float weights (lossy round-trip; max elementwise
+  /// error is scale[row] / 2).
+  Matrix Dequantize() const;
+};
+
+/// Keyed store of quantized weights, owned by a model and filled once
+/// when int8 inference mode is enabled. Keys are stable identity
+/// pointers (the autograd Node* backing each weight tensor).
+class QuantCache {
+ public:
+  /// Quantizes `w` and stores it under `key` (replaces any entry).
+  const QuantizedMatrix& Add(const void* key, const Matrix& w);
+
+  /// Null if `key` was never added.
+  const QuantizedMatrix* Find(const void* key) const;
+
+  void Clear() { cache_.clear(); }
+  size_t size() const { return cache_.size(); }
+
+ private:
+  std::unordered_map<const void*, QuantizedMatrix> cache_;
+};
+
+namespace dispatch {
+
+/// C = A * dequant(Q), dispatched; float accumulate. Same blocking /
+/// parallelism contract as dispatch::MatMul.
+Matrix MatMulQuant(const Matrix& a, const QuantizedMatrix& q);
+
+/// Fused C = act(A * dequant(Q) + addend); addend as in MatMulBiasAct.
+Matrix MatMulQuantBiasAct(const Matrix& a, const QuantizedMatrix& q,
+                          const Matrix* addend, Act act);
+
+}  // namespace dispatch
+}  // namespace turbo::la

@@ -31,9 +31,9 @@ class SparseMatrix {
   size_t cols() const { return cols_; }
   size_t nnz() const { return col_idx_.size(); }
 
-  const std::vector<uint32_t>& row_ptr() const { return row_ptr_; }
-  const std::vector<uint32_t>& col_idx() const { return col_idx_; }
-  const std::vector<float>& values() const { return values_; }
+  const AlignedVector<uint32_t>& row_ptr() const { return row_ptr_; }
+  const AlignedVector<uint32_t>& col_idx() const { return col_idx_; }
+  const AlignedVector<float>& values() const { return values_; }
 
   /// Y = this * X. Shapes: [m,k] x [k,n] -> [m,n].
   Matrix Multiply(const Matrix& x) const;
@@ -53,9 +53,9 @@ class SparseMatrix {
 
  private:
   size_t rows_, cols_;
-  std::vector<uint32_t> row_ptr_;
-  std::vector<uint32_t> col_idx_;
-  std::vector<float> values_;
+  AlignedVector<uint32_t> row_ptr_;
+  AlignedVector<uint32_t> col_idx_;
+  AlignedVector<float> values_;
 };
 
 }  // namespace turbo::la

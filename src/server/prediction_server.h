@@ -71,9 +71,16 @@ struct PredictionConfig {
   /// Online blocking threshold (Section VI-E uses 0.85).
   double threshold = 0.85;
   /// Run the tape-free forward (GnnModel::EmbedInference) instead of the
-  /// autograd forward. Identical predictions; skips all tape allocation.
-  /// Off by default so existing callers keep byte-for-byte behavior.
+  /// autograd forward. Equivalent predictions (float-tolerance, see
+  /// tests/core/inference_equivalence_test); skips all tape allocation
+  /// and runs the runtime-dispatched SIMD kernels. Off by default so
+  /// existing callers keep byte-for-byte behavior.
   bool use_inference_path = false;
+  /// Serve from int8 row-quantized weights (la/quant.h). Requires
+  /// use_inference_path; the model's weights are quantized once at
+  /// server construction. Predictions change within the AUC-equivalence
+  /// gate of tests/core/quantized_inference_test (|dAUC| <= 0.002).
+  bool quantized_inference = false;
   /// Capacity (entries) of the snapshot-versioned prediction cache;
   /// 0 disables it. Keys are (uid, snapshot version), so a published
   /// snapshot implicitly invalidates every cached prediction.

@@ -1,0 +1,56 @@
+// Minimal STL allocator handing out storage aligned to a fixed boundary.
+//
+// The dense/sparse linear-algebra containers (la::Matrix,
+// la::SparseMatrix) use it at 64 bytes so the SIMD kernel tiers can
+// assume cache-line-aligned base pointers: full-width vector loads never
+// straddle a line at offset 0, and buffers never share their first line
+// with unrelated allocations. Row pointers at arbitrary column counts
+// are still only 4-byte aligned, so kernels keep using unaligned load
+// instructions — on every ISA tier those run at aligned speed when the
+// address happens to be aligned, which the allocator makes the common
+// case.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace turbo::util {
+
+template <typename T, std::size_t Alignment>
+struct AlignedAllocator {
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two");
+  static_assert(Alignment >= alignof(T),
+                "Alignment must not weaken the type's natural alignment");
+
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return false;
+  }
+};
+
+}  // namespace turbo::util

@@ -56,7 +56,7 @@ TEST_F(GradCheckTest, ColBroadcastGate) {
 TEST_F(GradCheckTest, NonlinearitiesSmoothRegion) {
   // Shift inputs away from relu/lrelu kinks for a clean finite-difference.
   Tensor x = Param(
-      la::Map(Matrix::Randn(4, 4, &rng_), [](float v) {
+      la::MapT(Matrix::Randn(4, 4, &rng_), [](float v) {
         return v + (v >= 0 ? 0.5f : -0.5f);
       }),
       "x");

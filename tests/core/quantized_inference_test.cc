@@ -1,0 +1,97 @@
+// Int8 quantized inference AUC gate: on a trained HAG over a D1-like
+// scenario, scoring the test split through the int8 inference path must
+// land within |dAUC| <= 0.002 of the float inference path. Quantization
+// is lossy per weight (scale/2 max error), so this is the accuracy
+// contract — not a ULP bound (see src/la/quant.h).
+#include <cmath>
+#include <cstdlib>
+#include <gtest/gtest.h>
+
+#include "core/turbo.h"
+#include "la/cpu_features.h"
+
+namespace turbo::core {
+namespace {
+
+constexpr double kMaxAucDelta = 0.002;
+
+class QuantizedInferenceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    PipelineConfig cfg;
+    cfg.bn.windows = {kHour, 6 * kHour, kDay};
+    auto ds = datagen::GenerateScenario(datagen::ScenarioConfig::D1Like(800));
+    data_ = PrepareData(std::move(ds), cfg).release();
+
+    HagConfig hcfg;
+    hcfg.hidden = {16, 8};
+    hcfg.attention_dim = 8;
+    hcfg.mlp_hidden = 8;
+    model_ = new Hag(hcfg);
+    gnn::TrainConfig tc;
+    tc.epochs = 30;
+    tc.lr = 2e-3f;
+    // Trains in place; the returned autograd-path scores are not needed.
+    TrainAndScoreGnn(model_, *data_, bn::SamplerConfig{}, tc);
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    model_ = nullptr;
+    delete data_;
+    data_ = nullptr;
+  }
+
+  static std::vector<double> ScoreTestSplit(gnn::InferenceMode mode) {
+    model_->SetInferenceMode(mode);
+    auto batch = MakeBatch(*data_, data_->test_uids, bn::SamplerConfig{});
+    auto scores = gnn::GnnTrainer::PredictTargetsInference(*model_, batch);
+    model_->SetInferenceMode(gnn::InferenceMode::kFloat);
+    return scores;
+  }
+
+  static PreparedData* data_;
+  static Hag* model_;
+};
+
+PreparedData* QuantizedInferenceTest::data_ = nullptr;
+Hag* QuantizedInferenceTest::model_ = nullptr;
+
+TEST_F(QuantizedInferenceTest, AucWithinGateOfFloatPath) {
+  const auto float_scores = ScoreTestSplit(gnn::InferenceMode::kFloat);
+  const auto int8_scores = ScoreTestSplit(gnn::InferenceMode::kInt8);
+  ASSERT_EQ(float_scores.size(), data_->test_uids.size());
+  ASSERT_EQ(int8_scores.size(), float_scores.size());
+
+  const auto labels = data_->LabelsFor(data_->test_uids);
+  const double float_auc = metrics::RocAuc(float_scores, labels);
+  const double int8_auc = metrics::RocAuc(int8_scores, labels);
+  EXPECT_GT(float_auc, 0.75) << "float baseline should beat chance";
+  EXPECT_LE(std::abs(float_auc - int8_auc), kMaxAucDelta)
+      << "float AUC " << float_auc << " vs int8 AUC " << int8_auc;
+}
+
+TEST_F(QuantizedInferenceTest, Int8ScoresTrackFloatScores) {
+  const auto float_scores = ScoreTestSplit(gnn::InferenceMode::kFloat);
+  const auto int8_scores = ScoreTestSplit(gnn::InferenceMode::kInt8);
+  double total_abs = 0.0;
+  for (size_t i = 0; i < float_scores.size(); ++i) {
+    total_abs += std::abs(float_scores[i] - int8_scores[i]);
+  }
+  EXPECT_LT(total_abs / float_scores.size(), 0.02)
+      << "int8 probabilities drifted from float";
+}
+
+TEST_F(QuantizedInferenceTest, ModeToggleRestoresFloatPathExactly) {
+  const auto before = ScoreTestSplit(gnn::InferenceMode::kFloat);
+  model_->SetInferenceMode(gnn::InferenceMode::kInt8);
+  model_->SetInferenceMode(gnn::InferenceMode::kFloat);
+  EXPECT_EQ(model_->inference_mode(), gnn::InferenceMode::kFloat);
+  const auto after = ScoreTestSplit(gnn::InferenceMode::kFloat);
+  ASSERT_EQ(before.size(), after.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i], after[i]) << "score " << i;
+  }
+}
+
+}  // namespace
+}  // namespace turbo::core

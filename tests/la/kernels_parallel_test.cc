@@ -92,18 +92,20 @@ TEST(KernelsParallelTest, SparseMultiplyBitIdenticalAcrossThreadCounts) {
   EXPECT_TRUE(AllClose(m.Multiply(x), serial, 0.0f, 0.0f));
 }
 
-TEST(KernelsParallelTest, MapTAndZipTMatchTypeErasedWrappers) {
+TEST(KernelsParallelTest, MapTAndZipTElementwise) {
   Rng rng(11);
   const Matrix a = Matrix::Randn(13, 7, &rng);
   const Matrix b = Matrix::Randn(13, 7, &rng);
-  auto square = [](float x) { return x * x; };
-  EXPECT_TRUE(AllClose(MapT(a, square), Map(a, square), 0.0f, 0.0f));
-  auto hypot2 = [](float x, float y) { return x * x + y * y; };
-  EXPECT_TRUE(
-      AllClose(ZipT(a, b, hypot2), Zip(a, b, hypot2), 0.0f, 0.0f));
-  EXPECT_TRUE(AllClose(MapT(a, kernels::Relu),
-                       Map(a, [](float x) { return x > 0.0f ? x : 0.0f; }),
-                       0.0f, 0.0f));
+  const Matrix sq = MapT(a, [](float x) { return x * x; });
+  const Matrix h2 = ZipT(a, b, [](float x, float y) { return x * x + y * y; });
+  const Matrix re = MapT(a, kernels::Relu);
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t c = 0; c < a.cols(); ++c) {
+      EXPECT_EQ(sq(r, c), a(r, c) * a(r, c));
+      EXPECT_EQ(h2(r, c), a(r, c) * a(r, c) + b(r, c) * b(r, c));
+      EXPECT_EQ(re(r, c), a(r, c) > 0.0f ? a(r, c) : 0.0f);
+    }
+  }
 }
 
 TEST(KernelsParallelTest, SliceColsExtractsBlock) {

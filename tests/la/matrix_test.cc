@@ -1,6 +1,7 @@
 #include "la/matrix.h"
 
 #include <cmath>
+#include <cstdint>
 
 #include <gtest/gtest.h>
 
@@ -15,6 +16,17 @@ TEST(MatrixTest, ConstructionAndAccess) {
   EXPECT_FLOAT_EQ(m.at(1, 2), 1.5f);
   m.at(0, 1) = 7.0f;
   EXPECT_FLOAT_EQ(m(0, 1), 7.0f);
+}
+
+TEST(MatrixTest, StorageIs64ByteAligned) {
+  // The SIMD kernels assume row 0 starts on a cache-line boundary.
+  for (size_t rows : {1ul, 3ul, 17ul}) {
+    Matrix m(rows, 5, 1.0f);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(m.data()) % kMatrixAlignment, 0u);
+  }
+  Matrix from_rows = Matrix::FromRows({{1, 2, 3}});
+  EXPECT_EQ(
+      reinterpret_cast<uintptr_t>(from_rows.data()) % kMatrixAlignment, 0u);
 }
 
 TEST(MatrixTest, FromRows) {
@@ -90,9 +102,9 @@ TEST(TransposeTest, DoubleTransposeIsIdentity) {
 
 TEST(MapZipTest, ElementwiseOps) {
   Matrix a = Matrix::FromRows({{1, -2}, {-3, 4}});
-  Matrix r = Map(a, [](float x) { return x * x; });
+  Matrix r = MapT(a, [](float x) { return x * x; });
   EXPECT_FLOAT_EQ(r(1, 0), 9.0f);
-  Matrix z = Zip(a, r, [](float x, float y) { return x + y; });
+  Matrix z = ZipT(a, r, [](float x, float y) { return x + y; });
   EXPECT_FLOAT_EQ(z(0, 1), 2.0f);
 }
 

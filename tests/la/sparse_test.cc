@@ -1,5 +1,7 @@
 #include "la/sparse.h"
 
+#include <cstdint>
+
 #include <gtest/gtest.h>
 
 namespace turbo::la {
@@ -20,6 +22,16 @@ TEST(SparseTest, FromTripletsShapeAndNnz) {
   EXPECT_EQ(m.rows(), 4u);
   EXPECT_EQ(m.cols(), 3u);
   EXPECT_EQ(m.nnz(), 5u);
+}
+
+TEST(SparseTest, CsrArraysAre64ByteAligned) {
+  auto m = MakeExample();
+  EXPECT_EQ(
+      reinterpret_cast<uintptr_t>(m.row_ptr().data()) % kMatrixAlignment, 0u);
+  EXPECT_EQ(
+      reinterpret_cast<uintptr_t>(m.col_idx().data()) % kMatrixAlignment, 0u);
+  EXPECT_EQ(
+      reinterpret_cast<uintptr_t>(m.values().data()) % kMatrixAlignment, 0u);
 }
 
 TEST(SparseTest, DuplicatesAreSummed) {
