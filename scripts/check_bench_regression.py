@@ -15,6 +15,9 @@ bench type is auto-detected from the JSON shape:
     checkpoint_shrink (higher is better)
   - "bench": "serving_throughput"    -> runs[].requests_per_second per
     (mode, threads, batch) cell (higher is better)
+  - "bench": "cluster"               -> runs[].events_per_second per
+    (shards, threads) ingest cell and catchup_speedup, the standby
+    catch-up + promote vs cold-WAL-rebuild ratio (higher is better)
   - "bench": "open_loop"             -> per gated sub-saturation rate:
     goodput_frac (in-deadline completions / offered) and p99_headroom
     (SLO/p99, clamped by the bench), plus the overload goodput ratio
@@ -33,9 +36,12 @@ When both runs were recorded on a SINGLE core, multi-thread cells
 (threads=N / .../tN/... with N > 1) measure scheduler round-robin, not
 parallel scale-up — the curve is flat by construction and a real
 regression in one cell drowns in noise from the others. Those labels
-are therefore dropped from the gate, the skip is printed, and the fresh
-JSON is annotated with "parallel_gates_skipped" so the artifact records
-which cells were never gated.
+are therefore dropped from the gate, each with an explicit
+"SKIPPED (single-core)" line, and the fresh JSON is annotated with
+"parallel_gates_skipped" so the artifact records which cells were never
+gated. If the drop leaves NOTHING to gate the script fails (exit 1)
+instead of passing vacuously — a misdetected runner must not
+green-light a regression.
 
 CI machines are also noisy even at matching core counts, so the default
 tolerance is deliberately loose (20%, the ISSUE 2 contract) and can be
@@ -252,6 +258,23 @@ def extract_metrics(data, path):
             sys.exit(f"error: missing 'overload_goodput_ratio' in {path}")
         metrics["overload_goodput_ratio"] = data["overload_goodput_ratio"]
         return (metrics, True)
+    if bench == "cluster":
+        # Ingest scale-out cells are threaded (/tN/ labels, so the
+        # single-core skip below drops the multi-shard cells); the
+        # standby catch-up ratio vs a cold WAL rebuild is machine-speed
+        # independent and gates on any runner.
+        runs = data.get("runs", [])
+        if not runs:
+            sys.exit(f"error: no 'runs' in {path}")
+        metrics = {
+            f"ingest/shards={r['shards']}/t{r['threads']}/":
+                r["events_per_second"]
+            for r in runs
+        }
+        if "catchup_speedup" not in data:
+            sys.exit(f"error: missing 'catchup_speedup' in {path}")
+        metrics["catchup_speedup"] = data["catchup_speedup"]
+        return (metrics, True)
     if bench == "serving_throughput" or "runs" in data:
         runs = data.get("runs", [])
         if not runs:
@@ -317,13 +340,23 @@ def main():
         if skipped:
             print(
                 "NOTE: both runs were recorded on 1 hardware thread; "
-                "multi-thread cells measure scheduling, not scale-up — "
-                "skipping: " + ", ".join(skipped)
+                "multi-thread cells measure scheduling, not scale-up:"
             )
+            for label in skipped:
+                print(f"{label}: SKIPPED (single-core)")
             annotate_skipped(args.fresh, skipped)
         if not baseline:
-            print("NOTE: no single-thread cells left to gate — PASS")
-            return 0
+            # Passing here would let a misdetected runner green-light
+            # any regression: nothing was compared at all. Benches that
+            # can run single-core must carry at least one unthreaded or
+            # machine-independent (ratio) metric for exactly this case.
+            print(
+                "FAIL: every gated cell was skipped as single-core — "
+                "the gate compared nothing. Add an unthreaded or "
+                "machine-independent metric, or run on a multi-core "
+                "runner."
+            )
+            return 1
 
     failed = False
     for label in sorted(baseline):

@@ -116,12 +116,17 @@ size_t BnBuilder::RunWindowJob(const storage::LogStore& store,
   // Epoch 1 covers [0, window]: include the origin in the query range.
   const SimTime lo = epoch_start > 0 ? epoch_start + 1 : 0;
   auto active = store.ActiveValues(lo, epoch_end);
-  // Only edge-building keys, in canonical order: ActiveValues walks a
-  // hash set, and the shard contents must not depend on its iteration
-  // order for the applied delta sequence to be an engine invariant.
+  // Only edge-building keys this shard owns, in canonical order:
+  // ActiveValues walks a hash set, and the shard contents must not
+  // depend on its iteration order for the applied delta sequence to be
+  // an engine invariant. The ownership filter is what makes a value
+  // replicated to two cluster shards edge-build exactly once; under the
+  // default single-shard topology it accepts every key.
   active.erase(std::remove_if(active.begin(), active.end(),
-                              [](const ValueKey& k) {
-                                return EdgeTypeIndex(k.type) < 0;
+                              [this](const ValueKey& k) {
+                                return EdgeTypeIndex(k.type) < 0 ||
+                                       !OwnsValue(config_.topology,
+                                                  k.type, k.value);
                               }),
                active.end());
   std::sort(active.begin(), active.end(), [](const ValueKey& a,

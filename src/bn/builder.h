@@ -34,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "bn/partition.h"
 #include "obs/metrics.h"
 #include "storage/behavior_log.h"
 #include "storage/checkpoint_io.h"
@@ -76,6 +77,14 @@ struct BnConfig {
   /// Seed mixed into per-bucket RNG streams (pathological-bucket
   /// subsampling). Same seed => same subsets on every engine.
   uint64_t bucket_sample_seed = 0x5eed;
+
+  /// Cluster shard layout (partition.h). Window jobs only process
+  /// (type, value) keys this shard owns, so a value replicated to both
+  /// its user-owner and value-owner shards is edge-built exactly once
+  /// cluster-wide. The default single-shard topology owns every key —
+  /// standalone servers are unaffected. Part of the checkpoint config
+  /// fingerprint.
+  ShardTopology topology;
 
   static std::vector<SimTime> DefaultWindows();
 };

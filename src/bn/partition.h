@@ -1,0 +1,72 @@
+// Ownership hashing for the multi-shard BN cluster (DESIGN.md §14).
+//
+// Two independent hash partitions govern a cluster:
+//  * Users are partitioned by uid — the owner shard holds the user's
+//    complete raw-log history (feature reads) and adjacency rows are
+//    sampled through it.
+//  * Behavior *values* are partitioned by (type, value) — the owner
+//    shard is the single place the co-occurrence bucket of that value
+//    is turned into edges, so every cross-shard edge is built exactly
+//    once no matter how many shards saw logs for the value.
+//
+// Both partitions use MixSeeds (full-avalanche) so ownership is
+// uniform and decorrelated from the ingestion layer's own value
+// hashing. The seeds and the shard count are part of the checkpoint
+// config fingerprint: state taken under one layout is rejected by
+// Recover under another instead of silently building a skewed graph.
+#pragma once
+
+#include <cstdint>
+
+#include "storage/behavior_log.h"
+#include "util/rng.h"
+
+namespace turbo::bn {
+
+/// One shard's view of the cluster layout. The default (1 shard, index
+/// 0) is the standalone-server topology: every user and every value is
+/// owned locally and the owner filter is the identity.
+struct ShardTopology {
+  int shard_count = 1;
+  int shard_index = 0;
+  /// Seed of the user -> shard partition.
+  uint64_t user_seed = 0x7572626f75736572ULL;
+  /// Seed of the (type, value) -> shard partition.
+  uint64_t value_seed = 0x7572626f76616c75ULL;
+
+  bool operator==(const ShardTopology&) const = default;
+};
+
+/// Shard owning user `uid` under `seed` with `shard_count` shards.
+inline int OwnerOfUser(UserId uid, uint64_t seed, int shard_count) {
+  if (shard_count <= 1) return 0;
+  return static_cast<int>(MixSeeds(seed, uid) %
+                          static_cast<uint64_t>(shard_count));
+}
+
+/// Shard owning behavior value (type, value).
+inline int OwnerOfValue(BehaviorType type, ValueId value, uint64_t seed,
+                        int shard_count) {
+  if (shard_count <= 1) return 0;
+  const uint64_t key =
+      MixSeeds(static_cast<uint64_t>(type) + 1, value);
+  return static_cast<int>(MixSeeds(seed, key) %
+                          static_cast<uint64_t>(shard_count));
+}
+
+inline int OwnerOfUser(const ShardTopology& t, UserId uid) {
+  return OwnerOfUser(uid, t.user_seed, t.shard_count);
+}
+
+inline int OwnerOfValue(const ShardTopology& t, BehaviorType type,
+                        ValueId value) {
+  return OwnerOfValue(type, value, t.value_seed, t.shard_count);
+}
+
+/// True when this shard is the one that builds edges for (type, value).
+inline bool OwnsValue(const ShardTopology& t, BehaviorType type,
+                      ValueId value) {
+  return OwnerOfValue(t, type, value) == t.shard_index;
+}
+
+}  // namespace turbo::bn

@@ -11,6 +11,12 @@
 
 namespace turbo::obs {
 
+std::string ShardMetricName(const std::string& prefix, int shard,
+                            const std::string& what) {
+  return StrFormat("%s_shard%d_%s", prefix.c_str(), shard,
+                   what.c_str());
+}
+
 namespace {
 
 uint64_t Bits(double v) { return std::bit_cast<uint64_t>(v); }

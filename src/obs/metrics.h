@@ -30,6 +30,14 @@
 
 namespace turbo::obs {
 
+/// Name of a per-shard cluster metric: "<prefix>_shard<index>_<what>",
+/// e.g. ("bn_cluster", 2, "replica_lag_records") ->
+/// "bn_cluster_shard2_replica_lag_records". The registry has no label
+/// dimension, so cluster-scoped metrics encode the shard index in the
+/// name — one gauge per shard instead of N shards fighting over one.
+std::string ShardMetricName(const std::string& prefix, int shard,
+                            const std::string& what);
+
 /// Monotonically increasing event count.
 class Counter {
  public:

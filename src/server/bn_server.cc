@@ -15,8 +15,11 @@ namespace {
 constexpr char kCheckpointFile[] = "checkpoint.bin";
 /// Version of the checkpoint *section contents* (the container format
 /// has its own version in checkpoint_io). Version 2 added the "churn"
-/// section and the row-group snapshot payload.
-constexpr uint32_t kStateVersion = 2;
+/// section and the row-group snapshot payload; version 3 added the
+/// shard topology (count, index, partition seeds) to the meta
+/// fingerprint so state taken under one cluster layout cannot be
+/// recovered — or standby-replayed — under another.
+constexpr uint32_t kStateVersion = 3;
 
 std::string CheckpointPath(const std::string& dir) {
   return dir + "/" + kCheckpointFile;
@@ -313,6 +316,11 @@ void BnServer::BuildMetaSection(storage::BinaryWriter* meta) const {
   meta->I64(config_.bn.max_bucket_users);
   meta->U64(config_.bn.bucket_sample_seed);
   meta->I64(config_.snapshot_refresh);
+  const bn::ShardTopology& topo = config_.bn.topology;
+  meta->U32(static_cast<uint32_t>(topo.shard_count));
+  meta->U32(static_cast<uint32_t>(topo.shard_index));
+  meta->U64(topo.user_seed);
+  meta->U64(topo.value_seed);
 }
 
 void BnServer::BuildServerSection(storage::BinaryWriter* server,
@@ -527,10 +535,18 @@ Status BnServer::CheckMeta(const storage::CheckpointReader& reader) const {
   match = match && meta.I64() == config_.bn.max_bucket_users;
   match = match && meta.U64() == config_.bn.bucket_sample_seed;
   match = match && meta.I64() == config_.snapshot_refresh;
+  const bn::ShardTopology& topo = config_.bn.topology;
+  match =
+      match && meta.U32() == static_cast<uint32_t>(topo.shard_count);
+  match =
+      match && meta.U32() == static_cast<uint32_t>(topo.shard_index);
+  match = match && meta.U64() == topo.user_seed;
+  match = match && meta.U64() == topo.value_seed;
   if (!match || !meta.ok()) {
     return Status::FailedPrecondition(
         "checkpoint was written under a different BN config "
-        "(users/windows/ttl/weighting/seed/refresh must match)");
+        "(users/windows/ttl/weighting/seed/refresh and the shard "
+        "topology must match)");
   }
   return Status::OK();
 }
@@ -844,8 +860,17 @@ Status BnServer::Recover(const std::string& dir) {
     }
     wal_replayed_records_->Increment(segment.records.size());
     last_seq = seqs[i];
+    wal_resume_seq_ = seqs[i];
+    wal_resume_records_ = segment.records.size();
   }
   wal_replaying_ = false;
+  if (seqs.empty() && start_seq != UINT64_MAX) {
+    // Nothing to replay, but a WAL-backed checkpoint names where future
+    // records will land — a crash between checkpoint publish and
+    // rotation leaves no uncovered segment yet.
+    wal_resume_seq_ = start_seq;
+    wal_resume_records_ = 0;
+  }
 
   if (!config_.wal_dir.empty()) {
     TURBO_CHECK_MSG(config_.wal_dir == dir,
@@ -859,6 +884,50 @@ Status BnServer::Recover(const std::string& dir) {
   }
   recovery_s_->Set(sw.ElapsedSeconds());
   return Status::OK();
+}
+
+void BnServer::ApplyReplicated(const storage::WalRecord& record) {
+  TURBO_CHECK_MSG(config_.wal_dir.empty(),
+                  "ApplyReplicated requires a WAL-less standby server — "
+                  "the record is already durable in the shipped WAL");
+  recovered_or_started_ = true;
+  wal_replaying_ = true;
+  switch (record.kind) {
+    case storage::WalRecord::Kind::kIngest:
+      Ingest(record.log);
+      break;
+    case storage::WalRecord::Kind::kAdvance:
+      AdvanceTo(record.advance_to);
+      break;
+  }
+  wal_replaying_ = false;
+  wal_replayed_records_->Increment();
+}
+
+Status BnServer::AdoptWalDir(const std::string& dir) {
+  TURBO_CHECK_MSG(config_.wal_dir.empty(),
+                  "AdoptWalDir requires a WAL-less standby server");
+  TURBO_CHECK_MSG(!dir.empty(), "AdoptWalDir needs a directory");
+  std::filesystem::create_directories(dir);
+  // Open strictly after everything already in the directory, and after
+  // the checkpoint/delta covered ranges: a gap below the first
+  // surviving segment would fail the next Recover, and so would a new
+  // segment numbered inside the shipped history.
+  uint64_t next = 1;
+  const std::vector<uint64_t> seqs = storage::ListWalSegments(dir);
+  if (!seqs.empty()) next = seqs.back() + 1;
+  const std::vector<uint64_t> deltas = storage::ListCheckpointDeltas(dir);
+  if (!deltas.empty()) next = std::max(next, deltas.back());
+  if (std::filesystem::exists(CheckpointPath(dir))) {
+    auto reader_or = storage::CheckpointReader::Open(CheckpointPath(dir));
+    if (!reader_or.ok()) return reader_or.status();
+    next = std::max(next, reader_or.value().covered_seq());
+  }
+  config_.wal_dir = dir;
+  recovered_or_started_ = true;
+  const Status s = OpenWalSegment(next);
+  if (!s.ok()) config_.wal_dir.clear();
+  return s;
 }
 
 std::shared_ptr<const bn::BnSnapshot> BnServer::snapshot() const {

@@ -90,10 +90,12 @@ struct BnServerConfig {
   /// "Observability"). Not owned; null = a private per-server registry,
   /// which keeps test/bench instances isolated from each other.
   obs::MetricsRegistry* metrics = nullptr;
-  /// Capacity of the bounded lock-free MPSC ring in front of Ingest
-  /// (rounded up to a power of two); 0 disables the ring (OfferIngest /
-  /// DrainIngest must not be called). With the ring enabled, any number
-  /// of producer threads OfferIngest concurrently; a full ring rejects
+  /// Capacity of the bounded lock-free MPSC ring in front of Ingest;
+  /// 0 disables the ring (OfferIngest / DrainIngest must not be
+  /// called). The cap is exact: the ring admits at most this many
+  /// queued events even though its physical slot array is a power of
+  /// two (see util::MpscRing). With the ring enabled, any number of
+  /// producer threads OfferIngest concurrently; a full ring rejects
   /// the log (backpressure, counted in bn_ingest_rejected_total)
   /// instead of blocking the producer or growing without bound.
   size_t ingest_queue_capacity = 0;
@@ -171,6 +173,31 @@ class BnServer {
   /// non-final segment is corruption and fails. Must be called on a
   /// freshly constructed server, before any Ingest/AdvanceTo.
   Status Recover(const std::string& dir);
+
+  /// Warm-standby replay: applies one shipped WAL record through the
+  /// normal ingest/advance paths without logging it again — the record
+  /// already lives in the primary's (shipped) WAL. Requires a WAL-less
+  /// server (wal_dir empty); the deterministic engine makes the
+  /// standby's state bit-identical to the primary's at the same record
+  /// count. Writer-side operation (see server::WarmStandby).
+  void ApplyReplicated(const storage::WalRecord& record);
+
+  /// Failover promote: turns a WAL-less standby into a durable primary
+  /// rooted at `dir` (the shipped replica directory). Opens a fresh WAL
+  /// segment after everything present in `dir` — existing segments,
+  /// delta chain, and the checkpoint's covered range — so a later
+  /// Recover of the directory replays the shipped history plus
+  /// everything written after the promote. The next Checkpoint() writes
+  /// a full base (the shipped chain's incremental trackers died with
+  /// the old primary).
+  Status AdoptWalDir(const std::string& dir);
+
+  /// Replay position after a successful Recover(): the segment new
+  /// records continue in, and how many records of it were applied.
+  /// (0, 0) when nothing WAL-backed was recovered. WarmStandby uses
+  /// this to continue replay exactly where bootstrap stopped.
+  uint64_t wal_resume_seq() const { return wal_resume_seq_; }
+  size_t wal_resume_records() const { return wal_resume_records_; }
 
   /// Samples the computation subgraph for `uid` from the last published
   /// snapshot. Lock-free; callable from any thread concurrently with
@@ -301,6 +328,9 @@ class BnServer {
   /// True once Recover() or the first mutation ran; guards the
   /// "Recover before first write" contract.
   bool recovered_or_started_ = false;
+  /// Replay position captured by Recover() (see wal_resume_seq()).
+  uint64_t wal_resume_seq_ = 0;
+  size_t wal_resume_records_ = 0;
 
   // --- Incremental publish + delta checkpoint state -------------------
   /// Nodes whose adjacency changed since the last snapshot publish; the

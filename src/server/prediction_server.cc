@@ -89,7 +89,7 @@ std::vector<PredictionResponse> PredictionServer::HandleBatch(
       cache_version_ = version;
     }
     for (size_t i = 0; i < n; ++i) {
-      auto hit = cache_.Get(CacheKey(uids[i], version));
+      auto hit = cache_.Get(CacheKey(config_.shard_tag, uids[i], version));
       if (hit.has_value()) {
         out[i].fraud_probability = hit->probability;
         out[i].subgraph_nodes = hit->subgraph_nodes;
@@ -185,7 +185,7 @@ std::vector<PredictionResponse> PredictionServer::HandleBatch(
     if (config_.cache_capacity > 0) {
       std::lock_guard<std::mutex> lock(cache_mu_);
       for (size_t idx : miss) {
-        cache_.Put(CacheKey(uids[idx], version),
+        cache_.Put(CacheKey(config_.shard_tag, uids[idx], version),
                    CachedPrediction{out[idx].fraud_probability,
                                     out[idx].subgraph_nodes});
       }

@@ -64,6 +64,7 @@
 #include "obs/trace.h"
 #include "server/bn_server.h"
 #include "storage/lru_cache.h"
+#include "util/rng.h"
 
 namespace turbo::server {
 
@@ -82,9 +83,15 @@ struct PredictionConfig {
   /// gate of tests/core/quantized_inference_test (|dAUC| <= 0.002).
   bool quantized_inference = false;
   /// Capacity (entries) of the snapshot-versioned prediction cache;
-  /// 0 disables it. Keys are (uid, snapshot version), so a published
-  /// snapshot implicitly invalidates every cached prediction.
+  /// 0 disables it. Keys are (shard_tag, snapshot version, uid), so a
+  /// published snapshot implicitly invalidates every cached prediction.
   size_t cache_capacity = 0;
+  /// Identity of the BN shard this server fronts in a BnCluster (0 for
+  /// a standalone server). Mixed into every cache key: each shard
+  /// numbers its snapshot versions independently, so the tag keeps
+  /// shard key streams decorrelated (within one server keys are
+  /// exactly injective either way; see CacheKey).
+  uint32_t shard_tag = 0;
   /// Registry receiving the server's predict_* metrics. Not owned;
   /// null = a private per-server registry (isolates test/bench
   /// instances). Pass the BN server's registry to get one combined
@@ -199,6 +206,18 @@ class PredictionServer {
   /// private default).
   const obs::MetricsRegistry& metrics() const { return *metrics_; }
 
+  /// (shard_tag, snapshot version, uid) -> cache key. UserId is
+  /// 32-bit, so version and uid pack losslessly into one word; the
+  /// shard tag is folded in through a bijective mix (MixSeeds is
+  /// injective for a fixed tag), so keys never collide within a shard
+  /// and are decorrelated across shards. Exposed for the keying test.
+  static uint64_t CacheKey(uint32_t shard_tag, UserId uid,
+                           uint64_t version) {
+    const uint64_t packed =
+        (version << 32) | static_cast<uint64_t>(uid);
+    return shard_tag == 0 ? packed : MixSeeds(shard_tag, packed);
+  }
+
  private:
   struct CachedPrediction {
     double probability = 0.0;
@@ -212,12 +231,6 @@ class PredictionServer {
 
   /// Response for a request admission control dropped.
   static PredictionResponse ShedResponse();
-
-  /// (uid, snapshot version) -> cache key. UserId is 32-bit, so the
-  /// version occupies the high word.
-  static uint64_t CacheKey(UserId uid, uint64_t version) {
-    return (version << 32) | static_cast<uint64_t>(uid);
-  }
 
   void BatchWorkerLoop();
 

@@ -1,0 +1,38 @@
+#include "server/shard_router.h"
+
+#include "util/check.h"
+
+namespace turbo::server {
+
+ShardRouter::ShardRouter(bn::ShardTopology topology)
+    : topology_(topology) {
+  TURBO_CHECK_GT(topology_.shard_count, 0);
+  topology_.shard_index = 0;
+}
+
+int ShardRouter::OwnerOfUser(UserId uid) const {
+  return bn::OwnerOfUser(topology_, uid);
+}
+
+int ShardRouter::OwnerOfValue(BehaviorType type, ValueId value) const {
+  return bn::OwnerOfValue(topology_, type, value);
+}
+
+ShardRoute ShardRouter::Route(const BehaviorLog& log) const {
+  ShardRoute route;
+  route.user_shard = OwnerOfUser(log.uid);
+  route.value_shard = EdgeTypeIndex(log.type) >= 0
+                          ? OwnerOfValue(log.type, log.value)
+                          : route.user_shard;
+  return route;
+}
+
+bn::ShardTopology ShardRouter::TopologyForShard(int index) const {
+  TURBO_CHECK_GE(index, 0);
+  TURBO_CHECK_LT(index, topology_.shard_count);
+  bn::ShardTopology t = topology_;
+  t.shard_index = index;
+  return t;
+}
+
+}  // namespace turbo::server

@@ -1,0 +1,54 @@
+// Routing layer of the BN cluster (DESIGN.md §14): decides, per
+// behavior log, which shard(s) must ingest it, and which shard serves
+// a user's sampling/feature reads.
+//
+// A log is delivered to the shard owning its *user* (that shard holds
+// the user's complete raw-log history, so feature reads and per-user
+// queries are exact) and, when different, forwarded to the shard owning
+// its *value* (that shard sees every user sharing the value, and is the
+// only shard whose window jobs build the value's co-occurrence edges —
+// see bn/partition.h). Non-edge-building types never build edges, so
+// they ship to the user owner only.
+#pragma once
+
+#include "bn/partition.h"
+#include "storage/behavior_log.h"
+
+namespace turbo::server {
+
+/// Shards one log routes to. `value_shard == user_shard` when no
+/// forward copy is needed (same owner, or a non-edge type).
+struct ShardRoute {
+  int user_shard = 0;
+  int value_shard = 0;
+
+  bool forwarded() const { return value_shard != user_shard; }
+};
+
+class ShardRouter {
+ public:
+  /// `topology.shard_index` is ignored — the router speaks for the
+  /// whole cluster, the per-shard index only matters inside a shard's
+  /// own window-job filter.
+  explicit ShardRouter(bn::ShardTopology topology);
+
+  int num_shards() const { return topology_.shard_count; }
+
+  /// Shard holding `uid`'s logs and adjacency rows (serving side).
+  int OwnerOfUser(UserId uid) const;
+
+  /// Shard building edges for (type, value).
+  int OwnerOfValue(BehaviorType type, ValueId value) const;
+
+  /// Ingest routing for one log (see file comment).
+  ShardRoute Route(const BehaviorLog& log) const;
+
+  /// The topology as shard `index` must run it (for BnConfig::topology,
+  /// and thus the shard's checkpoint fingerprint).
+  bn::ShardTopology TopologyForShard(int index) const;
+
+ private:
+  bn::ShardTopology topology_;
+};
+
+}  // namespace turbo::server

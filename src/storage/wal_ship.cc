@@ -1,0 +1,154 @@
+#include "storage/wal_ship.h"
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "storage/checkpoint_io.h"
+#include "storage/wal.h"
+#include "util/string_util.h"
+
+namespace turbo::storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kCheckpointFile[] = "checkpoint.bin";
+
+/// Size of `path`, or 0 when it does not exist.
+size_t FileSize(const std::string& path) {
+  std::error_code ec;
+  const auto size = fs::file_size(path, ec);
+  return ec ? 0 : static_cast<size_t>(size);
+}
+
+/// Appends bytes [from, src_size) of `src` onto `dst` (created when
+/// `from` == 0). Plain append is crash-equivalent to a torn primary
+/// write: the standby's reader already tolerates a torn tail.
+Status AppendTail(const std::string& src, const std::string& dst,
+                  size_t from, size_t* appended) {
+  std::ifstream in(src, std::ios::binary);
+  if (!in) {
+    return Status::Internal(StrFormat("cannot open '%s'", src.c_str()));
+  }
+  in.seekg(static_cast<std::streamoff>(from));
+  std::string tail((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  std::ofstream out(dst, std::ios::binary | std::ios::app);
+  if (!out) {
+    return Status::Internal(StrFormat("cannot open '%s'", dst.c_str()));
+  }
+  out.write(tail.data(), static_cast<std::streamsize>(tail.size()));
+  out.flush();
+  if (!out) {
+    return Status::Internal(StrFormat("short append to '%s'", dst.c_str()));
+  }
+  *appended = tail.size();
+  return Status::OK();
+}
+
+/// Copies `src` over `dst` atomically when the bytes differ.
+Status CopyIfChanged(const std::string& src, const std::string& dst,
+                     bool* copied) {
+  *copied = false;
+  auto bytes_or = ReadFileBytes(src);
+  if (!bytes_or.ok()) return bytes_or.status();
+  const std::string& bytes = bytes_or.value();
+  if (FileSize(dst) == bytes.size()) {
+    auto existing_or = ReadFileBytes(dst);
+    if (existing_or.ok() && existing_or.value() == bytes) {
+      return Status::OK();
+    }
+  }
+  TURBO_RETURN_IF_ERROR(WriteFileAtomic(dst, bytes));
+  *copied = true;
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<WalShipStats> ShipWalDir(const std::string& src,
+                                const std::string& dst,
+                                const WalShipOptions& options) {
+  if (!fs::exists(src)) {
+    return Status::NotFound(
+        StrFormat("ship source '%s' does not exist", src.c_str()));
+  }
+  std::error_code ec;
+  fs::create_directories(dst, ec);
+  if (ec) {
+    return Status::Internal(
+        StrFormat("cannot create ship target '%s'", dst.c_str()));
+  }
+  WalShipStats stats;
+
+  // Checkpoint files first: after mirror deletes remove WAL segments a
+  // new checkpoint covers, the covering checkpoint must already be in
+  // place or a crash between the two steps would leave `dst` without
+  // either representation of that history.
+  const std::string src_ckpt = src + "/" + kCheckpointFile;
+  const std::string dst_ckpt = dst + "/" + kCheckpointFile;
+  if (fs::exists(src_ckpt)) {
+    bool copied = false;
+    TURBO_RETURN_IF_ERROR(CopyIfChanged(src_ckpt, dst_ckpt, &copied));
+    if (copied) ++stats.checkpoint_files_copied;
+  }
+  const std::vector<uint64_t> src_deltas = ListCheckpointDeltas(src);
+  for (uint64_t seq : src_deltas) {
+    // Delta files are immutable once published: present == shipped.
+    const std::string to = CheckpointDeltaPath(dst, seq);
+    if (fs::exists(to)) continue;
+    bool copied = false;
+    TURBO_RETURN_IF_ERROR(
+        CopyIfChanged(CheckpointDeltaPath(src, seq), to, &copied));
+    if (copied) ++stats.checkpoint_files_copied;
+  }
+
+  const std::vector<uint64_t> src_segments = ListWalSegments(src);
+  for (uint64_t seq : src_segments) {
+    const std::string from = WalSegmentPath(src, seq);
+    const std::string to = WalSegmentPath(dst, seq);
+    const size_t src_size = FileSize(from);
+    size_t dst_size = FileSize(to);
+    if (dst_size > src_size) {
+      // A replica segment longer than the source can only mean the
+      // source was rewritten (e.g. a torn tail truncated by recovery
+      // before this standby attached). Re-copy wholesale.
+      bool copied = false;
+      TURBO_RETURN_IF_ERROR(CopyIfChanged(from, to, &copied));
+      dst_size = src_size;
+    } else if (dst_size < src_size) {
+      if (dst_size == 0 && !fs::exists(to)) ++stats.segments_created;
+      size_t appended = 0;
+      TURBO_RETURN_IF_ERROR(AppendTail(from, to, dst_size, &appended));
+      stats.segment_bytes_appended += appended;
+    }
+    stats.max_segment_seq = seq;
+  }
+
+  if (options.mirror_deletes) {
+    const std::set<uint64_t> live(src_segments.begin(),
+                                  src_segments.end());
+    for (uint64_t seq : ListWalSegments(dst)) {
+      if (live.count(seq) != 0) continue;
+      fs::remove(WalSegmentPath(dst, seq), ec);
+      ++stats.files_deleted;
+    }
+    const std::set<uint64_t> live_deltas(src_deltas.begin(),
+                                         src_deltas.end());
+    for (uint64_t seq : ListCheckpointDeltas(dst)) {
+      if (live_deltas.count(seq) != 0) continue;
+      fs::remove(CheckpointDeltaPath(dst, seq), ec);
+      ++stats.files_deleted;
+    }
+    if (!fs::exists(src_ckpt) && fs::exists(dst_ckpt)) {
+      fs::remove(dst_ckpt, ec);
+      ++stats.files_deleted;
+    }
+  }
+  return stats;
+}
+
+}  // namespace turbo::storage

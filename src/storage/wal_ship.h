@@ -1,0 +1,59 @@
+// WAL shipping: incremental file-level replication of one BN server's
+// durability directory (WAL segments + checkpoint + delta chain) into a
+// standby's replica directory (DESIGN.md §14 "Replication & failover").
+//
+// ShipWalDir is pull-style and idempotent: each call makes `dst` a
+// consistent prefix-copy of `src` and does only incremental work —
+//  * WAL segments are append-only until rotation deletes them, so a
+//    segment already present in `dst` only has its new tail bytes
+//    appended; an unchanged segment costs one stat. Re-shipping a
+//    segment the standby already replayed is therefore a no-op, never a
+//    duplicate apply.
+//  * A segment the primary is mid-append on ships as-is: the copied
+//    tail may end in a torn record, which the standby replays up to and
+//    then *waits* on (the next ship completes the record). Nothing here
+//    ever truncates a source file — the primary owns those bytes.
+//  * checkpoint.bin is re-copied (atomically, temp + rename) when its
+//    bytes changed; delta-checkpoint files are immutable once published
+//    and are copied at most once.
+//  * With mirror_deletes, files the primary's checkpoint rotation
+//    removed are removed from `dst` too, so the replica directory stays
+//    a valid Recover target and does not grow without bound.
+//
+// The shipper is the only writer of `dst`; run it from one thread at a
+// time (the standby's replay thread is the natural place).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace turbo::storage {
+
+struct WalShipOptions {
+  /// Remove files from `dst` that no longer exist in `src` (checkpoint
+  /// rotation deletes covered segments and superseded delta files).
+  bool mirror_deletes = true;
+};
+
+/// What one ShipWalDir call did (observability; all deltas, not totals).
+struct WalShipStats {
+  /// Segments newly created in `dst` this call.
+  size_t segments_created = 0;
+  /// Segment tail bytes appended (includes the bytes of new segments).
+  size_t segment_bytes_appended = 0;
+  /// checkpoint.bin + delta files (re)copied.
+  size_t checkpoint_files_copied = 0;
+  /// Files mirror-deleted from `dst`.
+  size_t files_deleted = 0;
+  /// Highest WAL segment seq present in `dst` after the call (0 = none).
+  uint64_t max_segment_seq = 0;
+};
+
+/// Ships `src` into `dst` (created if missing). `src` must exist.
+Result<WalShipStats> ShipWalDir(const std::string& src,
+                                const std::string& dst,
+                                const WalShipOptions& options = {});
+
+}  // namespace turbo::storage

@@ -5,8 +5,11 @@
 // algorithm is a full MPMC queue, so a pool of consumers is also safe.
 //
 // Properties the admission-control path relies on:
-//  * Bounded: capacity is fixed at construction (rounded up to a power
-//    of two). TryPush on a full ring fails immediately instead of
+//  * Bounded, exactly: capacity is fixed at construction and enforced
+//    by an occupancy counter — the slot array is sized up to a power of
+//    two internally, but TryPush admits at most `capacity` queued
+//    values (a BnServerConfig::ingest_queue_capacity of 100 means 100,
+//    not 128). TryPush on a full ring fails immediately instead of
 //    blocking or allocating — that failure IS the backpressure signal.
 //  * Lock-free: producers contend only on a CAS over the enqueue
 //    cursor; no mutex, no producer ever waits on the consumer.
@@ -16,10 +19,11 @@
 //    threads interleave by ticket acquisition, which is the only
 //    meaningful order under concurrency).
 //
-// A full ring is detected from the slot sequence, not the cursors, so a
-// TryPush racing an in-progress pop of the oldest slot may fail
-// spuriously-early by one slot — acceptable for admission control,
-// where "the queue is effectively full" is the answer either way.
+// Fullness is decided by the occupancy counter before a slot is
+// touched, so a TryPush racing an in-progress pop of the oldest slot
+// may fail spuriously-early by one slot — acceptable for admission
+// control, where "the queue is effectively full" is the answer either
+// way; TryPush never admits past the configured capacity.
 #pragma once
 
 #include <atomic>
@@ -35,10 +39,12 @@ namespace turbo::util {
 template <typename T>
 class MpscRing {
  public:
-  /// `capacity` is rounded up to the next power of two (minimum 2).
-  explicit MpscRing(size_t capacity) {
+  /// `capacity` is the exact number of values the ring admits
+  /// (minimum 1). The slot array is the next power of two internally.
+  explicit MpscRing(size_t capacity)
+      : capacity_(capacity < 1 ? 1 : capacity) {
     size_t cap = 2;
-    while (cap < capacity) cap <<= 1;
+    while (cap < capacity_) cap <<= 1;
     mask_ = cap - 1;
     cells_ = std::make_unique<Cell[]>(cap);
     for (size_t i = 0; i < cap; ++i) {
@@ -52,6 +58,14 @@ class MpscRing {
   /// Producer side: callable from any thread. Returns false when the
   /// ring is full (the value is untouched and nothing was enqueued).
   bool TryPush(const T& value) {
+    // Claim occupancy first: this is what bounds the queue at the
+    // *configured* capacity rather than the power-of-two slot count.
+    // A claim that loses the slot race below is returned, so the
+    // counter never drifts.
+    if (size_.fetch_add(1, std::memory_order_acq_rel) >= capacity_) {
+      size_.fetch_sub(1, std::memory_order_acq_rel);
+      return false;
+    }
     Cell* cell;
     size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
     for (;;) {
@@ -65,7 +79,10 @@ class MpscRing {
           break;
         }
       } else if (dif < 0) {
-        return false;  // the slot still holds an unconsumed value
+        // The slot's pop is still in flight — the spurious-early
+        // failure documented above. Return the occupancy claim.
+        size_.fetch_sub(1, std::memory_order_acq_rel);
+        return false;
       } else {
         pos = enqueue_pos_.load(std::memory_order_relaxed);
       }
@@ -98,18 +115,21 @@ class MpscRing {
     }
     *out = std::move(cell->value);
     cell->seq.store(pos + mask_ + 1, std::memory_order_release);
+    // Released after the slot itself so a producer admitted by the
+    // counter finds the slot reusable.
+    size_.fetch_sub(1, std::memory_order_acq_rel);
     return true;
   }
 
-  size_t capacity() const { return mask_ + 1; }
+  /// The configured (and enforced) capacity, not the slot-array size.
+  size_t capacity() const { return capacity_; }
 
-  /// Racy by nature (cursors move concurrently); clamped to
-  /// [0, capacity]. Good enough for a depth gauge.
+  /// Momentary occupancy; racy under concurrency but never above
+  /// capacity(). This is what the bn_ingest_queue_depth gauge reports,
+  /// so the gauge and the admission decision agree on "full".
   size_t size_approx() const {
-    const size_t enq = enqueue_pos_.load(std::memory_order_relaxed);
-    const size_t deq = dequeue_pos_.load(std::memory_order_relaxed);
-    const size_t d = enq >= deq ? enq - deq : 0;
-    return d > capacity() ? capacity() : d;
+    const size_t n = size_.load(std::memory_order_relaxed);
+    return n > capacity_ ? capacity_ : n;
   }
 
  private:
@@ -122,6 +142,10 @@ class MpscRing {
 
   std::unique_ptr<Cell[]> cells_;
   size_t mask_ = 0;
+  size_t capacity_ = 0;
+  /// Occupancy: claims admitted minus pops completed. Bounds the queue
+  /// at capacity_ even though the slot array is a power of two.
+  alignas(kCacheLine) std::atomic<size_t> size_{0};
   // The two cursors live on their own cache lines so producer CAS
   // traffic does not invalidate the consumer's line and vice versa.
   alignas(kCacheLine) std::atomic<size_t> enqueue_pos_{0};

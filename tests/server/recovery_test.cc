@@ -50,7 +50,7 @@ BehaviorLogList Traffic(SimTime t0, SimTime t1, int n) {
     const SimTime t = t0 + (i * 977 * kMinute) % (t1 - t0);
     logs.push_back(L(static_cast<UserId>(i * 13 % 64), 1 + i % 9, t));
     logs.push_back(BehaviorLog{static_cast<UserId>(i * 7 % 64),
-                               BehaviorType::kWifiMac, 100 + i % 5, t});
+                               BehaviorType::kWifiMac, static_cast<ValueId>(100 + i % 5), t});
   }
   return logs;
 }
@@ -373,6 +373,45 @@ TEST(RecoveryTest, ConfigMismatchIsRejected) {
   const Status s = recovered.Recover(dir);
   ASSERT_FALSE(s.ok());
   EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(RecoveryTest, ShardTopologyMismatchIsRejected) {
+  // The shard topology is part of the checkpoint's config fingerprint:
+  // state written under one cluster layout must not be recovered into
+  // another, which would silently build a skewed graph (each shard's
+  // window-job key filter depends on count + seeds).
+  const std::string dir = FreshDir("rec_topo");
+  BnServerConfig writer_cfg = SmallConfig(dir);
+  writer_cfg.bn.topology.shard_count = 2;
+  writer_cfg.bn.topology.shard_index = 1;
+  BnServer writer(writer_cfg);
+  writer.IngestBatch(Traffic(0, kHour, 20));
+  writer.AdvanceTo(kHour);
+  ASSERT_TRUE(writer.Checkpoint(dir).ok());
+
+  const auto expect_rejected = [&](BnServerConfig cfg) {
+    BnServer recovered(std::move(cfg));
+    const Status s = recovered.Recover(dir);
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  };
+  BnServerConfig wrong_count = writer_cfg;
+  wrong_count.bn.topology.shard_count = 4;
+  expect_rejected(wrong_count);
+  BnServerConfig wrong_index = writer_cfg;
+  wrong_index.bn.topology.shard_index = 0;
+  expect_rejected(wrong_index);
+  BnServerConfig wrong_user_seed = writer_cfg;
+  wrong_user_seed.bn.topology.user_seed ^= 1;
+  expect_rejected(wrong_user_seed);
+  BnServerConfig wrong_value_seed = writer_cfg;
+  wrong_value_seed.bn.topology.value_seed ^= 1;
+  expect_rejected(wrong_value_seed);
+
+  // The matching layout still recovers.
+  BnServer recovered(writer_cfg);
+  ASSERT_TRUE(recovered.Recover(dir).ok());
+  ExpectIdentical(writer, recovered);
 }
 
 TEST(RecoveryTest, CorruptCheckpointIsRejected) {

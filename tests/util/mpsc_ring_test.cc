@@ -14,13 +14,40 @@
 namespace turbo::util {
 namespace {
 
-TEST(MpscRingTest, CapacityRoundsUpToPowerOfTwo) {
-  EXPECT_EQ(MpscRing<int>(0).capacity(), 2u);
-  EXPECT_EQ(MpscRing<int>(1).capacity(), 2u);
+TEST(MpscRingTest, CapacityIsExactlyAsConfigured) {
+  // The slot array rounds up to a power of two internally, but the
+  // admission bound is the configured number — a ring built for 65
+  // events must not quietly admit 128.
+  EXPECT_EQ(MpscRing<int>(0).capacity(), 1u);
+  EXPECT_EQ(MpscRing<int>(1).capacity(), 1u);
   EXPECT_EQ(MpscRing<int>(2).capacity(), 2u);
-  EXPECT_EQ(MpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(MpscRing<int>(3).capacity(), 3u);
   EXPECT_EQ(MpscRing<int>(64).capacity(), 64u);
-  EXPECT_EQ(MpscRing<int>(65).capacity(), 128u);
+  EXPECT_EQ(MpscRing<int>(65).capacity(), 65u);
+}
+
+TEST(MpscRingTest, NonPowerOfTwoCapacityAdmitsExactlyThatMany) {
+  for (const size_t cap : {1u, 3u, 5u, 65u, 100u}) {
+    MpscRing<int> ring(cap);
+    for (size_t i = 0; i < cap; ++i) {
+      ASSERT_TRUE(ring.TryPush(static_cast<int>(i)))
+          << "cap " << cap << " push " << i;
+    }
+    EXPECT_FALSE(ring.TryPush(-1)) << "cap " << cap;
+    EXPECT_EQ(ring.size_approx(), cap);
+    // Drain in FIFO order; depth tracks exactly.
+    for (size_t i = 0; i < cap; ++i) {
+      int out = -1;
+      ASSERT_TRUE(ring.TryPop(&out));
+      EXPECT_EQ(out, static_cast<int>(i));
+    }
+    EXPECT_EQ(ring.size_approx(), 0u);
+    // Freed slots readmit up to the same exact bound again.
+    for (size_t i = 0; i < cap; ++i) {
+      ASSERT_TRUE(ring.TryPush(static_cast<int>(i)));
+    }
+    EXPECT_FALSE(ring.TryPush(-1));
+  }
 }
 
 TEST(MpscRingTest, FullRingRejectsUntilPopped) {
