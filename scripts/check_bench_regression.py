@@ -22,8 +22,16 @@ bench type is auto-detected from the JSON shape:
     goodput_frac (in-deadline completions / offered) and p99_headroom
     (SLO/p99, clamped by the bench), plus the overload goodput ratio
     (all higher is better)
+  - "bench": "net"                   -> flat loopback-transport cells:
+    RPC round-trips/s, large-echo MB/s, WAL-ship MB/s, re-ship no-op
+    rounds/s (higher is better)
   - google-benchmark output ("benchmarks" list) -> real_time per
     benchmark name (lower is better)
+
+Every emitted summary line carries a `[hw=N fp=XXXXXXXX]` machine tag:
+the fresh run's recorded hardware_threads plus a fingerprint of the
+machine the gate ran on, so mismatched verdicts across CI runs are
+attributable from the logs alone.
 
 Every bench JSON records the core count it ran on (hardware_threads for
 our benches, context.num_cpus for google-benchmark). Throughput numbers
@@ -58,8 +66,10 @@ they bind even when the core-count skip disables the baseline gate.
 Usage: check_bench_regression.py BASELINE.json FRESH.json [--tolerance=0.2]
 """
 import argparse
+import hashlib
 import json
 import os
+import platform
 import re
 import sys
 
@@ -67,6 +77,31 @@ import sys
 def load(path):
     with open(path) as f:
         return json.load(f)
+
+
+def runner_fingerprint():
+    """Short stable identity of the machine THIS gate is running on.
+
+    Emitted on every summary line so that when two CI runs disagree, the
+    logs themselves say whether they came from the same class of runner
+    (the committed baselines were recorded on a known box; a verdict
+    from a different one is suspect even at matching core counts).
+    """
+    ident = "|".join(
+        (
+            platform.machine(),
+            platform.system(),
+            platform.processor() or "unknown-cpu",
+            str(os.cpu_count()),
+        )
+    )
+    return hashlib.sha1(ident.encode()).hexdigest()[:8]
+
+
+def machine_tag(fresh_hw):
+    """`[hw=N fp=XXXXXXXX]` suffix for every emitted summary line."""
+    hw = "?" if fresh_hw is None else fresh_hw
+    return f"[hw={hw} fp={runner_fingerprint()}]"
 
 
 def hardware_threads(data):
@@ -275,6 +310,21 @@ def extract_metrics(data, path):
             sys.exit(f"error: missing 'catchup_speedup' in {path}")
         metrics["catchup_speedup"] = data["catchup_speedup"]
         return (metrics, True)
+    if bench == "net":
+        # Flat loopback-transport cells: per-call RPC overhead, codec
+        # streaming floor, and end-to-end WAL-ship throughput. All are
+        # single-connection (one handler thread), so they gate on any
+        # runner at a matching core count.
+        keys = (
+            "rpc_small_roundtrips_per_s",
+            "rpc_large_mb_per_s",
+            "wal_ship_mb_per_s",
+            "reship_noop_rounds_per_s",
+        )
+        for key in keys:
+            if key not in data:
+                sys.exit(f"error: missing '{key}' in {path}")
+        return ({key: data[key] for key in keys}, True)
     if bench == "serving_throughput" or "runs" in data:
         runs = data.get("runs", [])
         if not runs:
@@ -310,6 +360,7 @@ def main():
 
     baseline_data = load(args.baseline)
     fresh_data = load(args.fresh)
+    tag = machine_tag(hardware_threads(fresh_data))
 
     # Within-run SIMD floors bind regardless of core count, so they run
     # before (and independently of) the baseline comparison below.
@@ -317,7 +368,7 @@ def main():
                                       args.tolerance)
     if simd_failures:
         for failure in simd_failures:
-            print(f"SIMD FLOOR FAIL: {failure}")
+            print(f"SIMD FLOOR FAIL: {failure} {tag}")
         return 1
 
     base_hw = hardware_threads(baseline_data)
@@ -326,7 +377,7 @@ def main():
         print(
             f"WARNING: baseline was recorded on {base_hw} hardware "
             f"thread(s) but this run has {fresh_hw}; throughput is not "
-            f"comparable across core counts — skipping the gate."
+            f"comparable across core counts — skipping the gate. {tag}"
         )
         return 0
 
@@ -338,12 +389,23 @@ def main():
         baseline, skipped = drop_parallel_labels(baseline)
         fresh, _ = drop_parallel_labels(fresh)
         if skipped:
+            banner = "!" * 72
+            print(banner)
             print(
-                "NOTE: both runs were recorded on 1 hardware thread; "
-                "multi-thread cells measure scheduling, not scale-up:"
+                f"!! WARNING: 1-core runner — {len(skipped)} "
+                f"parallel-path cell(s) are NOT gated. {tag}"
+            )
+            print(
+                "!! Multi-thread cells measure scheduler round-robin on "
+                "this box, not scale-up;"
+            )
+            print(
+                "!! a regression in any cell below would go UNDETECTED "
+                "until a multi-core run:"
             )
             for label in skipped:
-                print(f"{label}: SKIPPED (single-core)")
+                print(f"!!   {label}: SKIPPED (single-core) {tag}")
+            print(banner)
             annotate_skipped(args.fresh, skipped)
         if not baseline:
             # Passing here would let a misdetected runner green-light
@@ -351,17 +413,17 @@ def main():
             # can run single-core must carry at least one unthreaded or
             # machine-independent (ratio) metric for exactly this case.
             print(
-                "FAIL: every gated cell was skipped as single-core — "
-                "the gate compared nothing. Add an unthreaded or "
-                "machine-independent metric, or run on a multi-core "
-                "runner."
+                f"FAIL: every gated cell was skipped as single-core — "
+                f"the gate compared nothing. Add an unthreaded or "
+                f"machine-independent metric, or run on a multi-core "
+                f"runner. {tag}"
             )
             return 1
 
     failed = False
     for label in sorted(baseline):
         if label not in fresh:
-            print(f"{label}: missing from fresh run — FAIL")
+            print(f"{label}: missing from fresh run — FAIL {tag}")
             failed = True
             continue
         base = baseline[label]
@@ -376,16 +438,19 @@ def main():
             failed = True
         print(
             f"{label}: baseline={base:.2f} fresh={now:.2f} "
-            f"ratio={ratio:.2f} [{status}]"
+            f"ratio={ratio:.2f} [{status}] {tag}"
         )
 
     if failed:
         print(
             f"\nFAIL: performance regressed more than "
-            f"{args.tolerance:.0%} vs {args.baseline}"
+            f"{args.tolerance:.0%} vs {args.baseline} {tag}"
         )
         return 1
-    print(f"\nPASS: performance within {args.tolerance:.0%} of baseline")
+    print(
+        f"\nPASS: performance within {args.tolerance:.0%} of baseline "
+        f"{tag}"
+    )
     return 0
 
 

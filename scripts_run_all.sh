@@ -20,6 +20,11 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" 2>&1 \
 for b in "$BUILD_DIR"/bench/*; do
   [ -x "$b" ] || continue
   case "$(basename "$b")" in
+    bench_net)
+      # Loopback RPC round-trip + streaming WAL-ship throughput; writes
+      # straight to the committed baseline path like bench_open_loop.
+      "$b" --out="$REPO_ROOT/BENCH_net.json"
+      ;;
     bench_open_loop)
       # Writes the open-loop rate sweep straight to the committed
       # baseline path (the other benches write relative to the cwd);

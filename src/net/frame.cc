@@ -1,0 +1,98 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "storage/checkpoint_io.h"
+#include "util/string_util.h"
+
+namespace turbo::net {
+
+namespace {
+
+void PutU32(uint32_t v, std::string* out) {
+  char b[4];
+  std::memcpy(b, &v, sizeof(v));
+  out->append(b, sizeof(b));
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+void AppendFrame(uint8_t type, std::string_view payload,
+                 std::string* out) {
+  std::string header;
+  header.reserve(kFrameHeaderBytes);
+  PutU32(static_cast<uint32_t>(payload.size()), &header);
+  header.push_back(static_cast<char>(type));
+  PutU32(storage::Crc32(payload.data(), payload.size()), &header);
+  PutU32(storage::Crc32(header.data(), header.size()), &header);
+  out->append(header);
+  out->append(payload);
+}
+
+std::string EncodeFrame(uint8_t type, std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  AppendFrame(type, payload, &out);
+  return out;
+}
+
+void FrameDecoder::Feed(std::string_view bytes) {
+  if (corrupt_) return;  // stream already dead; drop quietly
+  // Compact the consumed prefix before growing, so a long-lived
+  // connection does not accumulate every frame it ever decoded.
+  if (pos_ > 0 && pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  } else if (pos_ > 64 * 1024) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(bytes.data(), bytes.size());
+}
+
+FrameDecoder::Event FrameDecoder::Next(Frame* out) {
+  if (corrupt_) return Event::kCorrupt;
+  const size_t avail = buf_.size() - pos_;
+  if (avail < kFrameHeaderBytes) return Event::kNeedMore;
+  const char* h = buf_.data() + pos_;
+  const uint32_t stored_header_crc = GetU32(h + 9);
+  const uint32_t actual_header_crc = storage::Crc32(h, 9);
+  if (stored_header_crc != actual_header_crc) {
+    corrupt_ = true;
+    error_ = StrFormat("frame header CRC mismatch (stored %08x != %08x)",
+                       stored_header_crc, actual_header_crc);
+    return Event::kCorrupt;
+  }
+  const uint32_t payload_len = GetU32(h);
+  if (payload_len > limits_.max_payload) {
+    // The header CRC validated, so this is an honest peer announcing a
+    // frame past the negotiated bound — still fatal, never a stall.
+    corrupt_ = true;
+    error_ = StrFormat("frame payload %u exceeds limit %zu", payload_len,
+                       limits_.max_payload);
+    return Event::kCorrupt;
+  }
+  if (avail < kFrameHeaderBytes + payload_len) return Event::kNeedMore;
+  const char* payload = h + kFrameHeaderBytes;
+  const uint32_t stored_payload_crc = GetU32(h + 5);
+  const uint32_t actual_payload_crc = storage::Crc32(payload, payload_len);
+  if (stored_payload_crc != actual_payload_crc) {
+    corrupt_ = true;
+    error_ =
+        StrFormat("frame payload CRC mismatch (stored %08x != %08x)",
+                  stored_payload_crc, actual_payload_crc);
+    return Event::kCorrupt;
+  }
+  out->type = static_cast<uint8_t>(h[4]);
+  out->payload.assign(payload, payload_len);
+  pos_ += kFrameHeaderBytes + payload_len;
+  return Event::kFrame;
+}
+
+}  // namespace turbo::net

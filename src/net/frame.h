@@ -1,0 +1,89 @@
+// Length-prefixed, CRC'd binary frame codec — the unit of everything the
+// cluster puts on a wire (DESIGN.md §15 "Wire transport").
+//
+// Frame layout (all integers little-endian, fixed width):
+//
+//   u32 payload_len    byte count of the payload that follows the header
+//   u8  type           message type tag (opaque to the codec)
+//   u32 payload_crc    storage::Crc32 of the payload bytes
+//   u32 header_crc     storage::Crc32 of the 9 header bytes above
+//   payload bytes
+//
+// The header carries its own CRC so a bit flip in the length field is
+// detected after 13 bytes instead of making the decoder wait forever for
+// a phantom multi-gigabyte payload; payload_len is additionally bounded
+// by FrameLimits::max_payload. CRC32 detects every single-bit and every
+// burst error up to 32 bits, so the decoder contract the torture test
+// (tests/net/frame_test.cc) enforces is strict: for any byte stream, the
+// decoder yields either the exact frames that were encoded, kNeedMore
+// (cleanly resumable — a prefix of a valid frame), or kCorrupt — never a
+// crash and never a wrong payload.
+//
+// Corruption is sticky: a stream that framed garbage once has lost
+// byte-sync, so the transport layer must close the connection and
+// re-sync from a fresh one (net::RpcClient reconnects; net::RpcServer
+// drops the peer).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace turbo::net {
+
+/// Bytes before the payload: u32 len + u8 type + u32 payload_crc +
+/// u32 header_crc.
+inline constexpr size_t kFrameHeaderBytes = 13;
+
+struct FrameLimits {
+  /// Upper bound on payload_len; a header announcing more is corruption
+  /// (a flipped length bit must not stall the stream). Checkpoint ships
+  /// move whole files, so the default is generous.
+  size_t max_payload = 256 * 1024 * 1024;
+};
+
+struct Frame {
+  uint8_t type = 0;
+  std::string payload;
+};
+
+/// Appends the framed encoding of (type, payload) to `out`.
+void AppendFrame(uint8_t type, std::string_view payload, std::string* out);
+
+/// Convenience single-frame form.
+std::string EncodeFrame(uint8_t type, std::string_view payload);
+
+/// Incremental decoder over an arbitrary byte stream: Feed() bytes as
+/// they arrive (any split — the torture test feeds one byte at a time),
+/// Next() pops complete frames. Single-threaded.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(FrameLimits limits = {}) : limits_(limits) {}
+
+  enum class Event : uint8_t {
+    kFrame,     // *out holds the next complete frame
+    kNeedMore,  // buffered bytes are a valid proper prefix; feed more
+    kCorrupt,   // CRC mismatch or bounds violation; stream is dead
+  };
+
+  void Feed(std::string_view bytes);
+
+  /// Decodes the next frame out of the buffered bytes. After kCorrupt
+  /// the decoder latches (every later call returns kCorrupt) — framing
+  /// is unrecoverable without a new connection.
+  Event Next(Frame* out);
+
+  bool corrupt() const { return corrupt_; }
+  /// Diagnostic for the corruption, empty until kCorrupt.
+  const std::string& error() const { return error_; }
+  size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  FrameLimits limits_;
+  std::string buf_;
+  size_t pos_ = 0;  // consumed prefix of buf_
+  bool corrupt_ = false;
+  std::string error_;
+};
+
+}  // namespace turbo::net

@@ -1,0 +1,67 @@
+// server::ShardHandle over the framed RPC layer (DESIGN.md §15): lets
+// BnCluster/ShardRouter address a shard by endpoint instead of
+// pointer. One client per shard; the cluster's writer thread owns the
+// writer-side calls (the RPC client is single-call by contract).
+//
+// Error mapping follows the in-process contract: void writer operations
+// (Ingest, AdvanceTo) are fail-stop — a transport failure that survived
+// the retry budget CHECK-fails just as a local WAL write failure would,
+// because silently dropping a routed copy would fork the cluster's
+// bit-identity. OfferIngest maps transport failure to "not admitted"
+// (the admission contract already allows shedding). Status-returning
+// operations (Checkpoint, Recover) surface the remote Status verbatim.
+//
+// Retry policy per method: read-only methods (SampleSubgraph, gauges)
+// are idempotent and retry freely; Ingest/IngestBatch/AdvanceTo and
+// friends never retry once the request may have reached the peer —
+// double-applying an ingest would double edge weights.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/rpc.h"
+#include "net/shard_service.h"
+#include "server/prediction_server.h"
+#include "server/shard_handle.h"
+
+namespace turbo::net {
+
+struct RemoteShardConfig {
+  Endpoint endpoint;
+  RpcClientConfig rpc;  // endpoint/method_name filled in by the client
+};
+
+class RemoteShardClient final : public server::ShardHandle {
+ public:
+  explicit RemoteShardClient(RemoteShardConfig config);
+
+  void Ingest(const BehaviorLog& log) override;
+  bool OfferIngest(const BehaviorLog& log) override;
+  size_t DrainIngest(size_t max_events) override;
+  size_t ingest_queue_depth() override;
+  void AdvanceTo(SimTime now) override;
+  Status Checkpoint() override;
+  Status Recover() override;
+  bn::Subgraph SampleSubgraph(UserId uid) override;
+  uint64_t snapshot_version() override;
+  SimTime now() override;
+  uint64_t TotalEdges() override;
+
+  /// Batch ingest (one RPC for the whole list).
+  void IngestBatch(const BehaviorLogList& logs);
+
+  /// Remote prediction (requires the shard service to host a
+  /// PredictionServer).
+  Result<server::PredictionResponse> Predict(UserId uid);
+
+  RpcClient& client() { return client_; }
+
+ private:
+  Result<std::string> Call(ShardMethod method, std::string_view body,
+                           bool idempotent);
+
+  RpcClient client_;
+};
+
+}  // namespace turbo::net

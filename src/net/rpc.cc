@@ -1,0 +1,338 @@
+#include "net/rpc.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "storage/checkpoint_io.h"
+#include "util/string_util.h"
+#include "util/time_util.h"
+
+namespace turbo::net {
+
+namespace {
+
+constexpr size_t kReadChunk = 64 * 1024;
+
+std::string EncodeRequest(uint64_t request_id, uint8_t method,
+                          std::string_view body) {
+  storage::BinaryWriter w;
+  w.U64(request_id);
+  w.U8(method);
+  w.Bytes(body.data(), body.size());
+  return EncodeFrame(kRequestFrame, w.data());
+}
+
+std::string EncodeResponse(uint64_t request_id, const Status& status,
+                           std::string_view body) {
+  storage::BinaryWriter w;
+  w.U64(request_id);
+  w.U32(static_cast<uint32_t>(status.code()));
+  w.String(status.message());
+  w.Bytes(body.data(), body.size());
+  return EncodeFrame(kResponseFrame, w.data());
+}
+
+/// Reads frames off `conn` until one complete frame decodes. EOF before
+/// a full frame is NotFound (clean close), corruption is Internal.
+Status ReadFrame(TcpConn* conn, FrameDecoder* decoder, Frame* frame,
+                 int deadline_ms, obs::Counter* bytes_received) {
+  while (true) {
+    switch (decoder->Next(frame)) {
+      case FrameDecoder::Event::kFrame:
+        return Status::OK();
+      case FrameDecoder::Event::kCorrupt:
+        return Status::Internal(
+            StrFormat("corrupt frame: %s", decoder->error().c_str()));
+      case FrameDecoder::Event::kNeedMore:
+        break;
+    }
+    char buf[kReadChunk];
+    auto n_or = conn->ReadSome(buf, sizeof(buf), deadline_ms);
+    if (!n_or.ok()) return n_or.status();
+    const size_t n = n_or.value();
+    if (n == 0) {
+      // Clean EOF. Mid-frame it is a torn stream, but still a *clean*
+      // outcome: the peer died, nothing decoded wrong.
+      return Status::NotFound(decoder->buffered() == 0
+                                  ? "peer closed"
+                                  : "peer closed mid-frame");
+    }
+    if (bytes_received != nullptr) bytes_received->Increment(n);
+    decoder->Feed(std::string_view(buf, n));
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Server
+
+RpcServer::RpcServer(RpcServerConfig config, RpcHandler handler)
+    : config_(std::move(config)), handler_(std::move(handler)) {
+  if (config_.metrics != nullptr) {
+    metrics_ = config_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  requests_ = metrics_->GetCounter("net_server_requests_total");
+  bytes_received_ = metrics_->GetCounter("net_bytes_received_total");
+  bytes_sent_ = metrics_->GetCounter("net_bytes_sent_total");
+  frame_corrupt_ = metrics_->GetCounter("net_frame_corrupt_total");
+  errors_ = metrics_->GetCounter("net_rpc_errors_total");
+  connections_g_ = metrics_->GetGauge("net_server_connections");
+}
+
+Result<std::unique_ptr<RpcServer>> RpcServer::Start(RpcServerConfig config,
+                                                    RpcHandler handler) {
+  auto listener_or = TcpListener::Listen(config.endpoint);
+  if (!listener_or.ok()) return listener_or.status();
+  std::unique_ptr<RpcServer> server(
+      new RpcServer(std::move(config), std::move(handler)));
+  server->listener_ = listener_or.take();
+  server->accept_thread_ = std::thread([s = server.get()] {
+    s->AcceptLoop();
+  });
+  return server;
+}
+
+RpcServer::~RpcServer() { Stop(); }
+
+void RpcServer::Stop() {
+  if (stopping_.exchange(true)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  CloseConnections();
+  // The accept loop polls with a finite deadline and rechecks
+  // stopping_, so it exits on its own; only after the join is the
+  // listener fd safe to close (no thread left polling it).
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_->Close();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads.swap(threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void RpcServer::CloseConnections() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Shutdown, not Close: each serving thread owns its conn's fd and is
+  // the only closer — shutdown() wakes it to clean up itself, so a kill
+  // can never yank (and let the OS reuse) a descriptor mid-recv.
+  for (auto& conn : conns_) conn->Shutdown();
+}
+
+void RpcServer::AcceptLoop() {
+  // Finite poll so a stop request is noticed without anyone having to
+  // close the listener fd out from under this thread.
+  constexpr int kAcceptPollMs = 50;
+  while (!stopping_.load()) {
+    auto conn_or = listener_->Accept(kAcceptPollMs);
+    if (!conn_or.ok()) {
+      if (stopping_.load()) return;
+      continue;  // poll deadline or transient accept failure
+    }
+    std::shared_ptr<TcpConn> conn(conn_or.take().release());
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_.load()) {
+      conn->Close();
+      return;
+    }
+    // Reap finished connections opportunistically so a long-lived
+    // server does not accumulate dead entries.
+    std::erase_if(conns_, [](const std::shared_ptr<TcpConn>& c) {
+      return c->closed();
+    });
+    conns_.push_back(conn);
+    connections_g_->Set(static_cast<double>(conns_.size()));
+    threads_.emplace_back(
+        [this, conn = std::move(conn)] { ServeConn(conn); });
+  }
+}
+
+void RpcServer::ServeConn(std::shared_ptr<TcpConn> conn) {
+  FrameDecoder decoder(config_.frame_limits);
+  while (!stopping_.load()) {
+    Frame frame;
+    // Idle wait has no deadline: a quiet client is not a dead client.
+    const Status s = ReadFrame(conn.get(), &decoder, &frame,
+                               /*deadline_ms=*/-1, bytes_received_);
+    if (!s.ok()) {
+      if (s.code() == StatusCode::kInternal) {
+        // Corruption: the stream lost byte-sync; drop the peer.
+        frame_corrupt_->Increment();
+      }
+      break;
+    }
+    if (frame.type != kRequestFrame) {
+      frame_corrupt_->Increment();
+      break;
+    }
+    storage::BinaryReader r(frame.payload);
+    const uint64_t request_id = r.U64();
+    const uint8_t method = r.U8();
+    if (!r.ok()) {
+      frame_corrupt_->Increment();
+      break;
+    }
+    const std::string_view body(
+        frame.payload.data() + (frame.payload.size() - r.remaining()),
+        r.remaining());
+    requests_->Increment();
+    Result<std::string> result = handler_(method, body);
+    if (!result.ok()) errors_->Increment();
+    const std::string response =
+        result.ok() ? EncodeResponse(request_id, Status::OK(),
+                                     result.value())
+                    : EncodeResponse(request_id, result.status(), {});
+    const Status ws = conn->WriteAll(response.data(), response.size(),
+                                     config_.write_deadline_ms);
+    if (!ws.ok()) break;
+    bytes_sent_->Increment(response.size());
+  }
+  conn->Close();
+}
+
+// ---------------------------------------------------------------------
+// Client
+
+RpcClient::RpcClient(RpcClientConfig config)
+    : config_(std::move(config)), decoder_(config_.frame_limits) {
+  if (config_.metrics != nullptr) {
+    metrics_ = config_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  bytes_sent_ = metrics_->GetCounter("net_bytes_sent_total");
+  bytes_received_ = metrics_->GetCounter("net_bytes_received_total");
+  reconnects_ = metrics_->GetCounter("net_reconnects_total");
+  errors_ = metrics_->GetCounter("net_rpc_errors_total");
+  latency_ms_ = metrics_->GetHistogram("net_rpc_latency_ms");
+}
+
+RpcClient::~RpcClient() = default;
+
+std::string RpcClient::MethodName(uint8_t method) const {
+  if (config_.method_name) return config_.method_name(method);
+  return StrFormat("method%u", static_cast<unsigned>(method));
+}
+
+void RpcClient::DebugDropConnection() {
+  if (conn_ != nullptr) {
+    conn_->Close();
+    conn_.reset();
+  }
+}
+
+Status RpcClient::EnsureConnected() {
+  if (conn_ != nullptr) return Status::OK();
+  auto conn_or =
+      TcpConn::Connect(config_.endpoint, config_.connect_deadline_ms);
+  if (!conn_or.ok()) return conn_or.status();
+  conn_ = conn_or.take();
+  decoder_ = FrameDecoder(config_.frame_limits);
+  if (ever_connected_) reconnects_->Increment();
+  ever_connected_ = true;
+  return Status::OK();
+}
+
+Result<std::string> RpcClient::CallOnce(uint8_t method,
+                                        std::string_view body,
+                                        uint64_t request_id, bool* sent) {
+  *sent = false;
+  TURBO_RETURN_IF_ERROR(EnsureConnected());
+  const std::string request = EncodeRequest(request_id, method, body);
+  *sent = true;  // from here on, bytes may have reached the peer
+  Status s = conn_->WriteAll(request.data(), request.size(),
+                             config_.write_deadline_ms);
+  if (!s.ok()) {
+    conn_.reset();
+    return s;
+  }
+  bytes_sent_->Increment(request.size());
+  Frame frame;
+  s = ReadFrame(conn_.get(), &decoder_, &frame, config_.read_deadline_ms,
+                bytes_received_);
+  if (!s.ok()) {
+    conn_.reset();
+    // EOF and corruption both mean "this call produced no response";
+    // surface them as the retryable class — the request's fate is
+    // unknown either way, and `idempotent` decides whether to retry.
+    return Status::Unavailable(
+        StrFormat("rpc %s: %s", MethodName(method).c_str(),
+                  s.ToString().c_str()));
+  }
+  if (frame.type != kResponseFrame) {
+    conn_.reset();
+    return Status::Unavailable("rpc: unexpected frame type");
+  }
+  storage::BinaryReader r(frame.payload);
+  const uint64_t echoed_id = r.U64();
+  const uint32_t code = r.U32();
+  const std::string message = r.String();
+  if (!r.ok() || echoed_id != request_id) {
+    conn_.reset();
+    return Status::Unavailable("rpc: response desynchronized");
+  }
+  if (code != static_cast<uint32_t>(StatusCode::kOk)) {
+    return Status(static_cast<StatusCode>(code), message);
+  }
+  return std::string(
+      frame.payload.data() + (frame.payload.size() - r.remaining()),
+      r.remaining());
+}
+
+Result<std::string> RpcClient::Call(uint8_t method, std::string_view body,
+                                    bool idempotent) {
+  auto it = method_ms_.find(method);
+  if (it == method_ms_.end()) {
+    it = method_ms_
+             .emplace(method,
+                      metrics_->GetHistogram(obs::LabeledMetricName(
+                          "net_rpc", MethodName(method), "ms")))
+             .first;
+  }
+  Stopwatch sw;
+  int backoff_ms = config_.backoff_initial_ms;
+  Status last = Status::OK();
+  for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, config_.backoff_max_ms);
+    }
+    bool sent = false;
+    Result<std::string> result =
+        CallOnce(method, body, next_request_id_++, &sent);
+    if (result.ok()) {
+      const double ms = sw.ElapsedMillis();
+      latency_ms_->Observe(ms);
+      it->second->Observe(ms);
+      return result;
+    }
+    last = result.status();
+    if (!last.IsUnavailable()) {
+      // A definite remote answer (InvalidArgument, FailedPrecondition,
+      // ...) — retrying cannot change it.
+      errors_->Increment();
+      return last;
+    }
+    if (sent && !idempotent) {
+      // The request may have been applied; retrying could double-apply.
+      errors_->Increment();
+      return last;
+    }
+  }
+  errors_->Increment();
+  return Status::Unavailable(
+      StrFormat("rpc %s: retries exhausted (%s)",
+                MethodName(method).c_str(), last.message().c_str()));
+}
+
+}  // namespace turbo::net

@@ -1,0 +1,190 @@
+// Framed request/response RPC over blocking sockets (DESIGN.md §15).
+//
+// Wire protocol: every message is one net::Frame. A request frame
+// (type kRequestFrame) carries
+//
+//   u64 request_id | u8 method | body bytes
+//
+// and its response (type kResponseFrame) echoes
+//
+//   u64 request_id | u32 status_code | string message | body bytes
+//
+// Handlers return Result<std::string>: an error Status travels back as
+// (status_code, message) and is rethrown as the client call's Status —
+// remote failures are indistinguishable from local ones to the caller.
+//
+// Connection model: the client holds one connection and runs one call
+// at a time (callers serialize; ShardRouter's writer thread is the
+// natural owner). The server accepts N connections, one handler thread
+// each; writer-side serialization is the *service's* job (see
+// net::ShardService), not the transport's.
+//
+// Failure semantics:
+//  * Connect failures and timeouts are Status::Unavailable. Call()
+//    retries them with bounded exponential backoff — but only while the
+//    request was provably never handed to the peer (connect/send of
+//    byte 0 failed), or when the caller marked the method idempotent.
+//    A non-idempotent request that died after send returns Unavailable
+//    to the caller, who owns the double-apply decision.
+//  * A corrupt frame (CRC mismatch) kills the connection on either
+//    side: the server drops the peer (net_frame_corrupt_total), the
+//    client reconnects on the next call (net_reconnects_total).
+//
+// Metrics (registry passed in the configs): net_rpc_latency_ms,
+// net_rpc_<method>_ms, net_bytes_sent_total, net_bytes_received_total,
+// net_reconnects_total, net_rpc_errors_total, net_frame_corrupt_total,
+// net_server_connections.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/socket.h"
+#include "obs/metrics.h"
+
+namespace turbo::net {
+
+inline constexpr uint8_t kRequestFrame = 1;
+inline constexpr uint8_t kResponseFrame = 2;
+
+/// Handles one decoded request: (method, body) -> response body or
+/// error. Invoked on the connection's handler thread.
+using RpcHandler =
+    std::function<Result<std::string>(uint8_t method, std::string_view body)>;
+
+/// Human-readable method name for metrics/spans; falls back to
+/// "method<N>" when the dispatcher has no name table.
+using MethodNameFn = std::function<std::string(uint8_t method)>;
+
+struct RpcServerConfig {
+  Endpoint endpoint;  // port 0 = ephemeral
+  /// Per-read deadline while a request is in flight; an idle connection
+  /// waits forever (<= 0 would also mean forever mid-request).
+  int read_deadline_ms = 30'000;
+  int write_deadline_ms = 30'000;
+  FrameLimits frame_limits;
+  obs::MetricsRegistry* metrics = nullptr;  // not owned; null = private
+  MethodNameFn method_name;
+};
+
+class RpcServer {
+ public:
+  /// Binds and starts the accept loop. `handler` runs on per-connection
+  /// threads and must be thread-safe.
+  static Result<std::unique_ptr<RpcServer>> Start(RpcServerConfig config,
+                                                  RpcHandler handler);
+  ~RpcServer();
+
+  /// Stops accepting, kills every live connection, joins all threads.
+  /// Idempotent.
+  void Stop();
+
+  /// Chaos hook: shuts down every currently live connection (clients
+  /// see EOF/reset mid-call and must reconnect; each serving thread
+  /// wakes and closes its own fd). The server keeps accepting.
+  void CloseConnections();
+
+  uint16_t port() const { return listener_->port(); }
+  Endpoint endpoint() const { return listener_->endpoint(); }
+  const obs::MetricsRegistry& metrics() const { return *metrics_; }
+
+ private:
+  RpcServer(RpcServerConfig config, RpcHandler handler);
+
+  void AcceptLoop();
+  void ServeConn(std::shared_ptr<TcpConn> conn);
+
+  RpcServerConfig config_;
+  RpcHandler handler_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* requests_ = nullptr;
+  obs::Counter* bytes_received_ = nullptr;
+  obs::Counter* bytes_sent_ = nullptr;
+  obs::Counter* frame_corrupt_ = nullptr;
+  obs::Counter* errors_ = nullptr;
+  obs::Gauge* connections_g_ = nullptr;
+
+  std::unique_ptr<TcpListener> listener_;
+  std::thread accept_thread_;
+  std::mutex mu_;  // guards conns_ + threads_
+  std::vector<std::shared_ptr<TcpConn>> conns_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> stopping_{false};
+};
+
+struct RpcClientConfig {
+  Endpoint endpoint;
+  int connect_deadline_ms = 2'000;
+  int read_deadline_ms = 30'000;
+  int write_deadline_ms = 30'000;
+  /// Bounded retry of Unavailable failures: total attempts = 1 +
+  /// max_retries, sleeping backoff_initial_ms * 2^k (capped at
+  /// backoff_max_ms) between them.
+  int max_retries = 3;
+  int backoff_initial_ms = 5;
+  int backoff_max_ms = 200;
+  FrameLimits frame_limits;
+  obs::MetricsRegistry* metrics = nullptr;  // not owned; null = private
+  MethodNameFn method_name;
+};
+
+class RpcClient {
+ public:
+  explicit RpcClient(RpcClientConfig config);
+  ~RpcClient();
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  /// One request/response round trip. `idempotent` controls whether a
+  /// failure *after* the request hit the wire may be retried on a fresh
+  /// connection (reads, cursor queries, offset-checked appends) or must
+  /// surface to the caller (ingest — applying twice would double
+  /// weights). Calls are serialized by the owning thread.
+  Result<std::string> Call(uint8_t method, std::string_view body,
+                           bool idempotent = false);
+
+  /// True after at least one successful round trip on the current
+  /// connection.
+  bool connected() const { return conn_ != nullptr; }
+
+  /// Chaos hook: drops the current connection so the next Call must
+  /// reconnect (counted in net_reconnects_total).
+  void DebugDropConnection();
+
+  const obs::MetricsRegistry& metrics() const { return *metrics_; }
+  const Endpoint& endpoint() const { return config_.endpoint; }
+
+ private:
+  Status EnsureConnected();
+  /// One attempt on the current connection; `sent` reports whether any
+  /// request byte may have reached the peer.
+  Result<std::string> CallOnce(uint8_t method, std::string_view body,
+                               uint64_t request_id, bool* sent);
+  std::string MethodName(uint8_t method) const;
+
+  RpcClientConfig config_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* bytes_sent_ = nullptr;
+  obs::Counter* bytes_received_ = nullptr;
+  obs::Counter* reconnects_ = nullptr;
+  obs::Counter* errors_ = nullptr;
+  obs::Histogram* latency_ms_ = nullptr;
+  std::map<uint8_t, obs::Histogram*> method_ms_;
+
+  std::unique_ptr<TcpConn> conn_;
+  FrameDecoder decoder_;
+  uint64_t next_request_id_ = 1;
+  bool ever_connected_ = false;
+};
+
+}  // namespace turbo::net

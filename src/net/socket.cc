@@ -1,0 +1,277 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace turbo::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+/// Remaining budget for a poll() call: -1 = block, >= 0 = wait that
+/// long. `deadline_at` < 0 means "no deadline".
+int PollBudget(int64_t deadline_at) {
+  if (deadline_at < 0) return -1;
+  const int64_t left = deadline_at - NowMs();
+  return left <= 0 ? 0 : static_cast<int>(left);
+}
+
+int64_t DeadlineAt(int deadline_ms) {
+  return deadline_ms <= 0 ? -1 : NowMs() + deadline_ms;
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::Internal(
+        StrFormat("fcntl(O_NONBLOCK): %s", std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+/// Waits for `events` on `fd`. Unavailable on timeout.
+Status PollFor(int fd, short events, int64_t deadline_at,
+               const char* what) {
+  while (true) {
+    struct pollfd pfd {};
+    pfd.fd = fd;
+    pfd.events = events;
+    const int rc = poll(&pfd, 1, PollBudget(deadline_at));
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(
+          StrFormat("poll(%s): %s", what, std::strerror(errno)));
+    }
+    if (rc == 0) {
+      return Status::Unavailable(StrFormat("%s deadline expired", what));
+    }
+    return Status::OK();
+  }
+}
+
+Status ParseAddr(const Endpoint& endpoint, sockaddr_in* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(endpoint.port);
+  if (inet_pton(AF_INET, endpoint.host.c_str(), &addr->sin_addr) != 1) {
+    return Status::InvalidArgument(
+        StrFormat("bad IPv4 address '%s'", endpoint.host.c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string Endpoint::ToString() const {
+  return StrFormat("%s:%u", host.c_str(), static_cast<unsigned>(port));
+}
+
+TcpConn::TcpConn(int fd) : fd_(fd) {
+  sockaddr_in local{};
+  socklen_t len = sizeof(local);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&local), &len) == 0) {
+    local_port_ = ntohs(local.sin_port);
+  }
+  // Request/response RPC wants the request on the wire now, not when
+  // Nagle feels like it.
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+TcpConn::~TcpConn() { Close(); }
+
+void TcpConn::Shutdown() {
+  std::lock_guard<std::mutex> lock(close_mu_);
+  const int fd = fd_.load();
+  // shutdown() wakes a thread blocked in poll() on this fd with
+  // POLLHUP; the fd stays open (and so cannot be reused) until the
+  // owning thread notices and Close()s it.
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+void TcpConn::Close() {
+  std::lock_guard<std::mutex> lock(close_mu_);
+  const int fd = fd_.exchange(-1);
+  if (fd < 0) return;
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+}
+
+Result<std::unique_ptr<TcpConn>> TcpConn::Connect(const Endpoint& endpoint,
+                                                  int deadline_ms) {
+  sockaddr_in addr{};
+  TURBO_RETURN_IF_ERROR(ParseAddr(endpoint, &addr));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(
+        StrFormat("socket(): %s", std::strerror(errno)));
+  }
+  Status s = SetNonBlocking(fd);
+  if (!s.ok()) {
+    ::close(fd);
+    return s;
+  }
+  const int64_t deadline_at = DeadlineAt(deadline_ms);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0 && errno == EINPROGRESS) {
+    s = PollFor(fd, POLLOUT, deadline_at, "connect");
+    if (s.ok()) {
+      int err = 0;
+      socklen_t len = sizeof(err);
+      if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 ||
+          err != 0) {
+        s = Status::Unavailable(
+            StrFormat("connect to %s: %s", endpoint.ToString().c_str(),
+                      std::strerror(err != 0 ? err : errno)));
+      }
+    }
+  } else if (rc < 0) {
+    s = Status::Unavailable(
+        StrFormat("connect to %s: %s", endpoint.ToString().c_str(),
+                  std::strerror(errno)));
+  }
+  if (!s.ok()) {
+    ::close(fd);
+    return s;
+  }
+  return std::unique_ptr<TcpConn>(new TcpConn(fd));
+}
+
+Status TcpConn::WriteAll(const void* p, size_t n, int deadline_ms) {
+  const char* bytes = static_cast<const char*>(p);
+  const int64_t deadline_at = DeadlineAt(deadline_ms);
+  size_t sent = 0;
+  while (sent < n) {
+    const int fd = fd_.load();
+    if (fd < 0) return Status::Unavailable("connection closed");
+    const ssize_t rc = ::send(fd, bytes + sent, n - sent, MSG_NOSIGNAL);
+    if (rc > 0) {
+      sent += static_cast<size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      TURBO_RETURN_IF_ERROR(PollFor(fd, POLLOUT, deadline_at, "write"));
+      continue;
+    }
+    return Status::Unavailable(
+        StrFormat("send: %s", std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Result<size_t> TcpConn::ReadSome(void* p, size_t cap, int deadline_ms) {
+  const int64_t deadline_at = DeadlineAt(deadline_ms);
+  while (true) {
+    const int fd = fd_.load();
+    if (fd < 0) return Status::Unavailable("connection closed");
+    const ssize_t rc = ::recv(fd, p, cap, 0);
+    if (rc > 0) return static_cast<size_t>(rc);
+    if (rc == 0) return static_cast<size_t>(0);  // clean EOF
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      TURBO_RETURN_IF_ERROR(PollFor(fd, POLLIN, deadline_at, "read"));
+      continue;
+    }
+    return Status::Unavailable(
+        StrFormat("recv: %s", std::strerror(errno)));
+  }
+}
+
+TcpListener::TcpListener(int fd, std::string host, uint16_t port)
+    : fd_(fd), host_(std::move(host)), port_(port) {}
+
+TcpListener::~TcpListener() { Close(); }
+
+void TcpListener::Close() {
+  const int fd = fd_.exchange(-1);
+  if (fd < 0) return;
+  ::close(fd);
+}
+
+Result<std::unique_ptr<TcpListener>> TcpListener::Listen(
+    const Endpoint& endpoint) {
+  sockaddr_in addr{};
+  TURBO_RETURN_IF_ERROR(ParseAddr(endpoint, &addr));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(
+        StrFormat("socket(): %s", std::strerror(errno)));
+  }
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status s = Status::Internal(
+        StrFormat("bind %s: %s", endpoint.ToString().c_str(),
+                  std::strerror(errno)));
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, 64) < 0) {
+    const Status s = Status::Internal(
+        StrFormat("listen: %s", std::strerror(errno)));
+    ::close(fd);
+    return s;
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    const Status s = Status::Internal(
+        StrFormat("getsockname: %s", std::strerror(errno)));
+    ::close(fd);
+    return s;
+  }
+  const Status s = SetNonBlocking(fd);
+  if (!s.ok()) {
+    ::close(fd);
+    return s;
+  }
+  return std::unique_ptr<TcpListener>(
+      new TcpListener(fd, endpoint.host, ntohs(addr.sin_port)));
+}
+
+Result<std::unique_ptr<TcpConn>> TcpListener::Accept(int deadline_ms) {
+  const int64_t deadline_at = DeadlineAt(deadline_ms);
+  while (true) {
+    const int fd = fd_.load();
+    if (fd < 0) return Status::Unavailable("listener closed");
+    const int conn = ::accept(fd, nullptr, nullptr);
+    if (conn >= 0) {
+      const Status s = SetNonBlocking(conn);
+      if (!s.ok()) {
+        ::close(conn);
+        return s;
+      }
+      return std::unique_ptr<TcpConn>(new TcpConn(conn));
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      TURBO_RETURN_IF_ERROR(PollFor(fd, POLLIN, deadline_at, "accept"));
+      continue;
+    }
+    return Status::Unavailable(
+        StrFormat("accept: %s", std::strerror(errno)));
+  }
+}
+
+}  // namespace turbo::net

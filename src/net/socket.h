@@ -1,0 +1,116 @@
+// Minimal blocking-socket layer for the cluster transport (DESIGN.md
+// §15): an IPv4 TCP listener and a connection with per-operation
+// deadlines. Everything is Status-returning and EINTR-safe; deadlines
+// are enforced with poll() over a non-blocking fd, so a dead peer turns
+// into Status::Unavailable after the configured wait instead of a hung
+// thread.
+//
+// The layer is deliberately small: loopback-heavy test/bench topologies
+// and single-datacenter deployments need reliable byte pipes with
+// timeouts, not an async reactor. One thread owns a TcpConn at a time;
+// Shutdown() from another thread is the one sanctioned cross-thread
+// call (it shutdown()s the fd without closing it, waking any blocked
+// poll — how RpcServer::Stop and the chaos tests kill in-flight
+// connections). Only the owning thread ever close()s the fd: a
+// cross-thread close would race the owner's recv/send and could hand a
+// reused descriptor to the wrong connection.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "util/status.h"
+
+namespace turbo::net {
+
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+
+  std::string ToString() const;
+};
+
+/// One established TCP connection. Movable via unique_ptr only.
+class TcpConn {
+ public:
+  ~TcpConn();
+  TcpConn(const TcpConn&) = delete;
+  TcpConn& operator=(const TcpConn&) = delete;
+
+  /// Connects to `endpoint`, waiting at most `deadline_ms` (<= 0 means
+  /// block indefinitely). Refused/unreachable/timeout all map to
+  /// Status::Unavailable — the retryable class.
+  static Result<std::unique_ptr<TcpConn>> Connect(const Endpoint& endpoint,
+                                                  int deadline_ms);
+
+  /// Writes all `n` bytes, waiting at most `deadline_ms` total (<= 0
+  /// blocks). Partial progress before a timeout still fails the call —
+  /// the frame layer treats the stream as torn.
+  Status WriteAll(const void* p, size_t n, int deadline_ms);
+
+  /// Reads 1..`cap` bytes into `p`; returns the count, 0 on clean EOF.
+  /// Timeout and peer reset map to Status::Unavailable.
+  Result<size_t> ReadSome(void* p, size_t cap, int deadline_ms);
+
+  /// Shuts the socket down (both directions) without closing the fd:
+  /// a blocked ReadSome / WriteAll on the owning thread wakes and fails
+  /// with EOF / Unavailable. Safe from any thread; idempotent. The fd
+  /// itself stays valid until the owner calls Close() (or the
+  /// destructor runs), so no reader can ever see a reused descriptor.
+  void Shutdown();
+
+  /// Shuts down and closes the fd. Owner-side only: must not run
+  /// concurrently with ReadSome / WriteAll on another thread — use
+  /// Shutdown() for cross-thread kills. Idempotent.
+  void Close();
+
+  bool closed() const { return fd_.load() < 0; }
+  /// Local port of this connection (diagnostics).
+  uint16_t local_port() const { return local_port_; }
+
+ private:
+  friend class TcpListener;
+  explicit TcpConn(int fd);
+
+  std::atomic<int> fd_{-1};
+  std::mutex close_mu_;  // serializes Shutdown() against Close()
+  uint16_t local_port_ = 0;
+};
+
+/// Listening socket bound to 127.0.0.1 (or `host`). Port 0 binds an
+/// ephemeral port, readable back through port().
+class TcpListener {
+ public:
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  static Result<std::unique_ptr<TcpListener>> Listen(
+      const Endpoint& endpoint);
+
+  /// Blocks until a peer connects or `deadline_ms` expires (then
+  /// Unavailable; <= 0 blocks indefinitely). The accept loop polls with
+  /// a finite deadline and rechecks its stop flag, so nothing ever
+  /// needs to close this fd out from under a blocked Accept.
+  Result<std::unique_ptr<TcpConn>> Accept(int deadline_ms = -1);
+
+  /// Closes the listening fd. Owner-side only: call after the accepting
+  /// thread has exited (joined), never concurrently with a blocked
+  /// Accept. Idempotent.
+  void Close();
+
+  uint16_t port() const { return port_; }
+  Endpoint endpoint() const { return Endpoint{host_, port_}; }
+
+ private:
+  TcpListener(int fd, std::string host, uint16_t port);
+
+  std::atomic<int> fd_{-1};
+  std::string host_;
+  uint16_t port_ = 0;
+};
+
+}  // namespace turbo::net

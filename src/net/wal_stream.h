@@ -1,0 +1,111 @@
+// Streaming WAL ship over the framed RPC layer (DESIGN.md §15): the
+// primary runs the incremental ship algorithm (storage::ShipWal) with
+// an RpcWalShipSink, pushing segment tails in chunks and checkpoint
+// re-copies to a WalSinkService on the standby's host, which applies
+// them to the local replica directory through storage::LocalDirSink.
+//
+// Cursor protocol: the sink's Stat/ListFiles responses ARE the
+// standby's ack — each ship round first asks the receiver what it
+// holds (per-file size = the shipped cursor), then sends only the
+// bytes past it. The primary keeps no shipping state, so a restarted
+// primary, a retried RPC, or a re-attached standby all converge by
+// construction.
+//
+// Failure semantics:
+//  * A connection killed mid-ship leaves at most one torn chunk in the
+//    replica segment — exactly the torn-tail shape the standby's
+//    replay already waits on; the next ship round re-stats and resumes
+//    at the replica's true size.
+//  * AppendAt is offset-checked receiver-side, so a duplicated append
+//    (client retry after a lost response) lands as a verified no-op and
+//    a gap or divergence fails FailedPrecondition instead of silently
+//    corrupting the replica.
+//  * The standby detects sequence gaps (it fell behind a checkpoint
+//    rotation) in WarmStandby::CatchUp exactly as with local shipping
+//    and initiates Rebootstrap() from the shipped checkpoint.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/rpc.h"
+#include "storage/wal_ship.h"
+
+namespace turbo::net {
+
+/// Method ids of the WAL-ship sink surface. Disjoint from ShardMethod
+/// so one dispatcher can serve both.
+enum class WalSinkMethod : uint8_t {
+  kStat = 32,
+  kAppendAt = 33,
+  kWriteAtomic = 34,
+  kDelete = 35,
+  kListFiles = 36,
+};
+
+struct WalSinkServiceConfig {
+  Endpoint endpoint;  // port 0 = ephemeral
+  /// Replica directory the shipped files land in (the standby's
+  /// WarmStandbyConfig::replica_dir).
+  std::string replica_dir;
+  int read_deadline_ms = 30'000;
+  int write_deadline_ms = 30'000;
+  FrameLimits frame_limits;
+  obs::MetricsRegistry* metrics = nullptr;  // not owned; null = private
+};
+
+/// Standby-host receiver: serves the WalSinkMethod surface over a
+/// storage::LocalDirSink rooted at replica_dir. The replay thread
+/// (WarmStandby) reads the same directory between ship rounds.
+class WalSinkService {
+ public:
+  static Result<std::unique_ptr<WalSinkService>> Start(
+      WalSinkServiceConfig config);
+  ~WalSinkService();
+
+  void Stop();
+  /// Chaos hook: hard-closes live connections mid-ship.
+  void CloseConnections();
+
+  Endpoint endpoint() const { return rpc_->endpoint(); }
+  uint16_t port() const { return rpc_->port(); }
+  const obs::MetricsRegistry& metrics() const { return rpc_->metrics(); }
+
+ private:
+  explicit WalSinkService(WalSinkServiceConfig config);
+  Result<std::string> Dispatch(uint8_t method, std::string_view body);
+
+  WalSinkServiceConfig config_;
+  storage::LocalDirSink sink_;
+  std::unique_ptr<RpcServer> rpc_;
+};
+
+/// Primary-side sink speaking WalSinkMethod over an RpcClient. Every
+/// operation is idempotent at the receiver (offset-checked appends,
+/// atomic writes, tolerant deletes), so all calls retry transparently
+/// through the client's backoff loop.
+class RpcWalShipSink final : public storage::WalShipSink {
+ public:
+  /// `client` is borrowed and used exclusively during ship calls (the
+  /// RPC client is single-call; the shipper is single-threaded).
+  explicit RpcWalShipSink(RpcClient* client) : client_(client) {}
+
+  Result<storage::WalShipFileStat> Stat(const std::string& name,
+                                        bool want_crc) override;
+  Status AppendAt(const std::string& name, uint64_t offset,
+                  std::string_view bytes) override;
+  Status WriteAtomic(const std::string& name,
+                     std::string_view bytes) override;
+  Status Delete(const std::string& name) override;
+  Result<std::vector<std::string>> ListFiles() override;
+
+ private:
+  RpcClient* client_;
+};
+
+/// One ship round of `src` into the remote replica behind `client`.
+Result<storage::WalShipStats> ShipWalOverRpc(
+    const std::string& src, RpcClient* client,
+    const storage::WalShipOptions& options = {});
+
+}  // namespace turbo::net

@@ -17,6 +17,17 @@ std::string ShardMetricName(const std::string& prefix, int shard,
                    what.c_str());
 }
 
+std::string LabeledMetricName(const std::string& prefix,
+                              const std::string& label,
+                              const std::string& what) {
+  std::string sanitized = label;
+  for (char& c : sanitized) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return StrFormat("%s_%s_%s", prefix.c_str(), sanitized.c_str(),
+                   what.c_str());
+}
+
 namespace {
 
 uint64_t Bits(double v) { return std::bit_cast<uint64_t>(v); }

@@ -38,6 +38,15 @@ namespace turbo::obs {
 std::string ShardMetricName(const std::string& prefix, int shard,
                             const std::string& what);
 
+/// Name of a string-labeled metric: "<prefix>_<label>_<what>" with any
+/// non-alphanumeric label character replaced by '_', e.g.
+/// ("net_rpc", "ingest", "ms") -> "net_rpc_ingest_ms". The same
+/// no-label-dimension workaround as ShardMetricName, for label sets that
+/// are small and fixed (RPC method names, not user ids).
+std::string LabeledMetricName(const std::string& prefix,
+                              const std::string& label,
+                              const std::string& what);
+
 /// Monotonically increasing event count.
 class Counter {
  public:

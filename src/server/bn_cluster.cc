@@ -7,6 +7,44 @@
 
 namespace turbo::server {
 
+// --- LocalShardHandle -------------------------------------------------
+
+void LocalShardHandle::Ingest(const BehaviorLog& log) {
+  server_->Ingest(log);
+}
+bool LocalShardHandle::OfferIngest(const BehaviorLog& log) {
+  return server_->OfferIngest(log);
+}
+size_t LocalShardHandle::DrainIngest(size_t max_events) {
+  return server_->DrainIngest(max_events);
+}
+size_t LocalShardHandle::ingest_queue_depth() {
+  return server_->ingest_queue_depth();
+}
+void LocalShardHandle::AdvanceTo(SimTime now) { server_->AdvanceTo(now); }
+Status LocalShardHandle::Checkpoint() {
+  TURBO_CHECK_MSG(!dir_.empty(),
+                  "LocalShardHandle::Checkpoint requires a shard dir");
+  return server_->Checkpoint(dir_);
+}
+Status LocalShardHandle::Recover() {
+  TURBO_CHECK_MSG(!dir_.empty(),
+                  "LocalShardHandle::Recover requires a shard dir");
+  return server_->Recover(dir_);
+}
+bn::Subgraph LocalShardHandle::SampleSubgraph(UserId uid) {
+  return server_->SampleSubgraph(uid);
+}
+uint64_t LocalShardHandle::snapshot_version() {
+  return server_->snapshot_version();
+}
+SimTime LocalShardHandle::now() { return server_->now(); }
+uint64_t LocalShardHandle::TotalEdges() {
+  return server_->edges().TotalEdges();
+}
+
+// --- BnCluster --------------------------------------------------------
+
 BnCluster::BnCluster(BnClusterConfig config)
     : config_(std::move(config)),
       router_([&] {
@@ -15,6 +53,39 @@ BnCluster::BnCluster(BnClusterConfig config)
         return ShardRouter(t);
       }()) {
   TURBO_CHECK_GT(config_.num_shards, 0);
+  shards_.reserve(config_.num_shards);
+  handles_.reserve(config_.num_shards);
+  for (int i = 0; i < config_.num_shards; ++i) {
+    BnServerConfig shard = config_.shard;
+    shard.bn.topology = router_.TopologyForShard(i);
+    shard.metrics = nullptr;  // private registry per shard
+    shard.wal_dir = config_.wal_root.empty()
+                        ? std::string()
+                        : ShardDir(config_.wal_root, i);
+    const std::string dir = shard.wal_dir;
+    shards_.push_back(std::make_unique<BnServer>(std::move(shard)));
+    handles_.push_back(
+        std::make_unique<LocalShardHandle>(shards_.back().get(), dir));
+  }
+  InitCommon();
+}
+
+BnCluster::BnCluster(BnClusterConfig config,
+                     std::vector<std::unique_ptr<ShardHandle>> handles)
+    : config_(std::move(config)),
+      router_([&] {
+        bn::ShardTopology t = config_.shard.bn.topology;
+        t.shard_count = static_cast<int>(handles.size());
+        return ShardRouter(t);
+      }()),
+      handles_(std::move(handles)) {
+  TURBO_CHECK_MSG(!handles_.empty(),
+                  "handle-mode BnCluster needs at least one shard");
+  config_.num_shards = static_cast<int>(handles_.size());
+  InitCommon();
+}
+
+void BnCluster::InitCommon() {
   if (config_.metrics != nullptr) {
     metrics_ = config_.metrics;
   } else {
@@ -25,23 +96,16 @@ BnCluster::BnCluster(BnClusterConfig config)
   forwarded_ = metrics_->GetCounter("bn_cluster_forwarded_total");
   offer_rejected_ = metrics_->GetCounter("bn_cluster_offer_rejected_total");
   epoch_g_ = metrics_->GetGauge("bn_cluster_epoch");
-  shards_.reserve(config_.num_shards);
-  for (int i = 0; i < config_.num_shards; ++i) {
-    BnServerConfig shard = config_.shard;
-    shard.bn.topology = router_.TopologyForShard(i);
-    shard.metrics = nullptr;  // private registry per shard
-    shard.wal_dir = config_.wal_root.empty()
-                        ? std::string()
-                        : ShardDir(config_.wal_root, i);
-    shards_.push_back(std::make_unique<BnServer>(std::move(shard)));
+  const int n = num_shards();
+  for (int i = 0; i < n; ++i) {
     shard_version_g_.push_back(metrics_->GetGauge(
         obs::ShardMetricName("bn_cluster", i, "snapshot_version")));
     shard_edges_g_.push_back(metrics_->GetGauge(
         obs::ShardMetricName("bn_cluster", i, "edges")));
   }
-  if (config_.advance_threads > 1 && config_.num_shards > 1) {
+  if (config_.advance_threads > 1 && n > 1) {
     advance_pool_ = std::make_unique<util::ThreadPool>(
-        std::min(config_.advance_threads, config_.num_shards));
+        std::min(config_.advance_threads, n));
   }
 }
 
@@ -51,10 +115,10 @@ std::string BnCluster::ShardDir(const std::string& root, int i) {
 
 void BnCluster::Ingest(const BehaviorLog& log) {
   const ShardRoute route = router_.Route(log);
-  shards_[route.user_shard]->Ingest(log);
+  handles_[route.user_shard]->Ingest(log);
   ingest_events_->Increment();
   if (route.forwarded()) {
-    shards_[route.value_shard]->Ingest(log);
+    handles_[route.value_shard]->Ingest(log);
     forwarded_->Increment();
   }
 }
@@ -65,12 +129,12 @@ void BnCluster::IngestBatch(const BehaviorLogList& logs) {
 
 bool BnCluster::OfferIngest(const BehaviorLog& log) {
   const ShardRoute route = router_.Route(log);
-  bool admitted = shards_[route.user_shard]->OfferIngest(log);
+  bool admitted = handles_[route.user_shard]->OfferIngest(log);
   if (route.forwarded()) {
     // Independent admission per shard: a shed forward loses that
     // value's edges for this log (overload semantics), never the home
     // copy's feature history.
-    admitted = shards_[route.value_shard]->OfferIngest(log) && admitted;
+    admitted = handles_[route.value_shard]->OfferIngest(log) && admitted;
   }
   if (!admitted) offer_rejected_->Increment();
   return admitted;
@@ -78,74 +142,76 @@ bool BnCluster::OfferIngest(const BehaviorLog& log) {
 
 size_t BnCluster::DrainIngest(size_t max_events_per_shard) {
   size_t applied = 0;
-  for (auto& shard : shards_) {
-    applied += shard->DrainIngest(max_events_per_shard);
+  for (auto& handle : handles_) {
+    applied += handle->DrainIngest(max_events_per_shard);
   }
   return applied;
 }
 
 size_t BnCluster::ingest_queue_depth() const {
   size_t depth = 0;
-  for (const auto& shard : shards_) depth += shard->ingest_queue_depth();
+  for (const auto& handle : handles_) depth += handle->ingest_queue_depth();
   return depth;
 }
 
 void BnCluster::AdvanceTo(SimTime now) {
   if (advance_pool_ != nullptr) {
-    advance_pool_->ParallelFor(shards_.size(), 1,
+    advance_pool_->ParallelFor(handles_.size(), 1,
                                [&](size_t begin, size_t end) {
                                  for (size_t i = begin; i < end; ++i) {
-                                   shards_[i]->AdvanceTo(now);
+                                   handles_[i]->AdvanceTo(now);
                                  }
                                });
   } else {
-    for (auto& shard : shards_) shard->AdvanceTo(now);
+    for (auto& handle : handles_) handle->AdvanceTo(now);
   }
   // All shards arrived: the epoch is complete and the per-shard gauges
   // describe one consistent cluster time.
   ++epoch_;
   epoch_g_->Set(static_cast<double>(epoch_));
-  for (size_t i = 0; i < shards_.size(); ++i) {
+  for (size_t i = 0; i < handles_.size(); ++i) {
     shard_version_g_[i]->Set(
-        static_cast<double>(shards_[i]->snapshot_version()));
+        static_cast<double>(handles_[i]->snapshot_version()));
     shard_edges_g_[i]->Set(
-        static_cast<double>(shards_[i]->edges().TotalEdges()));
+        static_cast<double>(handles_[i]->TotalEdges()));
   }
 }
 
 Status BnCluster::Checkpoint() {
-  TURBO_CHECK_MSG(!config_.wal_root.empty(),
-                  "BnCluster::Checkpoint requires wal_root");
-  for (int i = 0; i < num_shards(); ++i) {
-    TURBO_RETURN_IF_ERROR(
-        shards_[i]->Checkpoint(ShardDir(config_.wal_root, i)));
+  if (local()) {
+    TURBO_CHECK_MSG(!config_.wal_root.empty(),
+                    "BnCluster::Checkpoint requires wal_root");
+  }
+  for (auto& handle : handles_) {
+    TURBO_RETURN_IF_ERROR(handle->Checkpoint());
   }
   return Status::OK();
 }
 
 Status BnCluster::Recover() {
-  TURBO_CHECK_MSG(!config_.wal_root.empty(),
-                  "BnCluster::Recover requires wal_root");
-  for (int i = 0; i < num_shards(); ++i) {
-    TURBO_RETURN_IF_ERROR(
-        shards_[i]->Recover(ShardDir(config_.wal_root, i)));
+  if (local()) {
+    TURBO_CHECK_MSG(!config_.wal_root.empty(),
+                    "BnCluster::Recover requires wal_root");
+  }
+  for (auto& handle : handles_) {
+    TURBO_RETURN_IF_ERROR(handle->Recover());
   }
   return Status::OK();
 }
 
 bn::Subgraph BnCluster::SampleSubgraph(UserId uid) const {
-  return ShardForUser(uid).SampleSubgraph(uid);
+  return HandleForUser(uid).SampleSubgraph(uid);
 }
 
 uint64_t BnCluster::snapshot_version_for(UserId uid) const {
-  return ShardForUser(uid).snapshot_version();
+  return HandleForUser(uid).snapshot_version();
 }
 
 double BnCluster::EdgeWeight(int edge_type, UserId u, UserId v) const {
   // Exact double accumulation, shard-index order: each shard holds a
   // disjoint subset of the edge's (exactly representable) term sums.
   double w = 0.0;
-  for (const auto& shard : shards_) {
+  for (const auto& shard : CheckLocal()) {
     const auto& row = shard->edges().Neighbors(edge_type, u);
     auto it = row.find(v);
     if (it != row.end()) w += it->second.weight;
@@ -156,7 +222,7 @@ double BnCluster::EdgeWeight(int edge_type, UserId u, UserId v) const {
 SimTime BnCluster::EdgeLastUpdate(int edge_type, UserId u,
                                   UserId v) const {
   SimTime latest = 0;
-  for (const auto& shard : shards_) {
+  for (const auto& shard : CheckLocal()) {
     const auto& row = shard->edges().Neighbors(edge_type, u);
     auto it = row.find(v);
     if (it != row.end()) latest = std::max(latest, it->second.last_update);

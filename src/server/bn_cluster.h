@@ -41,7 +41,9 @@
 
 #include "server/bn_server.h"
 #include "server/prediction_server.h"
+#include "server/shard_handle.h"
 #include "server/shard_router.h"
+#include "util/check.h"
 #include "util/thread_pool.h"
 
 namespace turbo::server {
@@ -68,7 +70,19 @@ struct BnClusterConfig {
 
 class BnCluster {
  public:
+  /// Local mode: constructs `num_shards` in-process BnServers and
+  /// routes to them directly.
   explicit BnCluster(BnClusterConfig config);
+
+  /// Handle mode (DESIGN.md §15): routes to caller-provided shard
+  /// handles — typically net::RemoteShardClient per endpoint — instead
+  /// of in-process servers. `config.shard.bn.topology` still defines the
+  /// routing layout and must match what each remote shard was built
+  /// with; `config.num_shards`/`wal_root` are ignored (the handle count
+  /// is the shard count, durability lives with each shard). Local-only
+  /// accessors (shard(), EdgeWeight(), ...) CHECK-fail in this mode.
+  BnCluster(BnClusterConfig config,
+            std::vector<std::unique_ptr<ShardHandle>> handles);
 
   /// Writer-side ingestion: routes to the user-owner shard and, when
   /// the value owner differs, forwards a copy there (both appends go
@@ -94,7 +108,7 @@ class BnCluster {
 
   /// Epochs completed (AdvanceTo calls that moved the clock).
   uint64_t epoch() const { return epoch_; }
-  SimTime now() const { return shards_.front()->now(); }
+  SimTime now() const { return handles_.front()->now(); }
 
   /// Fan-out checkpoint/recover over `<wal_root>/shard-<i>` (requires
   /// wal_root). Recover must run on a freshly constructed cluster.
@@ -105,15 +119,22 @@ class BnCluster {
   bn::Subgraph SampleSubgraph(UserId uid) const;
   uint64_t snapshot_version_for(UserId uid) const;
 
-  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int num_shards() const { return static_cast<int>(handles_.size()); }
   const ShardRouter& router() const { return router_; }
-  BnServer& shard(int i) { return *shards_[i]; }
-  const BnServer& shard(int i) const { return *shards_[i]; }
+  /// True when the shards are in-process BnServers (local-mode
+  /// constructor); the accessors below require it.
+  bool local() const { return !shards_.empty(); }
+  BnServer& shard(int i) { return *CheckLocal()[i]; }
+  const BnServer& shard(int i) const { return *CheckLocal()[i]; }
   BnServer& ShardForUser(UserId uid) {
-    return *shards_[router_.OwnerOfUser(uid)];
+    return *CheckLocal()[router_.OwnerOfUser(uid)];
   }
   const BnServer& ShardForUser(UserId uid) const {
-    return *shards_[router_.OwnerOfUser(uid)];
+    return *CheckLocal()[router_.OwnerOfUser(uid)];
+  }
+  /// The routed handle for `uid`'s home shard (works in both modes).
+  ShardHandle& HandleForUser(UserId uid) const {
+    return *handles_[router_.OwnerOfUser(uid)];
   }
 
   /// Durability directory of shard `i` under `root`.
@@ -129,9 +150,22 @@ class BnCluster {
   const obs::MetricsRegistry& metrics() const { return *metrics_; }
 
  private:
+  /// Shared tail of both constructors: metric handles, per-shard
+  /// gauges, the advance pool.
+  void InitCommon();
+  const std::vector<std::unique_ptr<BnServer>>& CheckLocal() const {
+    TURBO_CHECK_MSG(!shards_.empty(),
+                    "local-shard accessor on a handle-mode BnCluster");
+    return shards_;
+  }
+
   BnClusterConfig config_;
   ShardRouter router_;
+  /// Local mode only; empty in handle mode.
   std::vector<std::unique_ptr<BnServer>> shards_;
+  /// Every operation routes through these (LocalShardHandle wrappers in
+  /// local mode).
+  std::vector<std::unique_ptr<ShardHandle>> handles_;
   std::unique_ptr<util::ThreadPool> advance_pool_;
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
   obs::MetricsRegistry* metrics_ = nullptr;

@@ -1,0 +1,70 @@
+// The cluster's view of one BN shard (DESIGN.md §15): the exact
+// operation set BnCluster needs to route, whether the shard is a
+// BnServer in this process (LocalShardHandle) or a socket endpoint
+// fronted by net::RemoteShardClient. The handle carries the cluster
+// contracts, not the transport: Ingest/AdvanceTo/Checkpoint/Recover are
+// cluster-writer operations and are serialized by the caller (locally)
+// or by the shard's service (remotely); SampleSubgraph and the gauges
+// may be called concurrently with the writer.
+//
+// Durability is shard-local: Checkpoint()/Recover() act on the
+// directory the shard itself is rooted in — a remote shard checkpoints
+// its *own* disk, the bytes never cross the wire (only the WAL ship
+// does that, see net/wal_stream.h).
+#pragma once
+
+#include "bn/sampler.h"
+#include "storage/behavior_log.h"
+#include "util/status.h"
+
+namespace turbo::server {
+
+class BnServer;
+
+class ShardHandle {
+ public:
+  virtual ~ShardHandle() = default;
+
+  virtual void Ingest(const BehaviorLog& log) = 0;
+  virtual bool OfferIngest(const BehaviorLog& log) = 0;
+  virtual size_t DrainIngest(size_t max_events) = 0;
+  virtual size_t ingest_queue_depth() = 0;
+  virtual void AdvanceTo(SimTime now) = 0;
+  virtual Status Checkpoint() = 0;
+  virtual Status Recover() = 0;
+  virtual bn::Subgraph SampleSubgraph(UserId uid) = 0;
+  virtual uint64_t snapshot_version() = 0;
+  virtual SimTime now() = 0;
+  /// Total edges currently held (the cluster's per-shard gauge).
+  virtual uint64_t TotalEdges() = 0;
+};
+
+/// In-process shard: forwards to a borrowed BnServer. `dir` is the
+/// shard's durability directory (empty = WAL-less, Checkpoint/Recover
+/// CHECK). Defined out of line in bn_cluster.cc to keep this header
+/// free of the BnServer dependency cycle.
+class LocalShardHandle final : public ShardHandle {
+ public:
+  LocalShardHandle(BnServer* server, std::string dir)
+      : server_(server), dir_(std::move(dir)) {}
+
+  void Ingest(const BehaviorLog& log) override;
+  bool OfferIngest(const BehaviorLog& log) override;
+  size_t DrainIngest(size_t max_events) override;
+  size_t ingest_queue_depth() override;
+  void AdvanceTo(SimTime now) override;
+  Status Checkpoint() override;
+  Status Recover() override;
+  bn::Subgraph SampleSubgraph(UserId uid) override;
+  uint64_t snapshot_version() override;
+  SimTime now() override;
+  uint64_t TotalEdges() override;
+
+  BnServer* server() { return server_; }
+
+ private:
+  BnServer* server_;
+  std::string dir_;
+};
+
+}  // namespace turbo::server

@@ -21,6 +21,11 @@ enum class StatusCode {
   kOutOfRange,
   kFailedPrecondition,
   kInternal,
+  /// Transient failure of a remote peer (connect refused, deadline
+  /// expired, connection reset). The only code net-layer retry loops
+  /// treat as retryable — data corruption and contract violations must
+  /// never be retried into.
+  kUnavailable,
 };
 
 /// Lightweight error carrier; cheap to copy when OK.
@@ -49,6 +54,11 @@ class Status {
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
   }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }

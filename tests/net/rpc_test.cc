@@ -1,0 +1,229 @@
+// RPC layer conformance (DESIGN.md §15): request/response round trips
+// over real loopback sockets, remote Status propagation, read
+// deadlines, reconnect-with-backoff after connection kills, and the
+// corruption contract — a torn or garbage frame drops the peer, never
+// crashes the server or misdelivers a payload.
+#include "net/rpc.h"
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "net/frame.h"
+#include "net/socket.h"
+#include "obs/metrics.h"
+
+namespace turbo::net {
+namespace {
+
+RpcHandler EchoHandler() {
+  return [](uint8_t method, std::string_view body) -> Result<std::string> {
+    if (method == 99) {
+      return Status::InvalidArgument("method 99 always fails");
+    }
+    return std::string(body);
+  };
+}
+
+std::unique_ptr<RpcServer> StartEchoServer(obs::MetricsRegistry* metrics,
+                                           RpcHandler handler = {}) {
+  RpcServerConfig cfg;
+  cfg.endpoint.port = 0;  // ephemeral
+  cfg.metrics = metrics;
+  auto server_or =
+      RpcServer::Start(cfg, handler ? std::move(handler) : EchoHandler());
+  EXPECT_TRUE(server_or.ok()) << server_or.status().ToString();
+  return server_or.take();
+}
+
+RpcClientConfig ClientConfig(const RpcServer& server,
+                             obs::MetricsRegistry* metrics = nullptr) {
+  RpcClientConfig cfg;
+  cfg.endpoint = server.endpoint();
+  cfg.metrics = metrics;
+  cfg.backoff_initial_ms = 1;
+  cfg.backoff_max_ms = 10;
+  return cfg;
+}
+
+TEST(NetRpcTest, RoundTripEchoesBodiesAndCountsTraffic) {
+  obs::MetricsRegistry server_metrics;
+  obs::MetricsRegistry client_metrics;
+  auto server = StartEchoServer(&server_metrics);
+  RpcClient client(ClientConfig(*server, &client_metrics));
+
+  for (int i = 0; i < 10; ++i) {
+    const std::string body = "payload-" + std::to_string(i);
+    auto result = client.Call(static_cast<uint8_t>(i + 1), body);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result.value(), body);
+  }
+  EXPECT_EQ(server_metrics.GetCounter("net_server_requests_total")->value(),
+            10u);
+  EXPECT_GT(client_metrics.GetCounter("net_bytes_sent_total")->value(), 0u);
+  EXPECT_GT(client_metrics.GetCounter("net_bytes_received_total")->value(),
+            0u);
+  const std::string text = client_metrics.RenderText();
+  EXPECT_NE(text.find("net_rpc_latency_ms"), std::string::npos);
+}
+
+TEST(NetRpcTest, LargePayloadRoundTrip) {
+  obs::MetricsRegistry metrics;
+  auto server = StartEchoServer(&metrics);
+  RpcClient client(ClientConfig(*server));
+  std::string body(3 * 1024 * 1024, '\0');
+  for (size_t i = 0; i < body.size(); ++i) {
+    body[i] = static_cast<char>(i * 31);
+  }
+  auto result = client.Call(1, body);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value(), body);
+}
+
+TEST(NetRpcTest, RemoteErrorStatusTravelsBack) {
+  obs::MetricsRegistry metrics;
+  auto server = StartEchoServer(&metrics);
+  RpcClient client(ClientConfig(*server));
+  auto result = client.Call(99, "whatever");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(result.status().message(), "method 99 always fails");
+  // A definite remote error is never retried into a different answer;
+  // the connection survives for the next call.
+  auto ok = client.Call(1, "still alive");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), "still alive");
+}
+
+TEST(NetRpcTest, ConnectionKillReconnectsIdempotentCalls) {
+  obs::MetricsRegistry client_metrics;
+  auto server = StartEchoServer(nullptr);
+  RpcClient client(ClientConfig(*server, &client_metrics));
+  ASSERT_TRUE(client.Call(1, "warm").ok());
+
+  for (int round = 0; round < 3; ++round) {
+    server->CloseConnections();
+    auto result = client.Call(1, "after-kill", /*idempotent=*/true);
+    ASSERT_TRUE(result.ok()) << "round " << round << ": "
+                             << result.status().ToString();
+    EXPECT_EQ(result.value(), "after-kill");
+  }
+  EXPECT_GE(client_metrics.GetCounter("net_reconnects_total")->value(), 3u);
+}
+
+TEST(NetRpcTest, ClientSideDropReconnectsTransparently) {
+  auto server = StartEchoServer(nullptr);
+  RpcClient client(ClientConfig(*server));
+  ASSERT_TRUE(client.Call(1, "a").ok());
+  client.DebugDropConnection();
+  EXPECT_FALSE(client.connected());
+  // Even a non-idempotent call is safe: the request provably never went
+  // out on the dropped connection, so the retry loop reconnects.
+  auto result = client.Call(1, "b");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), "b");
+}
+
+TEST(NetRpcTest, DeadServerFailsUnavailableAfterBoundedRetries) {
+  Endpoint dead;
+  {
+    auto server = StartEchoServer(nullptr);
+    dead = server->endpoint();
+    server->Stop();
+  }
+  obs::MetricsRegistry metrics;
+  RpcClientConfig cfg;
+  cfg.endpoint = dead;
+  cfg.metrics = &metrics;
+  cfg.connect_deadline_ms = 200;
+  cfg.max_retries = 2;
+  cfg.backoff_initial_ms = 1;
+  cfg.backoff_max_ms = 5;
+  RpcClient client(cfg);
+  auto result = client.Call(1, "anyone home");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsUnavailable())
+      << result.status().ToString();
+  EXPECT_GE(metrics.GetCounter("net_rpc_errors_total")->value(), 1u);
+}
+
+TEST(NetRpcTest, ReadDeadlineExpiresAsUnavailable) {
+  auto server = StartEchoServer(
+      nullptr, [](uint8_t, std::string_view body) -> Result<std::string> {
+        std::this_thread::sleep_for(std::chrono::milliseconds(400));
+        return std::string(body);
+      });
+  RpcClientConfig cfg = ClientConfig(*server);
+  cfg.read_deadline_ms = 50;
+  cfg.max_retries = 0;
+  RpcClient client(cfg);
+  auto result = client.Call(1, "slow");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsUnavailable())
+      << result.status().ToString();
+}
+
+TEST(NetRpcTest, GarbageBytesDropThePeerCleanly) {
+  obs::MetricsRegistry server_metrics;
+  auto server = StartEchoServer(&server_metrics);
+
+  auto conn_or = TcpConn::Connect(server->endpoint(), 1000);
+  ASSERT_TRUE(conn_or.ok()) << conn_or.status().ToString();
+  auto conn = conn_or.take();
+  const std::string garbage(64, '\xee');
+  ASSERT_TRUE(conn->WriteAll(garbage.data(), garbage.size(), 1000).ok());
+  // The server must detect the framing corruption and close; the read
+  // observes EOF rather than hanging or crashing the server.
+  char buf[16];
+  auto n_or = conn->ReadSome(buf, sizeof(buf), 2000);
+  ASSERT_TRUE(n_or.ok()) << n_or.status().ToString();
+  EXPECT_EQ(n_or.value(), 0u);  // EOF
+  EXPECT_GE(server_metrics.GetCounter("net_frame_corrupt_total")->value(),
+            1u);
+  // The server still serves fresh connections afterwards.
+  RpcClient client(ClientConfig(*server));
+  auto result = client.Call(1, "post-garbage");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), "post-garbage");
+}
+
+TEST(NetRpcTest, TornRequestFrameNeverExecutesTheHandler) {
+  std::atomic<int> handled{0};
+  auto server = StartEchoServer(
+      nullptr, [&](uint8_t, std::string_view body) -> Result<std::string> {
+        ++handled;
+        return std::string(body);
+      });
+  // A valid frame cut mid-payload, then a hard close: the server must
+  // treat it as a torn stream and not dispatch a half request.
+  const std::string frame = EncodeFrame(1, std::string(1000, 'x'));
+  auto conn_or = TcpConn::Connect(server->endpoint(), 1000);
+  ASSERT_TRUE(conn_or.ok());
+  auto conn = conn_or.take();
+  ASSERT_TRUE(conn->WriteAll(frame.data(), frame.size() / 2, 1000).ok());
+  conn->Close();
+  // Give the server a moment to observe the EOF.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(handled.load(), 0);
+  RpcClient client(ClientConfig(*server));
+  ASSERT_TRUE(client.Call(1, "whole").ok());
+  EXPECT_EQ(handled.load(), 1);
+}
+
+TEST(NetRpcTest, ManySequentialCallsReuseOneConnection) {
+  obs::MetricsRegistry client_metrics;
+  auto server = StartEchoServer(nullptr);
+  RpcClient client(ClientConfig(*server, &client_metrics));
+  for (int i = 0; i < 200; ++i) {
+    auto result = client.Call(1, std::to_string(i));
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result.value(), std::to_string(i));
+  }
+  EXPECT_EQ(client_metrics.GetCounter("net_reconnects_total")->value(), 0u);
+}
+
+}  // namespace
+}  // namespace turbo::net
